@@ -1,0 +1,150 @@
+//! Breadth-first search: hop distance from a source.
+//!
+//! The transactional version is asynchronous: a work pool of vertices whose
+//! distance improved; each pool item runs one transaction that relaxes the
+//! vertex's out-neighbours ("BFS updates all neighbors' distance values" —
+//! paper §IV-E). Distances are unique fixpoints, so the parallel result is
+//! bit-identical to the sequential reference.
+
+use std::collections::VecDeque;
+
+use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_htm::MemRegion;
+use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
+use tufast_graph::{Graph, VertexId};
+
+use crate::common::read_u64_region;
+
+/// Distance assigned to unreachable vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Region handles for BFS.
+pub struct BfsSpace {
+    /// `dist[v]`: hop distance from the source.
+    pub dist: MemRegion,
+}
+
+impl BfsSpace {
+    /// Allocate in `layout` for `n` vertices.
+    pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
+        BfsSpace { dist: layout.alloc("bfs-dist", n as u64) }
+    }
+}
+
+/// Sequential reference BFS.
+pub fn sequential(g: &Graph, source: VertexId) -> Vec<u64> {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHED {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Transactional BFS on any scheduler. Returns the distance array.
+pub fn parallel<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &BfsSpace,
+    source: VertexId,
+    threads: usize,
+) -> Vec<u64> {
+    let mem = sys.mem();
+    mem.fill_region(&space.dist, UNREACHED);
+    mem.store_direct(space.dist.addr(u64::from(source)), 0);
+
+    let pool = FifoPool::new();
+    pool.push(source);
+    let dist = &space.dist;
+    parallel_drain(sched, &pool, threads, |worker, pool, v| {
+        let degree = g.degree(v);
+        let mut improved: Vec<VertexId> = Vec::new();
+        worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+            improved.clear();
+            let dv = ops.read(v, dist.addr(u64::from(v)))?;
+            if dv == UNREACHED {
+                return Ok(()); // stale token: the source value moved on
+            }
+            for &u in g.neighbors(v) {
+                let du = ops.read(u, dist.addr(u64::from(u)))?;
+                if du > dv + 1 {
+                    ops.write(u, dist.addr(u64::from(u)), dv + 1)?;
+                    improved.push(u);
+                }
+            }
+            Ok(())
+        });
+        for &u in &improved {
+            pool.push(u);
+        }
+    });
+    read_u64_region(mem, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tufast::TuFast;
+    use tufast_txn::TwoPhaseLocking;
+    use tufast_graph::gen;
+
+    fn check_parallel_matches_sequential(g: &Graph, source: VertexId) {
+        let expected = sequential(g, source);
+        let built = crate::setup(g, |l, n| BfsSpace::alloc(l, n));
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        let got = parallel(g, &tufast, &built.sys, &built.space, source, 4);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = gen::path(10);
+        let d = sequential(&g, 0);
+        assert_eq!(d, (0..10).map(|i| i as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_max() {
+        let g = gen::path(5);
+        let d = sequential(&g, 4); // the path is directed; nothing after 4
+        assert_eq!(d[4], 0);
+        assert!(d[..4].iter().all(|&x| x == UNREACHED));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_grid() {
+        check_parallel_matches_sequential(&gen::grid2d(17, 13), 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_rmat() {
+        check_parallel_matches_sequential(&gen::rmat(10, 8, 42), 3);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_star_hub_source() {
+        check_parallel_matches_sequential(&gen::star(2000), 0);
+    }
+
+    #[test]
+    fn works_on_2pl_baseline_too() {
+        let g = gen::grid2d(9, 9);
+        let expected = sequential(&g, 40);
+        let built = crate::setup(&g, |l, n| BfsSpace::alloc(l, n));
+        let sched = TwoPhaseLocking::new(Arc::clone(&built.sys));
+        let got = parallel(&g, &sched, &built.sys, &built.space, 40, 4);
+        assert_eq!(got, expected);
+    }
+}

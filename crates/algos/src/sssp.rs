@@ -1,0 +1,201 @@
+//! Single-source shortest paths: Bellman-Ford and SPFA (paper Figure 3).
+//!
+//! The paper's §II usability argument: the two algorithms differ *only* in
+//! the scheduling queue — FIFO (Bellman-Ford with a queue) versus
+//! prioritised by tentative distance (SPFA/dijkstra-flavoured). With
+//! transactions taking care of the data races, switching algorithms is
+//! literally switching the [`WorkPool`] — which is exactly how this module
+//! implements them.
+
+use tufast::par::{parallel_drain, FifoPool, PriorityPool, WorkPool};
+use tufast_htm::MemRegion;
+use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
+use tufast_graph::{Graph, VertexId};
+
+use crate::common::read_u64_region;
+
+/// Distance assigned to unreachable vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Queue discipline selecting between the paper's two algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// FIFO — Bellman-Ford with a queue.
+    Fifo,
+    /// Priority by tentative distance — SPFA.
+    Priority,
+}
+
+/// Region handles for SSSP.
+pub struct SsspSpace {
+    /// `dist[v]`: tentative shortest distance from the source.
+    pub dist: MemRegion,
+}
+
+impl SsspSpace {
+    /// Allocate in `layout` for `n` vertices.
+    pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
+        SsspSpace { dist: layout.alloc("sssp-dist", n as u64) }
+    }
+}
+
+/// Sequential reference (Bellman-Ford with a FIFO queue).
+///
+/// # Panics
+/// If `g` has no edge weights.
+pub fn sequential(g: &Graph, source: VertexId) -> Vec<u64> {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    let mut queued = vec![false; g.num_vertices()];
+    queued[source as usize] = true;
+    while let Some(v) = queue.pop_front() {
+        queued[v as usize] = false;
+        let dv = dist[v as usize];
+        for (u, w) in g.weighted_neighbors(v) {
+            let cand = dv + u64::from(w);
+            if cand < dist[u as usize] {
+                dist[u as usize] = cand;
+                if !queued[u as usize] {
+                    queued[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Transactional SSSP on any scheduler with the chosen queue discipline.
+///
+/// # Panics
+/// If `g` has no edge weights.
+pub fn parallel<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &SsspSpace,
+    source: VertexId,
+    threads: usize,
+    kind: QueueKind,
+) -> Vec<u64> {
+    assert!(g.has_weights(), "SSSP needs edge weights (gen::with_random_weights)");
+    let mem = sys.mem();
+    mem.fill_region(&space.dist, UNREACHED);
+    mem.store_direct(space.dist.addr(u64::from(source)), 0);
+
+    match kind {
+        QueueKind::Fifo => {
+            let pool = FifoPool::new();
+            pool.push(source);
+            drive(g, sched, sys, space, threads, &pool, |pool, u, _| pool.push(u));
+        }
+        QueueKind::Priority => {
+            let pool = PriorityPool::new();
+            pool.push_with_key(source, 0);
+            drive(g, sched, sys, space, threads, &pool, |pool, u, key| pool.push_with_key(u, key));
+        }
+    }
+    read_u64_region(mem, &space.dist)
+}
+
+fn drive<S: GraphScheduler, P: WorkPool>(
+    g: &Graph,
+    sched: &S,
+    _sys: &TxnSystem,
+    space: &SsspSpace,
+    threads: usize,
+    pool: &P,
+    push: impl Fn(&P, VertexId, u64) + Sync,
+) {
+    let dist = &space.dist;
+    parallel_drain(sched, pool, threads, |worker, pool, v| {
+        let degree = g.degree(v);
+        let mut improved: Vec<(VertexId, u64)> = Vec::new();
+        worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+            improved.clear();
+            let dv = ops.read(v, dist.addr(u64::from(v)))?;
+            if dv == UNREACHED {
+                return Ok(());
+            }
+            for (u, w) in g.weighted_neighbors(v) {
+                let cand = dv + u64::from(w);
+                let du = ops.read(u, dist.addr(u64::from(u)))?;
+                if cand < du {
+                    ops.write(u, dist.addr(u64::from(u)), cand)?;
+                    improved.push((u, cand));
+                }
+            }
+            Ok(())
+        });
+        for &(u, d) in &improved {
+            push(pool, u, d);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tufast::TuFast;
+    use tufast_graph::gen;
+
+    fn weighted_grid(w: usize, h: usize, seed: u64) -> Graph {
+        gen::with_random_weights(&gen::grid2d(w, h), 50, seed)
+    }
+
+    #[test]
+    fn sequential_matches_dijkstra_intuition_on_tiny_graph() {
+        // 0 →(1) 1 →(1) 2, plus 0 →(5) 2: shortest to 2 is 2.
+        let mut b = tufast_graph::GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1);
+        b.add_weighted_edge(1, 2, 1);
+        b.add_weighted_edge(0, 2, 5);
+        let g = b.build();
+        assert_eq!(sequential(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_fifo_equals_sequential() {
+        let g = weighted_grid(13, 11, 7);
+        let expected = sequential(&g, 0);
+        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        let got = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Fifo);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_priority_equals_sequential() {
+        let g = weighted_grid(11, 9, 3);
+        let expected = sequential(&g, 5);
+        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        let got = parallel(&g, &tufast, &built.sys, &built.space, 5, 4, QueueKind::Priority);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn queue_disciplines_agree_on_power_law_graph() {
+        let g = gen::with_random_weights(&gen::rmat(9, 8, 11), 100, 13);
+        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        let fifo = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Fifo);
+        let prio = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Priority);
+        assert_eq!(fifo, prio, "both disciplines must reach the same fixpoint");
+        assert_eq!(fifo, sequential(&g, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge weights")]
+    fn unweighted_graph_is_rejected() {
+        let g = gen::path(3);
+        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        parallel(&g, &tufast, &built.sys, &built.space, 0, 2, QueueKind::Fifo);
+    }
+}

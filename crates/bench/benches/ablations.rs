@@ -1,0 +1,115 @@
+//! Criterion ablations of TuFast design choices called out in DESIGN.md:
+//!
+//! * packed vs padded vertex-lock layout (false-sharing aborts vs 8×
+//!   metadata footprint);
+//! * version- vs value-based O-mode validation (paper Algorithm 2 uses
+//!   values; the default uses versions);
+//! * H-mode retry budget (paper §IV-D / Figure 16);
+//! * adaptive vs static period.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tufast::{TuFast, TuFastConfig};
+use tufast_bench::workloads::{run_one, uniform_picker, MicroWorkload};
+use tufast_htm::MemoryLayout;
+use tufast_txn::{GraphScheduler, SystemConfig, TxnSystem};
+use tufast_graph::gen;
+
+const THREADS: usize = 4;
+const TXNS_PER_ITER: usize = 2_000;
+
+/// One multi-threaded batch of RM transactions under the given config.
+fn run_batch(g: &tufast_graph::Graph, sys_config: SystemConfig, tf_config: TuFastConfig) {
+    let mut layout = MemoryLayout::new();
+    let values = layout.alloc("values", g.num_vertices() as u64);
+    let sys = TxnSystem::build(g.num_vertices(), layout, sys_config);
+    let sched = TuFast::with_config(Arc::clone(&sys), tf_config);
+    let picker = uniform_picker(g.num_vertices());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let cursor = &cursor;
+            let picker = &picker;
+            let sys = &sys;
+            let values = &values;
+            let mut worker = sched.worker();
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= TXNS_PER_ITER {
+                    break;
+                }
+                run_one(g, sys, values, &mut worker, picker(i as u64), MicroWorkload::ReadMostly);
+            });
+        }
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let g = gen::rmat(12, 16, 99);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("locks_packed", |b| {
+        b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::default()));
+    });
+    group.bench_function("locks_padded", |b| {
+        b.iter(|| {
+            run_batch(
+                &g,
+                SystemConfig { padded_locks: true, ..SystemConfig::default() },
+                TuFastConfig::default(),
+            )
+        });
+    });
+
+    group.bench_function("validation_by_version", |b| {
+        b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::default()));
+    });
+    group.bench_function("validation_by_value", |b| {
+        b.iter(|| {
+            run_batch(
+                &g,
+                SystemConfig::default(),
+                TuFastConfig { value_validation: true, ..TuFastConfig::default() },
+            )
+        });
+    });
+
+    for retries in [1u32, 4, 16] {
+        group.bench_function(format!("h_retries_{retries}"), |b| {
+            b.iter(|| {
+                run_batch(
+                    &g,
+                    SystemConfig::default(),
+                    TuFastConfig { h_retries: retries, ..TuFastConfig::default() },
+                )
+            });
+        });
+    }
+
+    group.bench_function("period_adaptive", |b| {
+        b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::default()));
+    });
+    group.bench_function("period_static_1000", |b| {
+        b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::static_config(1000)));
+    });
+
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the emulated-HTM hot paths: the per-
+//! operation costs TuFast's H and O modes are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tufast_htm::{Addr, HtmConfig, HtmRuntime, MemoryLayout};
+
+fn bench_htm(c: &mut Criterion) {
+    let mut layout = MemoryLayout::new();
+    layout.alloc("arena", 1 << 16);
+    let rt = HtmRuntime::new(layout, HtmConfig::default());
+
+    let mut group = c.benchmark_group("htm");
+
+    group.bench_function("begin_commit_empty", |b| {
+        let mut ctx = rt.ctx();
+        b.iter(|| {
+            ctx.begin().unwrap();
+            ctx.commit().unwrap();
+        });
+    });
+
+    group.bench_function("read_1_word_txn", |b| {
+        let mut ctx = rt.ctx();
+        b.iter(|| {
+            ctx.begin().unwrap();
+            black_box(ctx.read(Addr(64)).unwrap());
+            ctx.commit().unwrap();
+        });
+    });
+
+    group.bench_function("rmw_1_word_txn", |b| {
+        let mut ctx = rt.ctx();
+        b.iter(|| {
+            ctx.begin().unwrap();
+            let v = ctx.read(Addr(128)).unwrap();
+            ctx.write(Addr(128), v + 1).unwrap();
+            ctx.commit().unwrap();
+        });
+    });
+
+    for words in [8usize, 64, 512] {
+        group.bench_function(format!("read_{words}_words_txn"), |b| {
+            let mut ctx = rt.ctx();
+            b.iter(|| {
+                ctx.begin().unwrap();
+                for i in 0..words as u64 {
+                    black_box(ctx.read(Addr(i)).unwrap());
+                }
+                ctx.commit().unwrap();
+            });
+        });
+    }
+
+    group.bench_function("store_direct", |b| {
+        let mem = rt.memory();
+        b.iter(|| mem.store_direct(Addr(256), black_box(7)));
+    });
+
+    group.bench_function("load_direct", |b| {
+        let mem = rt.memory();
+        b.iter(|| black_box(mem.load_direct(Addr(256))));
+    });
+
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_htm
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: single-threaded per-transaction cost of
+//! every scheduler on small/medium/large neighbourhood transactions — the
+//! overhead decomposition behind Figures 13/14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use tufast::TuFast;
+use tufast_bench::workloads::{run_one, setup_micro, MicroWorkload};
+use tufast_txn::{
+    GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering,
+    TwoPhaseLocking,
+};
+use tufast_graph::gen;
+
+fn bench_schedulers(c: &mut Criterion) {
+    // Star graphs give exact control over transaction size: the hub's
+    // transaction touches the whole graph, so `degree` picks the size.
+    for (label, degree) in
+        [("small_txn_deg8", 8usize), ("medium_txn_deg1000", 1000), ("large_txn_deg20000", 20_000)]
+    {
+        let g = gen::star(degree + 1);
+        let mut group = c.benchmark_group(label);
+        group.sample_size(20);
+
+        macro_rules! contender {
+            ($name:expr, $ctor:expr) => {{
+                let (sys, values) = setup_micro(&g);
+                let sched = $ctor(Arc::clone(&sys));
+                let mut worker = sched.worker();
+                group.bench_function($name, |b| {
+                    b.iter(|| run_one(&g, &sys, &values, &mut worker, 0, MicroWorkload::ReadMostly));
+                });
+            }};
+        }
+        contender!("tufast", TuFast::new);
+        contender!("2pl", TwoPhaseLocking::new);
+        contender!("occ", Occ::new);
+        contender!("to", TimestampOrdering::new);
+        contender!("stm", SoftwareTm::new);
+        contender!("hsync", HSyncLike::new);
+        contender!("hto", HTimestampOrdering::new);
+        group.finish();
+    }
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_schedulers
+}
+criterion_main!(benches);

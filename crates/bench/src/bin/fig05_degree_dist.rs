@@ -1,0 +1,48 @@
+//! Figure 5: degree distribution of the twitter follower graph (log-log).
+//!
+//! Expected shape: a near-straight descending line in log-log space
+//! (power law), with a huge maximum degree.
+
+use tufast_bench::datasets::dataset;
+use tufast_bench::harness::{banner, parse_args, Table};
+use tufast_graph::stats::{degree_histogram, log_log_slope};
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 5",
+        "out-degree distribution of the twitter stand-in (log-log)",
+        "power law: straight descending line in log-log space",
+    );
+    let d = dataset("twitter-s", args.scale_delta);
+    let hist = degree_histogram(&d.graph);
+
+    // Log-binned view (the paper plots raw points; binning keeps the table
+    // short while preserving the line).
+    let mut table = Table::new(&["degree bin", "vertices", "log10(deg)", "log10(count)"]);
+    let mut bin_start = 1usize;
+    while bin_start <= hist.last().map_or(0, |p| p.degree) {
+        let bin_end = bin_start * 2;
+        let count: usize = hist
+            .iter()
+            .filter(|p| p.degree >= bin_start && p.degree < bin_end)
+            .map(|p| p.count)
+            .sum();
+        if count > 0 {
+            table.row(&[
+                format!("[{bin_start},{bin_end})"),
+                count.to_string(),
+                format!("{:.2}", (bin_start as f64).log10()),
+                format!("{:.2}", (count as f64).log10()),
+            ]);
+        }
+        bin_start = bin_end;
+    }
+    table.print();
+
+    let slope = log_log_slope(&hist).unwrap_or(f64::NAN);
+    let (hub, dmax) = d.graph.max_degree();
+    println!("\nfitted log-log slope : {slope:.2}  (paper: clearly negative / straight line)");
+    println!("max out-degree       : {dmax} at vertex {hub} (paper: 3,691,240 at full scale)");
+    println!("|V| = {}, |E| = {}, avg degree = {:.2}", d.graph.num_vertices(), d.graph.num_edges(), d.graph.avg_degree());
+}

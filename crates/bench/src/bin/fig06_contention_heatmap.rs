@@ -1,0 +1,91 @@
+//! Figure 6: contention-rate heat map over degree × degree.
+//!
+//! Paper setup (§III): on twitter-mpi, assume each transaction reads a
+//! vertex and its neighbours and writes the vertex; each cell is the
+//! probability that two concurrent vertex transactions *contend* (their
+//! read/write footprints intersect), bucketed by the two vertices'
+//! degrees. Expected shape: contention grows strongly with degree — the
+//! top-right of the map is hot, the bottom-left cold.
+
+use tufast_bench::datasets::dataset;
+use tufast_bench::harness::{banner, parse_args};
+use tufast_graph::{Graph, VertexId};
+
+/// Degree buckets (log scale), the heat map's axes.
+const BUCKETS: [(usize, usize); 6] =
+    [(0, 2), (2, 8), (8, 32), (32, 128), (128, 512), (512, usize::MAX)];
+
+fn bucket_label(b: (usize, usize)) -> String {
+    if b.1 == usize::MAX {
+        format!("{}+", b.0)
+    } else {
+        format!("{}-{}", b.0, b.1 - 1)
+    }
+}
+
+/// Two neighbourhood transactions contend iff footprints intersect with at
+/// least one write involved. Writes hit the centre vertices; reads hit the
+/// closed neighbourhoods — so `a` and `b` contend iff `b ∈ N⁺(a)` or
+/// `a ∈ N⁺(b)` (a write into the other's read set), with `N⁺` the closed
+/// neighbourhood.
+fn contend(g: &Graph, a: VertexId, b: VertexId) -> bool {
+    a == b
+        || g.neighbors(a).binary_search(&b).is_ok()
+        || g.neighbors(b).binary_search(&a).is_ok()
+}
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 6",
+        "probability two concurrent vertex transactions contend, by degree × degree",
+        "skewed: high-degree pairs contend orders of magnitude more often",
+    );
+    let d = dataset("twitter-s", args.scale_delta);
+    let g = &d.graph;
+
+    // Bucket the vertices by out-degree.
+    let mut by_bucket: Vec<Vec<VertexId>> = vec![Vec::new(); BUCKETS.len()];
+    for v in g.vertices() {
+        let deg = g.degree(v);
+        let idx = BUCKETS.iter().position(|&(lo, hi)| deg >= lo && deg < hi).unwrap();
+        by_bucket[idx].push(v);
+    }
+
+    // Monte-Carlo per cell.
+    let samples = (args.txns / 10).max(2_000);
+    let mut x = 0x1357_9BDF_2468_ACE0u64;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+
+    println!("\nP(contend) per degree-bucket pair (rows × cols):\n");
+    print!("{:>10}", "");
+    for &b in &BUCKETS {
+        print!("{:>10}", bucket_label(b));
+    }
+    println!();
+    for (i, &bi) in BUCKETS.iter().enumerate() {
+        print!("{:>10}", bucket_label(bi));
+        for (j, _) in BUCKETS.iter().enumerate() {
+            if by_bucket[i].is_empty() || by_bucket[j].is_empty() {
+                print!("{:>10}", "-");
+                continue;
+            }
+            let mut hits = 0u64;
+            for _ in 0..samples {
+                let a = by_bucket[i][(rand() % by_bucket[i].len() as u64) as usize];
+                let b = by_bucket[j][(rand() % by_bucket[j].len() as u64) as usize];
+                if contend(g, a, b) {
+                    hits += 1;
+                }
+            }
+            print!("{:>10.5}", hits as f64 / samples as f64);
+        }
+        println!();
+    }
+    println!("\n(row/col = out-degree bucket of the two concurrent transactions)");
+}

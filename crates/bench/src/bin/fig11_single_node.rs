@@ -1,0 +1,187 @@
+//! Figure 11: graph applications on single-node systems.
+//!
+//! TuFast vs STM (TinySTM-like), Ligra, Galois, Polymer on the six
+//! workloads (PageRank, BFS, Components, Triangle, Bellman-Ford, MIS) over
+//! the four datasets. Expected shape: TuFast within range of the best on
+//! bandwidth-bound workloads (BFS, Triangle), and ahead by up to two
+//! orders of magnitude on coordination-heavy ones (PageRank, Components,
+//! MIS) thanks to in-place updates; STM always behind TuFast.
+//!
+//! Every system computes the *same task*; results are cross-checked where
+//! deterministic.
+
+use std::sync::Arc;
+
+use tufast::TuFast;
+use tufast_algos as algos;
+use tufast_bench::datasets::{dataset, dataset_names, symmetric_view};
+use tufast_bench::harness::{banner, fmt_secs, parse_args, time, Table};
+use tufast_engines::{galois, ligra, polymer};
+use tufast_txn::SoftwareTm;
+use tufast_graph::{gen, Graph};
+
+const DAMPING: f64 = 0.85;
+const PR_EPS: f64 = 1e-6;
+
+/// One measured row: seconds per system, in column order.
+type Row = Vec<f64>;
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 11",
+        "six workloads × four datasets on single-node systems (seconds, lower is better)",
+        "TuFast best or near-best everywhere; 10-100x ahead on PageRank/Components/MIS; STM always behind TuFast",
+    );
+    let algorithms = ["PageRank", "BFS", "Components", "Triangle", "SSSP", "MIS"];
+    for name in dataset_names() {
+        let d = dataset(name, args.scale_delta);
+        let sym = symmetric_view(&d.graph);
+        let weighted = gen::with_random_weights(&d.graph, 100, 0x5EED);
+        println!("\n--- dataset {} (|V|={}, |E|={}) ---", name, d.graph.num_vertices(), d.graph.num_edges());
+        let mut table = Table::new(&["algorithm", "TuFast", "STM", "Ligra", "Galois", "Polymer", "best-other/TuFast"]);
+        for algo in algorithms {
+            let row = run_algorithm(algo, &d.graph, &sym, &weighted, args.threads);
+            let tufast = row[0];
+            let best_other = row[1..].iter().copied().fold(f64::MAX, f64::min);
+            let mut cells = vec![algo.to_string()];
+            cells.extend(row.iter().map(|&s| fmt_secs(s)));
+            cells.push(format!("{:.2}x", best_other / tufast.max(1e-12)));
+            table.row(&cells);
+        }
+        table.print();
+    }
+    println!("\n(best-other/TuFast > 1 means TuFast is fastest; {} threads)", args.threads);
+}
+
+fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: usize) -> Row {
+    match algo {
+        "PageRank" => {
+            let (r_tufast, t_tufast) = time(|| {
+                let built = algos::setup(g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::pagerank::parallel(g, &sched, &built.sys, &built.space, threads, DAMPING, PR_EPS)
+            });
+            let (r_stm, t_stm) = time(|| {
+                let built = algos::setup(g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::pagerank::parallel(g, &sched, &built.sys, &built.space, threads, DAMPING, PR_EPS)
+            });
+            let (r_ligra, t_ligra) = time(|| ligra::pagerank(g, DAMPING, PR_EPS, 500, threads));
+            let (r_galois, t_galois) = time(|| galois::pagerank(g, DAMPING, PR_EPS, threads));
+            let (r_polymer, t_polymer) = time(|| polymer::pagerank(g, DAMPING, PR_EPS, 500, threads));
+            // Cross-check convergence to the same fixpoint (loose: each
+            // stops at its own residual threshold).
+            for v in (0..g.num_vertices()).step_by((g.num_vertices() / 64).max(1)) {
+                let reference = r_ligra[v];
+                for r in [r_tufast[v], r_stm[v], r_galois[v], r_polymer[v]] {
+                    assert!((r - reference).abs() < 1e-2, "PageRank fixpoint mismatch at {v}");
+                }
+            }
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        "BFS" => {
+            let source = 0;
+            let (d_tufast, t_tufast) = time(|| {
+                let built = algos::setup(g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::bfs::parallel(g, &sched, &built.sys, &built.space, source, threads)
+            });
+            let (d_stm, t_stm) = time(|| {
+                let built = algos::setup(g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::bfs::parallel(g, &sched, &built.sys, &built.space, source, threads)
+            });
+            let (d_ligra, t_ligra) = time(|| ligra::bfs(g, source, threads));
+            let (d_galois, t_galois) = time(|| galois::bfs(g, source, threads));
+            let (d_polymer, t_polymer) = time(|| polymer::bfs(g, source, threads));
+            assert_eq!(d_tufast, d_ligra);
+            assert_eq!(d_stm, d_ligra);
+            assert_eq!(d_galois, d_ligra);
+            assert_eq!(d_polymer, d_ligra);
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        "Components" => {
+            let (l_tufast, t_tufast) = time(|| {
+                let built = algos::setup(sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::wcc::parallel(sym, &sched, &built.sys, &built.space, threads)
+            });
+            let (l_stm, t_stm) = time(|| {
+                let built = algos::setup(sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::wcc::parallel(sym, &sched, &built.sys, &built.space, threads)
+            });
+            let (l_ligra, t_ligra) = time(|| ligra::wcc(sym, threads));
+            let (l_galois, t_galois) = time(|| galois::wcc(sym, threads));
+            let (l_polymer, t_polymer) = time(|| polymer::wcc(sym, threads));
+            assert_eq!(l_tufast, l_ligra);
+            assert_eq!(l_stm, l_ligra);
+            assert_eq!(l_galois, l_ligra);
+            assert_eq!(l_polymer, l_ligra);
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        "Triangle" => {
+            let (c_tufast, t_tufast) = time(|| {
+                let built = algos::setup(sym, |l, _| l.alloc("unused", 1));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::triangle::parallel(sym, &sched, &built.sys, threads)
+            });
+            let (c_stm, t_stm) = time(|| {
+                let built = algos::setup(sym, |l, _| l.alloc("unused", 1));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::triangle::parallel(sym, &sched, &built.sys, threads)
+            });
+            let (c_ligra, t_ligra) = time(|| ligra::triangle(sym, threads));
+            let (c_galois, t_galois) = time(|| galois::triangle(sym, threads));
+            let (c_polymer, t_polymer) = time(|| polymer::triangle(sym, threads));
+            assert_eq!(c_tufast, c_ligra);
+            assert_eq!(c_stm, c_ligra);
+            assert_eq!(c_galois, c_ligra);
+            assert_eq!(c_polymer, c_ligra);
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        "SSSP" => {
+            let source = 0;
+            let (s_tufast, t_tufast) = time(|| {
+                let built = algos::setup(weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::sssp::parallel(weighted, &sched, &built.sys, &built.space, source, threads, algos::sssp::QueueKind::Fifo)
+            });
+            let (s_stm, t_stm) = time(|| {
+                let built = algos::setup(weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::sssp::parallel(weighted, &sched, &built.sys, &built.space, source, threads, algos::sssp::QueueKind::Fifo)
+            });
+            let (s_ligra, t_ligra) = time(|| ligra::sssp(weighted, source, threads));
+            let (s_galois, t_galois) = time(|| galois::sssp(weighted, source, threads));
+            let (s_polymer, t_polymer) = time(|| polymer::sssp(weighted, source, threads));
+            assert_eq!(s_tufast, s_ligra);
+            assert_eq!(s_stm, s_ligra);
+            assert_eq!(s_galois, s_ligra);
+            assert_eq!(s_polymer, s_ligra);
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        "MIS" => {
+            let (m_tufast, t_tufast) = time(|| {
+                let built = algos::setup(sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+                let sched = TuFast::new(Arc::clone(&built.sys));
+                algos::mis::parallel(sym, &sched, &built.sys, &built.space, threads)
+            });
+            let (m_stm, t_stm) = time(|| {
+                let built = algos::setup(sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+                let sched = SoftwareTm::new(Arc::clone(&built.sys));
+                algos::mis::parallel(sym, &sched, &built.sys, &built.space, threads)
+            });
+            let (m_ligra, t_ligra) = time(|| ligra::mis(sym, threads));
+            let (m_galois, t_galois) = time(|| galois::mis(sym, threads));
+            let (m_polymer, t_polymer) = time(|| polymer::mis(sym, threads));
+            assert_eq!(m_tufast, m_ligra);
+            assert_eq!(m_stm, m_ligra);
+            assert_eq!(m_galois, m_ligra);
+            assert_eq!(m_polymer, m_ligra);
+            vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
+        }
+        other => panic!("unknown algorithm {other}"),
+    }
+}

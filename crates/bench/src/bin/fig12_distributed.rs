@@ -1,0 +1,153 @@
+//! Figure 12: TuFast (single multi-core node) vs distributed and
+//! out-of-core systems.
+//!
+//! PowerGraph ≙ simulated GAS cluster with hash partitioning, PowerLyra ≙
+//! hybrid-cut, GraphChi ≙ simulated shard-sweep out-of-core engine
+//! (DESIGN.md §2: compute measured, communication/disk charged
+//! analytically). Expected shape: TuFast ahead by one to four orders of
+//! magnitude — the distributed systems' bottleneck is communication, the
+//! out-of-core engine's is its per-iteration streaming passes.
+
+use std::sync::Arc;
+
+use tufast::TuFast;
+use tufast_algos as algos;
+use tufast_bench::datasets::{dataset, dataset_names, symmetric_view};
+use tufast_bench::harness::{banner, fmt_secs, parse_args, time, Table};
+use tufast_engines::gas::{ClusterConfig, GasCluster, PartitionKind};
+use tufast_engines::ooc::{DiskConfig, OocEngine};
+use tufast_graph::gen;
+
+const DAMPING: f64 = 0.85;
+const PR_ITERS: usize = 10;
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 12",
+        "TuFast (one node) vs PowerGraph/PowerLyra (16-node simulated cluster) vs GraphChi (simulated SSD)",
+        "TuFast 1-4 orders of magnitude faster; PowerLyra < PowerGraph (hybrid-cut); GraphChi pays per-pass streaming",
+    );
+    for name in dataset_names() {
+        let d = dataset(name, args.scale_delta);
+        let sym = symmetric_view(&d.graph);
+        let weighted = gen::with_random_weights(&d.graph, 100, 0x5EED);
+        println!("\n--- dataset {} (|V|={}, |E|={}) ---", name, d.graph.num_vertices(), d.graph.num_edges());
+        let pg = GasCluster::new(&d.graph, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
+        let pl = GasCluster::new(&d.graph, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
+        let pg_sym = GasCluster::new(&sym, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
+        let pl_sym = GasCluster::new(&sym, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
+        let chi = OocEngine::new(&d.graph, DiskConfig::default());
+        let chi_sym = OocEngine::new(&sym, DiskConfig::default());
+        println!(
+            "  replication factor: PowerGraph {:.2}, PowerLyra {:.2}",
+            pg.replication_factor(),
+            pl.replication_factor()
+        );
+
+        let mut table = Table::new(&["algorithm", "TuFast", "PowerGraph", "PowerLyra", "GraphChi", "TuFast speedup (vs best)"]);
+        let t = args.threads;
+
+        // PageRank (fixed iterations so all four do identical work).
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&d.graph, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::pagerank::parallel_sweeps(&d.graph, &sched, &built.sys, &built.space, t, DAMPING, PR_ITERS);
+        });
+        let (_, pg_c) = pg.pagerank(DAMPING, PR_ITERS, t);
+        let (_, pl_c) = pl.pagerank(DAMPING, PR_ITERS, t);
+        let (_, chi_c) = chi.pagerank(DAMPING, PR_ITERS, t);
+        let pagerank_projection = (pg_c, d.graph.num_edges());
+        push_row(&mut table, "PageRank", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        // BFS.
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&d.graph, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::bfs::parallel(&d.graph, &sched, &built.sys, &built.space, 0, t);
+        });
+        let (_, pg_c) = pg.bfs(0, t);
+        let (_, pl_c) = pl.bfs(0, t);
+        let (_, chi_c) = chi.bfs(0, t);
+        push_row(&mut table, "BFS", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        // Components (symmetric view everywhere).
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::wcc::parallel(&sym, &sched, &built.sys, &built.space, t);
+        });
+        let (_, pg_c) = pg_sym.wcc(t);
+        let (_, pl_c) = pl_sym.wcc(t);
+        let (_, chi_c) = chi_sym.wcc(t);
+        push_row(&mut table, "Components", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        // Triangle.
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&sym, |l, _| l.alloc("unused", 1));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::triangle::parallel(&sym, &sched, &built.sys, t);
+        });
+        let (_, pg_c) = pg_sym.triangle(t);
+        let (_, pl_c) = pl_sym.triangle(t);
+        let (_, chi_c) = chi_sym.triangle(t);
+        push_row(&mut table, "Triangle", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        // SSSP.
+        let pg_w = GasCluster::new(&weighted, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
+        let pl_w = GasCluster::new(&weighted, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
+        let chi_w = OocEngine::new(&weighted, DiskConfig::default());
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::sssp::parallel(&weighted, &sched, &built.sys, &built.space, 0, t, algos::sssp::QueueKind::Fifo);
+        });
+        let (_, pg_c) = pg_w.sssp(0, t);
+        let (_, pl_c) = pl_w.sssp(0, t);
+        let (_, chi_c) = chi_w.sssp(0, t);
+        push_row(&mut table, "SSSP", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        // MIS.
+        let (_, tufast_s) = time(|| {
+            let built = algos::setup(&sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            algos::mis::parallel(&sym, &sched, &built.sys, &built.space, t);
+        });
+        let (_, pg_c) = pg_sym.mis(t);
+        let (_, pl_c) = pl_sym.mis(t);
+        let (_, chi_c) = chi_sym.mis(t);
+        push_row(&mut table, "MIS", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+
+        table.print();
+
+        // At miniature scale the cluster's latency-dominated network cost
+        // is tiny; the paper's gap is scale-driven. Project both sides to
+        // paper scale (×1000 edges) on paper hardware: the cluster's
+        // bandwidth term scales with |E|; TuFast's in-memory sweep runs at
+        // ~2 ns/edge-op (a cache hit — real HTM) across 20 cores.
+        let (pg_cost, edges) = pagerank_projection;
+        let scale = 1000.0;
+        let projected_net = pg_cost.bytes_moved as f64 * scale / 1.25e9
+            + pg_cost.rounds as f64 * 2.0 * 500e-6;
+        let projected_tufast = edges as f64 * scale * PR_ITERS as f64 * 2e-9 / 20.0;
+        println!(
+            "  full-scale projection (PageRank, x1000 edges, paper hardware): PowerGraph network ≈ {:.0}s vs TuFast in-memory ≈ {:.0}s  (≈{:.0}x)",
+            projected_net,
+            projected_tufast,
+            projected_net / projected_tufast.max(1e-9)
+        );
+    }
+    println!("\n(distributed/out-of-core times are simulated: measured compute + analytic comm/disk; see EXPERIMENTS.md)");
+}
+
+fn push_row(table: &mut Table, algo: &str, tufast: f64, pg: f64, pl: f64, chi: f64) {
+    let best_other = pg.min(pl).min(chi);
+    table.row(&[
+        algo.to_string(),
+        fmt_secs(tufast),
+        fmt_secs(pg),
+        fmt_secs(pl),
+        fmt_secs(chi),
+        format!("{:.0}x", best_other / tufast.max(1e-12)),
+    ]);
+}

@@ -1,0 +1,62 @@
+//! Figure 13: scheduler throughput on the RM (read-mostly) workload.
+//!
+//! Expected shape: TuFast fastest on every dataset (paper: 5.00×–8.25×
+//! over the best non-TuFast scheduler); hybrids (TuFast, HSync) beat
+//! homogeneous schedulers; HTM-based beat non-HTM.
+//!
+//! Two tables are printed: **hardware-calibrated** (the measured emulation
+//! tax of hardware-transactional operations is subtracted — on real TSX
+//! they cost a cache hit, under emulation they pay TL2 bookkeeping) and
+//! **raw wall time**. The paper's shape applies to the calibrated view;
+//! see EXPERIMENTS.md §"Emulation calibration".
+
+use tufast_bench::datasets::{dataset, dataset_names};
+use tufast_bench::harness::{banner, fmt_rate, parse_args, Table};
+use tufast_bench::workloads::{calibrate_htm_tax, run_scheduler_suite, MicroWorkload};
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 13",
+        "scheduler throughput, RM workload (read neighbourhood, write centre vertex)",
+        "TuFast highest everywhere (paper: 5.0×–8.25× over the best alternative)",
+    );
+    run(&args, MicroWorkload::ReadMostly);
+}
+
+/// Shared driver for Figures 13 and 14.
+pub fn run(args: &tufast_bench::BenchArgs, workload: MicroWorkload) {
+    let tax = calibrate_htm_tax();
+    println!("\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n", tax * 1e9);
+
+    let mut calibrated = Table::new(&[
+        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO", "TuFast/best-other",
+    ]);
+    let mut raw = Table::new(&[
+        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO",
+    ]);
+    for name in dataset_names() {
+        let d = dataset(name, args.scale_delta);
+        let results = run_scheduler_suite(&d.graph, args.threads, args.txns, workload);
+        let cal: Vec<f64> = results.iter().map(|(_, r)| r.calibrated_throughput(tax)).collect();
+        let tufast = cal[0];
+        let best_other = cal[1..].iter().copied().fold(0.0f64, f64::max);
+        let mut row = vec![name.to_string()];
+        row.extend(cal.iter().map(|&t| fmt_rate(t)));
+        row.push(format!("{:.2}x", tufast / best_other.max(1e-9)));
+        calibrated.row(&row);
+        let mut row = vec![name.to_string()];
+        row.extend(results.iter().map(|(_, r)| fmt_rate(r.throughput)));
+        raw.row(&row);
+    }
+    println!("hardware-calibrated throughput (the paper-comparable view):");
+    calibrated.print();
+    println!("\nraw wall-clock throughput (emulation tax included):");
+    raw.print();
+    println!(
+        "\n({} workload; {} txns per scheduler per dataset; {} threads)",
+        workload.label(),
+        args.txns,
+        args.threads
+    );
+}

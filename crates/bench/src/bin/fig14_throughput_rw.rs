@@ -1,0 +1,50 @@
+//! Figure 14: scheduler throughput on the RW (read-write) workload.
+//!
+//! Expected shape: TuFast fastest on every dataset (paper: 2.03×–39.46×
+//! over the best non-TuFast scheduler); the RW pattern widens the gap to
+//! the optimistic baselines because whole-neighbourhood writes make their
+//! validation fail often.
+//!
+//! Prints hardware-calibrated and raw tables — see `fig13_throughput_rm`
+//! and EXPERIMENTS.md §"Emulation calibration".
+
+use tufast_bench::datasets::{dataset, dataset_names};
+use tufast_bench::harness::{banner, fmt_rate, parse_args, Table};
+use tufast_bench::workloads::{calibrate_htm_tax, run_scheduler_suite, MicroWorkload};
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 14",
+        "scheduler throughput, RW workload (read and write the whole neighbourhood)",
+        "TuFast highest everywhere (paper: 2.0×–39.5× over the best alternative)",
+    );
+    let tax = calibrate_htm_tax();
+    println!("\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n", tax * 1e9);
+
+    let mut calibrated = Table::new(&[
+        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO", "TuFast/best-other",
+    ]);
+    let mut raw = Table::new(&[
+        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO",
+    ]);
+    for name in dataset_names() {
+        let d = dataset(name, args.scale_delta);
+        let results = run_scheduler_suite(&d.graph, args.threads, args.txns, MicroWorkload::ReadWrite);
+        let cal: Vec<f64> = results.iter().map(|(_, r)| r.calibrated_throughput(tax)).collect();
+        let tufast = cal[0];
+        let best_other = cal[1..].iter().copied().fold(0.0f64, f64::max);
+        let mut row = vec![name.to_string()];
+        row.extend(cal.iter().map(|&t| fmt_rate(t)));
+        row.push(format!("{:.2}x", tufast / best_other.max(1e-9)));
+        calibrated.row(&row);
+        let mut row = vec![name.to_string()];
+        row.extend(results.iter().map(|(_, r)| fmt_rate(r.throughput)));
+        raw.row(&row);
+    }
+    println!("hardware-calibrated throughput (the paper-comparable view):");
+    calibrated.print();
+    println!("\nraw wall-clock throughput (emulation tax included):");
+    raw.print();
+    println!("\n(RW workload; {} txns per scheduler per dataset; {} threads)", args.txns, args.threads);
+}

@@ -1,0 +1,64 @@
+//! Figure 15: TuFast execution-trace breakdown by mode class.
+//!
+//! For RM and RW, report committed transactions and committed operations
+//! per class H / O / O+ / O2L / L. Expected shape: transaction *counts*
+//! overwhelmingly H (power law: most vertices are small); operation
+//! *counts* show H and O both major, with L a small share of transactions
+//! whose individual sizes are huge.
+
+use std::sync::Arc;
+
+use tufast::{ModeClass, TuFast};
+use tufast_bench::datasets::dataset;
+use tufast_bench::harness::{banner, parse_args, Table};
+use tufast_bench::workloads::{run_micro, setup_micro, uniform_picker, MicroWorkload};
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 15",
+        "TuFast mode breakdown (committed txns and ops per class), RM and RW on twitter-s",
+        "txn counts dominated by H; op counts split across H and O; L few txns but huge ones",
+    );
+    let d = dataset("twitter-s", args.scale_delta);
+    for workload in [MicroWorkload::ReadMostly, MicroWorkload::ReadWrite] {
+        let (sys, values) = setup_micro(&d.graph);
+        let sched = TuFast::new(Arc::clone(&sys));
+        let (result, mut workers) = run_micro(
+            &d.graph,
+            &sched,
+            &sys,
+            &values,
+            args.threads,
+            args.txns,
+            workload,
+            uniform_picker(d.graph.num_vertices()),
+        );
+        let mut stats = tufast::TuFastStats::default();
+        for w in &mut workers {
+            stats.merge(&w.take_tufast_stats());
+        }
+        println!("\n--- workload {} ({} committed txns) ---", workload.label(), result.stats.commits);
+        let mut table = Table::new(&["class", "txns", "txn share", "ops", "op share"]);
+        let total_txns = stats.modes.total_txns().max(1);
+        let total_ops = stats.modes.total_ops().max(1);
+        for class in ModeClass::ALL {
+            table.row(&[
+                class.label().to_string(),
+                stats.modes.txns(class).to_string(),
+                format!("{:.2}%", 100.0 * stats.modes.txns(class) as f64 / total_txns as f64),
+                stats.modes.ops(class).to_string(),
+                format!("{:.2}%", 100.0 * stats.modes.ops(class) as f64 / total_ops as f64),
+            ]);
+        }
+        table.print();
+        println!(
+            "  HTM aborts: conflict={} capacity={} explicit={} spurious={}; restarts={}",
+            stats.htm.aborts_conflict,
+            stats.htm.aborts_capacity,
+            stats.htm.aborts_explicit,
+            stats.htm.aborts_spurious,
+            stats.sched.restarts,
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Laptop-scale stand-ins for the paper's Table II datasets.
+//!
+//! | Paper dataset | `|V|` | `|E|` | `|E|/|V|` | Stand-in |
+//! |---------------|-------|-------|-----------|----------|
+//! | friendster    | 65.6 M | 1 806 M | 27.5 | Barabási–Albert, m = 14 (symmetric ⇒ avg 28) |
+//! | twitter-mpi   | 52.6 M | 1 963 M | 37.3 | R-MAT (Graph500 skew) |
+//! | sk-2005       | 50.6 M | 1 949 M | 38.5 | R-MAT, stronger skew (web graph) |
+//! | uk-2007-05    | 105.8 M | 3 738 M | 35.3 | R-MAT, larger vertex set |
+//!
+//! The skew (power-law degree distribution) and average degree — the
+//! properties TuFast's routing exploits — are preserved; absolute sizes
+//! are ≈1/1000 of the paper's (DESIGN.md §2).
+
+use tufast_graph::{gen, Graph, GraphBuilder};
+
+/// A named evaluation graph.
+pub struct Dataset {
+    /// Stand-in name (paper dataset + `-s` for "scaled").
+    pub name: &'static str,
+    /// The paper dataset it stands in for.
+    pub paper_name: &'static str,
+    /// The directed graph with in-edges materialised.
+    pub graph: Graph,
+}
+
+/// Names of the four stand-ins, in the paper's Table II order.
+pub fn dataset_names() -> [&'static str; 4] {
+    ["friendster-s", "twitter-s", "sk-s", "uk-s"]
+}
+
+/// Build a dataset stand-in by name. `scale_delta ≤ 0` shrinks each graph
+/// by powers of two for quick runs.
+///
+/// # Panics
+/// On an unknown name.
+pub fn dataset(name: &str, scale_delta: i32) -> Dataset {
+    let delta = scale_delta.clamp(-6, 2);
+    let adj = |scale: u32| (scale as i32 + delta).max(6) as u32;
+    match name {
+        "friendster-s" => {
+            // friendster is an undirected friendship graph; symmetrising
+            // the preferential-attachment edges gives the power-law total
+            // degree (plain BA has constant *out*-degree) and avg ≈ 28,
+            // matching the paper's 27.5.
+            let n = 1usize << adj(16);
+            let ba = gen::barabasi_albert(n, 14, 0xF51E);
+            let mut b = GraphBuilder::new(n).with_edge_capacity(2 * ba.num_edges() as usize);
+            for (s, d) in ba.edges() {
+                b.add_edge(s, d);
+            }
+            Dataset {
+                name: "friendster-s",
+                paper_name: "friendster",
+                graph: b.symmetric().with_in_edges().build(),
+            }
+        }
+        "twitter-s" => Dataset {
+            name: "twitter-s",
+            paper_name: "twitter-mpi",
+            graph: rebuild_with_in_edges(&gen::rmat(adj(16), 37, 0x7117)),
+        },
+        "sk-s" => Dataset {
+            name: "sk-s",
+            paper_name: "sk-2005",
+            graph: rebuild_with_in_edges(&gen::rmat_with_params(adj(16), 38, 0.65, 0.15, 0.15, 0x5AAD)),
+        },
+        "uk-s" => Dataset {
+            name: "uk-s",
+            paper_name: "uk-2007-05",
+            graph: rebuild_with_in_edges(&gen::rmat(adj(17), 35, 0x0B2B)),
+        },
+        other => panic!("unknown dataset {other:?}; expected one of {:?}", dataset_names()),
+    }
+}
+
+/// Rebuild a generated graph with the reverse adjacency materialised
+/// (PageRank and WCC pull over in-edges).
+pub fn rebuild_with_in_edges(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(g.num_vertices()).with_edge_capacity(g.num_edges() as usize);
+    for (s, d) in g.edges() {
+        b.add_edge(s, d);
+    }
+    b.with_in_edges().build()
+}
+
+/// Undirected (symmetric) view of a dataset graph — for MIS, matching,
+/// triangle counting, as the paper does.
+pub fn symmetric_view(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::new(g.num_vertices()).with_edge_capacity(2 * g.num_edges() as usize);
+    for (s, d) in g.edges() {
+        b.add_edge(s, d);
+    }
+    b.symmetric().with_in_edges().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_stand_ins_build_at_reduced_scale() {
+        for name in dataset_names() {
+            let d = dataset(name, -6);
+            assert!(d.graph.num_vertices() > 0, "{name}");
+            assert!(d.graph.num_edges() > 0, "{name}");
+            assert!(d.graph.reverse().is_some(), "{name} needs in-edges");
+        }
+    }
+
+    #[test]
+    fn twitter_stand_in_is_skewed() {
+        let d = dataset("twitter-s", -5);
+        let (_, dmax) = d.graph.max_degree();
+        assert!(dmax as f64 > 10.0 * d.graph.avg_degree());
+    }
+
+    #[test]
+    fn symmetric_view_doubles_edges_roughly() {
+        let d = dataset("twitter-s", -6);
+        let sym = symmetric_view(&d.graph);
+        assert!(sym.num_edges() > d.graph.num_edges());
+        assert!(sym.num_edges() <= 2 * d.graph.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        dataset("nope", 0);
+    }
+}

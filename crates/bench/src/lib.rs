@@ -1,0 +1,21 @@
+//! # tufast-bench — the paper's evaluation, regenerated
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index). Binaries print self-describing text tables with the measured
+//! series next to the paper's qualitative expectation; EXPERIMENTS.md
+//! records a full paper-vs-measured comparison.
+//!
+//! All experiments run on seeded laptop-scale stand-ins of the paper's
+//! graphs (Table II at ≈1/1000 scale, matched average degree and skew).
+//! Pass `--scale -2 … 0` to the binaries to shrink the graphs further for
+//! quick runs; `--threads N` overrides the worker count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod harness;
+pub mod workloads;
+
+pub use datasets::{dataset, dataset_names, Dataset};
+pub use harness::{parse_args, BenchArgs, Table};

@@ -1,0 +1,313 @@
+//! H mode: the whole transaction inside one hardware transaction, with
+//! per-vertex lock subscription (paper Algorithm 1).
+//!
+//! On the first touch of a vertex the lock word is read *transactionally*
+//! (subscription): if the vertex is write-locked — or locked at all, for a
+//! write — the transaction aborts explicitly (an L/O-mode transaction owns
+//! it). Because the lock word is in the HTM read set, any later lock
+//! acquisition invalidates this transaction at commit, exactly like the
+//! cache-line invalidation real TSX relies on for lock elision.
+//!
+//! For every vertex it writes, H mode also *bumps the vertex's commit
+//! version transactionally*, so optimistic validators (O mode, OCC) observe
+//! H-mode commits without H ever taking a lock.
+
+use tufast_htm::{AbortCode, Addr, HtmCtx, WordMap};
+use tufast_txn::{LockWord, TxInterrupt, TxnOps, TxnSystem};
+
+use crate::VertexId;
+
+/// `XABORT` code raised when a subscribed vertex lock is busy.
+pub(crate) const ABORT_LOCK_BUSY: u8 = 0xB0;
+
+/// Result of one H-mode attempt.
+pub(crate) enum HAttempt {
+    /// Committed; carries the operation count of the successful execution.
+    Committed { ops: u64 },
+    /// The body called `user_abort`.
+    UserAborted,
+    /// HTM abort (subscription failures arrive as `Explicit(ABORT_LOCK_BUSY)`).
+    Aborted(AbortCode),
+}
+
+/// Reusable per-worker H-mode state (hoisted out of the per-attempt path:
+/// transaction rates make per-attempt allocation measurable).
+pub(crate) struct HScratch {
+    /// Vertices whose lock word we already subscribed (read mode).
+    subscribed: WordMap,
+    /// Vertices whose version we already bumped (write mode).
+    bumped: WordMap,
+}
+
+impl HScratch {
+    pub(crate) fn new() -> Self {
+        HScratch { subscribed: WordMap::with_capacity(16), bumped: WordMap::with_capacity(8) }
+    }
+}
+
+/// Transactional ops for one H-mode attempt.
+pub(crate) struct HModeOps<'a> {
+    ctx: &'a mut HtmCtx,
+    sys: &'a TxnSystem,
+    sched: &'a mut tufast_txn::SchedStats,
+    scratch: &'a mut HScratch,
+    last_abort: Option<AbortCode>,
+    ops: u64,
+}
+
+impl<'a> HModeOps<'a> {
+    fn new(
+        ctx: &'a mut HtmCtx,
+        sys: &'a TxnSystem,
+        sched: &'a mut tufast_txn::SchedStats,
+        scratch: &'a mut HScratch,
+    ) -> Self {
+        scratch.subscribed.clear();
+        scratch.bumped.clear();
+        HModeOps { ctx, sys, sched, scratch, last_abort: None, ops: 0 }
+    }
+
+    #[inline]
+    fn fail(&mut self, code: AbortCode) -> TxInterrupt {
+        self.last_abort = Some(code);
+        TxInterrupt::Restart
+    }
+
+    /// Subscribe `v` for reading: abort if write-locked.
+    fn subscribe_read(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        if self.scratch.subscribed.get(Addr(u64::from(v))).is_some()
+            || self.scratch.bumped.get(Addr(u64::from(v))).is_some()
+        {
+            return Ok(());
+        }
+        let lw = LockWord(self.ctx.read(self.sys.locks().addr(v)).map_err(|c| self.fail(c))?);
+        if lw.writer().is_some() {
+            let code = self.ctx.abort_explicit(ABORT_LOCK_BUSY);
+            return Err(self.fail(code));
+        }
+        self.scratch.subscribed.insert(Addr(u64::from(v)), 1);
+        Ok(())
+    }
+
+    /// Prepare `v` for writing: abort unless completely unlocked, then bump
+    /// its commit version inside the transaction.
+    fn subscribe_write(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        if self.scratch.bumped.get(Addr(u64::from(v))).is_some() {
+            return Ok(());
+        }
+        let addr = self.sys.locks().addr(v);
+        let lw = LockWord(self.ctx.read(addr).map_err(|c| self.fail(c))?);
+        if !lw.is_free() {
+            let code = self.ctx.abort_explicit(ABORT_LOCK_BUSY);
+            return Err(self.fail(code));
+        }
+        self.ctx.write(addr, lw.bumped().0).map_err(|c| self.fail(c))?;
+        self.scratch.bumped.insert(Addr(u64::from(v)), 1);
+        Ok(())
+    }
+}
+
+impl TxnOps for HModeOps<'_> {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.ops += 1;
+        self.sched.reads += 1;
+        if !self.ctx.in_tx() {
+            return Err(TxInterrupt::Restart);
+        }
+        self.subscribe_read(v)?;
+        self.ctx.read(addr).map_err(|c| self.fail(c))
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.ops += 1;
+        self.sched.writes += 1;
+        if !self.ctx.in_tx() {
+            return Err(TxInterrupt::Restart);
+        }
+        self.subscribe_write(v)?;
+        self.ctx.write(addr, val).map_err(|c| self.fail(c))
+    }
+}
+
+/// Run one H-mode attempt of `body`.
+pub(crate) fn attempt(
+    ctx: &mut HtmCtx,
+    sys: &TxnSystem,
+    sched: &mut tufast_txn::SchedStats,
+    scratch: &mut HScratch,
+    body: &mut tufast_txn::TxnBody<'_>,
+) -> HAttempt {
+    if ctx.begin().is_err() {
+        return HAttempt::Aborted(AbortCode::Conflict);
+    }
+    let mut ops = HModeOps::new(ctx, sys, sched, scratch);
+    match body(&mut ops) {
+        Ok(()) => {
+            let (n, last) = (ops.ops, ops.last_abort);
+            if !ctx.in_tx() {
+                return HAttempt::Aborted(last.unwrap_or(AbortCode::Conflict));
+            }
+            match ctx.commit() {
+                Ok(()) => HAttempt::Committed { ops: n },
+                Err(code) => HAttempt::Aborted(code),
+            }
+        }
+        Err(TxInterrupt::Restart) => {
+            let code = ops.last_abort.unwrap_or(AbortCode::Conflict);
+            if ctx.in_tx() {
+                ctx.abort_explicit(0xB1);
+            }
+            HAttempt::Aborted(code)
+        }
+        Err(TxInterrupt::UserAbort) => {
+            if ctx.in_tx() {
+                ctx.abort_explicit(0xBF);
+            }
+            HAttempt::UserAborted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tufast_htm::MemoryLayout;
+
+    fn setup(n_vertices: usize, words: u64) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("data", words);
+        let sys = TxnSystem::with_defaults(n_vertices, layout);
+        (sys, data)
+    }
+
+    /// Test shim: run an attempt with a throwaway stats sink.
+    fn attempt(
+        ctx: &mut tufast_htm::HtmCtx,
+        sys: &TxnSystem,
+        body: &mut tufast_txn::TxnBody<'_>,
+    ) -> HAttempt {
+        let mut sched = tufast_txn::SchedStats::default();
+        let mut scratch = HScratch::new();
+        super::attempt(ctx, sys, &mut sched, &mut scratch, body)
+    }
+
+    #[test]
+    fn commit_bumps_written_vertex_versions_only() {
+        let (sys, data) = setup(4, 32);
+        let mut ctx = sys.htm_ctx();
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?; // read vertex 0
+            ops.write(1, data.addr(1), x + 7) // write vertex 1
+        });
+        assert!(matches!(out, HAttempt::Committed { ops: 2 }));
+        assert_eq!(sys.mem().load_direct(data.addr(1)), 7);
+        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 0, "read-only vertex unbumped");
+        assert_eq!(sys.locks().peek(sys.mem(), 1).version(), 1, "written vertex bumped");
+    }
+
+    #[test]
+    fn write_locked_vertex_aborts_with_lock_busy() {
+        let (sys, data) = setup(2, 16);
+        sys.locks().try_exclusive(sys.mem(), 0, 77).unwrap();
+        let mut ctx = sys.htm_ctx();
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            ops.read(0, data.addr(0))?;
+            Ok(())
+        });
+        match out {
+            HAttempt::Aborted(AbortCode::Explicit(code)) => assert_eq!(code, ABORT_LOCK_BUSY),
+            other => panic!("expected lock-busy abort, got {:?}", matches!(other, HAttempt::Committed { .. })),
+        }
+    }
+
+    #[test]
+    fn read_locked_vertex_is_fine_for_reads_fatal_for_writes() {
+        let (sys, data) = setup(2, 16);
+        sys.locks().try_shared(sys.mem(), 0).unwrap();
+        let mut ctx = sys.htm_ctx();
+        // Reading a share-locked vertex is compatible.
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            ops.read(0, data.addr(0))?;
+            Ok(())
+        });
+        assert!(matches!(out, HAttempt::Committed { .. }));
+        // Writing it is not.
+        let out = attempt(&mut ctx, &sys, &mut |ops| ops.write(0, data.addr(0), 1));
+        assert!(matches!(out, HAttempt::Aborted(AbortCode::Explicit(ABORT_LOCK_BUSY))));
+    }
+
+    #[test]
+    fn lock_acquired_after_subscription_dooms_commit() {
+        let (sys, data) = setup(2, 16);
+        let mut ctx = sys.htm_ctx();
+        let mut poisoned = false;
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            ops.read(0, data.addr(0))?;
+            if !poisoned {
+                poisoned = true;
+                // An L-mode transaction grabs the lock mid-flight.
+                sys.locks().try_exclusive(sys.mem(), 0, 88).unwrap();
+                sys.mem().store_direct(data.addr(0), 999);
+                sys.locks().unlock_exclusive(sys.mem(), 0, 88, true);
+            }
+            // Touch something else so the attempt keeps going.
+            ops.read(1, data.addr(8))?;
+            Ok(())
+        });
+        assert!(matches!(out, HAttempt::Aborted(_)), "stale subscription must doom the commit");
+    }
+
+    #[test]
+    fn user_abort_discards_everything() {
+        let (sys, data) = setup(1, 8);
+        let mut ctx = sys.htm_ctx();
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            ops.write(0, data.addr(0), 42)?;
+            Err(ops.user_abort())
+        });
+        assert!(matches!(out, HAttempt::UserAborted));
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 0);
+        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 0);
+    }
+
+    #[test]
+    fn capacity_abort_reported_for_oversized_body() {
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 8 * 1024);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let mut ctx = sys.htm_ctx();
+        let out = attempt(&mut ctx, &sys, &mut |ops| {
+            for i in 0..1024u64 {
+                ops.read(0, big.addr(i * 8))?; // one word per line
+            }
+            Ok(())
+        });
+        assert!(matches!(out, HAttempt::Aborted(AbortCode::Capacity)));
+    }
+
+    #[test]
+    fn concurrent_h_mode_counter_is_exact() {
+        let (sys, data) = setup(1, 8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sys = Arc::clone(&sys);
+                s.spawn(move || {
+                    let mut ctx = sys.htm_ctx();
+                    let mut committed = 0;
+                    while committed < 500 {
+                        let out = attempt(&mut ctx, &sys, &mut |ops| {
+                            let x = ops.read(0, data.addr(0))?;
+                            ops.write(0, data.addr(0), x + 1)
+                        });
+                        if matches!(out, HAttempt::Committed { .. }) {
+                            committed += 1;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 2000);
+        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 2000);
+    }
+}

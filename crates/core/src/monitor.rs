@@ -1,0 +1,136 @@
+//! Online contention monitoring and the `period` model (paper §IV-D).
+//!
+//! Model: an ongoing HTM piece aborts on its next operation with
+//! probability `p`. Committing after `P` operations banks `P` operations
+//! with probability `(1-p)^P`, so the expected committed work is
+//! `E[W] = (1-p)^P · P`, maximised at `P* = -1/ln(1-p) ≈ 1/p`.
+//!
+//! The monitor tracks `p` as an exponentially-weighted moving average of
+//! observed (aborts / operations) inside O-mode pieces, so the suggested
+//! initial `period` follows workload drift — the effect the paper's
+//! Figure 17 shows on PageRank, where late iterations concentrate on
+//! high-degree, high-contention vertices and a static period loses
+//! throughput.
+
+/// EWMA weight of a new observation window.
+const ALPHA: f64 = 0.2;
+/// Operations to accumulate before folding a window into the EWMA.
+const WINDOW_OPS: u64 = 256;
+
+/// Per-worker contention monitor.
+#[derive(Clone, Debug)]
+pub struct ContentionMonitor {
+    /// Smoothed per-operation abort probability.
+    p: f64,
+    window_ops: u64,
+    window_aborts: u64,
+    min_period: u32,
+    max_period: u32,
+}
+
+impl ContentionMonitor {
+    /// Create a monitor clamping suggestions to `[min_period, max_period]`.
+    pub fn new(min_period: u32, max_period: u32) -> Self {
+        ContentionMonitor {
+            // Optimistic prior: roughly one abort per max-size piece.
+            p: 1.0 / f64::from(max_period.max(2)),
+            window_ops: 0,
+            window_aborts: 0,
+            min_period,
+            max_period,
+        }
+    }
+
+    /// Record `ops` HTM-piece operations of which `aborts` ended in an
+    /// abort. Folds into the EWMA once enough evidence accumulates.
+    pub fn observe(&mut self, ops: u64, aborts: u64) {
+        self.window_ops += ops;
+        self.window_aborts += aborts;
+        if self.window_ops >= WINDOW_OPS {
+            let sample = self.window_aborts as f64 / self.window_ops as f64;
+            self.p = (1.0 - ALPHA) * self.p + ALPHA * sample;
+            self.window_ops = 0;
+            self.window_aborts = 0;
+        }
+    }
+
+    /// Current smoothed per-operation abort probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The `period` maximising expected committed work under the current
+    /// `p`: `P* = round(-1/ln(1-p))`, clamped to the configured range.
+    pub fn suggest_period(&self) -> u32 {
+        let p = self.p.clamp(1e-9, 0.999_999);
+        let raw = -1.0 / (1.0 - p).ln();
+        let rounded = raw.round().max(1.0).min(f64::from(u32::MAX)) as u32;
+        rounded.clamp(self.min_period, self.max_period)
+    }
+}
+
+/// Expected committed operations for a piece of length `period` under
+/// per-operation abort probability `p` — exposed for the model-validation
+/// bench (it plots `E[W]` and checks the argmax lands on
+/// [`ContentionMonitor::suggest_period`]).
+pub fn expected_committed_work(p: f64, period: u32) -> f64 {
+    (1.0 - p).powi(period as i32) * f64::from(period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggestion_tracks_one_over_p() {
+        let mut m = ContentionMonitor::new(1, 1_000_000);
+        // Saturate the EWMA with p = 0.01 evidence.
+        for _ in 0..200 {
+            m.observe(100, 1);
+        }
+        assert!((m.p() - 0.01).abs() < 0.003, "p = {}", m.p());
+        let period = m.suggest_period();
+        // -1/ln(0.99) ≈ 99.5.
+        assert!((80..=130).contains(&period), "period = {period}");
+    }
+
+    #[test]
+    fn clamps_to_configured_range() {
+        let mut low = ContentionMonitor::new(100, 4096);
+        for _ in 0..200 {
+            low.observe(100, 50); // p ≈ 0.5 → P* ≈ 1
+        }
+        assert_eq!(low.suggest_period(), 100);
+
+        let mut high = ContentionMonitor::new(100, 4096);
+        for _ in 0..200 {
+            high.observe(1000, 0); // p → 0 → P* → ∞
+        }
+        assert_eq!(high.suggest_period(), 4096);
+    }
+
+    #[test]
+    fn argmax_of_expected_work_matches_suggestion() {
+        for &p in &[0.002, 0.01, 0.05] {
+            let mut m = ContentionMonitor::new(1, 1_000_000);
+            for _ in 0..500 {
+                m.observe(1000, (1000.0 * p) as u64);
+            }
+            let suggested = m.suggest_period();
+            let e_at = |q: u32| expected_committed_work(m.p(), q);
+            // The suggestion must beat periods 2× away on either side.
+            assert!(e_at(suggested) >= e_at(suggested * 2) * 0.999, "p={p}");
+            assert!(e_at(suggested) >= e_at((suggested / 2).max(1)) * 0.999, "p={p}");
+        }
+    }
+
+    #[test]
+    fn window_accumulates_before_folding() {
+        let mut m = ContentionMonitor::new(1, 10_000);
+        let p0 = m.p();
+        m.observe(10, 10); // far below WINDOW_OPS: no fold yet
+        assert_eq!(m.p(), p0);
+        m.observe(WINDOW_OPS, 0); // now it folds
+        assert_ne!(m.p(), p0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Parallel drivers: the paper's `parallel_for v : all vertices` (Figure 1)
+//! and the work-queue loop behind Bellman-Ford / SPFA (Figure 3).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+use tufast_txn::GraphScheduler;
+
+/// Dynamic chunk size for `parallel_for` (grabbed atomically by idle
+/// threads, so stragglers on hub vertices don't stall the range).
+const CHUNK: usize = 256;
+
+/// Run `f(worker, v)` for every `v in 0..n` on `threads` threads, each with
+/// its own scheduler worker. Returns one worker per thread after the loop,
+/// so callers can harvest statistics.
+pub fn parallel_for<S, F>(sched: &S, threads: usize, n: usize, f: F) -> Vec<S::Worker>
+where
+    S: GraphScheduler,
+    F: Fn(&mut S::Worker, u32) + Sync,
+{
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut worker = sched.worker();
+                s.spawn(move || {
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n);
+                        for v in start..end {
+                            f(&mut worker, v as u32);
+                        }
+                    }
+                    worker
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel_for worker panicked")).collect()
+    })
+}
+
+/// A concurrent work pool with quiescence detection: the processing loop
+/// ends only when the queue is empty *and* no in-flight task might push
+/// more (the asynchronous-algorithm driver behind BFS/SSSP/components).
+pub trait WorkPool: Sync {
+    /// Add one unit of work.
+    fn push(&self, v: u32);
+    /// Take one unit, or `None` if currently empty.
+    fn pop(&self) -> Option<u32>;
+    /// Units pushed but not yet fully processed.
+    fn pending(&self) -> usize;
+    /// Mark one unit fully processed (after any re-pushes it triggered).
+    fn done(&self);
+}
+
+/// FIFO pool (Bellman-Ford flavour).
+pub struct FifoPool {
+    queue: SegQueue<u32>,
+    pending: AtomicUsize,
+}
+
+impl FifoPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        FifoPool { queue: SegQueue::new(), pending: AtomicUsize::new(0) }
+    }
+}
+
+impl Default for FifoPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkPool for FifoPool {
+    fn push(&self, v: u32) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queue.push(v);
+    }
+
+    fn pop(&self) -> Option<u32> {
+        self.queue.pop()
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    fn done(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Priority pool (SPFA flavour): lowest key first — e.g. tentative
+/// distance, so relaxation work flows outward from the source.
+pub struct PriorityPool {
+    heap: parking_lot_shim::Mutex<BinaryHeap<std::cmp::Reverse<(u64, u32)>>>,
+    pending: AtomicUsize,
+    /// Keys for pushes made through the keyless [`WorkPool::push`].
+    default_key: AtomicU64,
+}
+
+// `parking_lot` is already a workspace dependency of tufast-txn; keep this
+// crate's dependency list minimal by shimming over std's mutex (uncontended
+// cost is comparable for the driver's coarse usage).
+mod parking_lot_shim {
+    /// Minimal poison-free mutex over `std::sync::Mutex`.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+impl PriorityPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PriorityPool {
+            heap: parking_lot_shim::Mutex::new(BinaryHeap::new()),
+            pending: AtomicUsize::new(0),
+            default_key: AtomicU64::new(0),
+        }
+    }
+
+    /// Add work with an explicit priority key (smaller = sooner).
+    pub fn push_with_key(&self, v: u32, key: u64) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.heap.lock().push(std::cmp::Reverse((key, v)));
+    }
+}
+
+impl Default for PriorityPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkPool for PriorityPool {
+    fn push(&self, v: u32) {
+        // Keyless pushes get monotonically increasing keys (FIFO-ish).
+        let key = self.default_key.fetch_add(1, Ordering::Relaxed);
+        self.push_with_key(v, key);
+    }
+
+    fn pop(&self) -> Option<u32> {
+        self.heap.lock().pop().map(|std::cmp::Reverse((_, v))| v)
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    fn done(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Drain `pool` on `threads` threads: `f(worker, v)` may push more work.
+/// Returns the workers when the pool is quiescent (empty and nothing in
+/// flight).
+pub fn parallel_drain<S, P, F>(sched: &S, pool: &P, threads: usize, f: F) -> Vec<S::Worker>
+where
+    S: GraphScheduler,
+    P: WorkPool,
+    F: Fn(&mut S::Worker, &P, u32) + Sync,
+{
+    let threads = threads.max(1);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut worker = sched.worker();
+                s.spawn(move || {
+                    let mut idle_spins = 0u32;
+                    loop {
+                        match pool.pop() {
+                            Some(v) => {
+                                idle_spins = 0;
+                                f(&mut worker, pool, v);
+                                pool.done();
+                            }
+                            None => {
+                                if pool.pending() == 0 {
+                                    break; // quiescent: nothing queued or in flight
+                                }
+                                idle_spins += 1;
+                                if idle_spins > 64 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                    worker
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel_drain worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tufast_htm::MemoryLayout;
+    use tufast_txn::{TwoPhaseLocking, TxnOps, TxnSystem, TxnWorker};
+
+    fn system(words: u64, vertices: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("data", words);
+        (TxnSystem::with_defaults(vertices, layout), data)
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let (sys, data) = system(1024, 1024);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        parallel_for(&sched, 4, 1024, |w, v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(v, data.addr(u64::from(v)))?;
+                ops.write(v, data.addr(u64::from(v)), x + 1)
+            });
+        });
+        for i in 0..1024 {
+            assert_eq!(sys.mem().load_direct(data.addr(i)), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_handles_n_smaller_than_chunk() {
+        let (sys, data) = system(8, 8);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let workers = parallel_for(&sched, 8, 3, |w, v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(v, data.addr(u64::from(v)))?;
+                ops.write(v, data.addr(u64::from(v)), x + 10)
+            });
+        });
+        assert_eq!(workers.len(), 8);
+        let total: u64 = (0..8).map(|i| sys.mem().load_direct(data.addr(i))).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn fifo_pool_drains_with_repushes() {
+        // Start with one token that spawns a bounded tree of work.
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        pool.push(0);
+        parallel_drain(&sched, &pool, 4, |w, pool, v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(0, data.addr(0))?;
+                ops.write(0, data.addr(0), x + 1)
+            });
+            // Each token < 100 spawns two children, capped.
+            if v < 100 {
+                pool.push(v * 2 + 101);
+                pool.push(v * 2 + 102);
+            }
+        });
+        assert_eq!(pool.pending(), 0);
+        // Tokens processed: 1 root + 2 children.
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 3);
+    }
+
+    #[test]
+    fn priority_pool_orders_by_key() {
+        let pool = PriorityPool::new();
+        pool.push_with_key(30, 30);
+        pool.push_with_key(10, 10);
+        pool.push_with_key(20, 20);
+        assert_eq!(pool.pop(), Some(10));
+        assert_eq!(pool.pop(), Some(20));
+        assert_eq!(pool.pop(), Some(30));
+        assert_eq!(pool.pop(), None);
+    }
+
+    #[test]
+    fn drain_counts_every_token_exactly_once() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        for v in 0..500u32 {
+            pool.push(v);
+        }
+        parallel_drain(&sched, &pool, 6, |w, _pool, _v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(0, data.addr(0))?;
+                ops.write(0, data.addr(0), x + 1)
+            });
+        });
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 500);
+    }
+}

@@ -1,0 +1,163 @@
+//! Mode-breakdown accounting (paper Figure 15).
+
+/// The five commit classes of the paper's Figure 15.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModeClass {
+    /// Committed in H mode.
+    H,
+    /// Committed in O mode at the first O attempt (initial `period`).
+    O,
+    /// Committed in O mode after at least one `period` adjustment.
+    OPlus,
+    /// Entered O mode, exhausted it, and finally committed in L mode.
+    O2L,
+    /// Committed in L mode directly (size hint too large for H/O).
+    L,
+}
+
+impl ModeClass {
+    /// All classes in the paper's plotting order.
+    pub const ALL: [ModeClass; 5] = [ModeClass::H, ModeClass::O, ModeClass::OPlus, ModeClass::O2L, ModeClass::L];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModeClass::H => "H",
+            ModeClass::O => "O",
+            ModeClass::OPlus => "O+",
+            ModeClass::O2L => "O2L",
+            ModeClass::L => "L",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            ModeClass::H => 0,
+            ModeClass::O => 1,
+            ModeClass::OPlus => 2,
+            ModeClass::O2L => 3,
+            ModeClass::L => 4,
+        }
+    }
+}
+
+/// Committed-transaction counts and operation counts per mode class —
+/// the two panels of the paper's Figure 15.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModeBreakdown {
+    txns: [u64; 5],
+    ops: [u64; 5],
+}
+
+impl ModeBreakdown {
+    /// Record one committed transaction of `class` that performed `ops`
+    /// read/write operations.
+    pub fn record(&mut self, class: ModeClass, ops: u64) {
+        self.txns[class.index()] += 1;
+        self.ops[class.index()] += ops;
+    }
+
+    /// Committed transactions in `class`.
+    pub fn txns(&self, class: ModeClass) -> u64 {
+        self.txns[class.index()]
+    }
+
+    /// Operations committed in `class`.
+    pub fn ops(&self, class: ModeClass) -> u64 {
+        self.ops[class.index()]
+    }
+
+    /// Total committed transactions.
+    pub fn total_txns(&self) -> u64 {
+        self.txns.iter().sum()
+    }
+
+    /// Total committed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Fold another worker's breakdown into this one.
+    pub fn merge(&mut self, other: &ModeBreakdown) {
+        for i in 0..5 {
+            self.txns[i] += other.txns[i];
+            self.ops[i] += other.ops[i];
+        }
+    }
+}
+
+/// Everything a TuFast worker counts: the cross-scheduler
+/// [`SchedStats`](tufast_txn::SchedStats), the Figure 15 breakdown, and the
+/// emulated-HTM counters.
+#[derive(Clone, Debug, Default)]
+pub struct TuFastStats {
+    /// Cross-scheduler counters (commits, restarts, reads, writes…).
+    pub sched: tufast_txn::SchedStats,
+    /// Per-mode commit accounting.
+    pub modes: ModeBreakdown,
+    /// Emulated-HTM counters (aborts by cause, extensions…).
+    pub htm: tufast_htm::HtmStats,
+    /// `period` values chosen at O-mode entry (sum and count, for the
+    /// adaptive-period trace of Figure 17).
+    pub period_sum: u64,
+    /// Number of O-mode entries contributing to `period_sum`.
+    pub period_samples: u64,
+}
+
+impl TuFastStats {
+    /// Mean `period` chosen at O-mode entry.
+    pub fn mean_period(&self) -> f64 {
+        if self.period_samples == 0 {
+            0.0
+        } else {
+            self.period_sum as f64 / self.period_samples as f64
+        }
+    }
+
+    /// Fold another worker's stats into this one.
+    pub fn merge(&mut self, other: &TuFastStats) {
+        self.sched.merge(&other.sched);
+        self.modes.merge(&other.modes);
+        self.htm.merge(&other.htm);
+        self.period_sum += other.period_sum;
+        self.period_samples += other.period_samples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_records_and_merges() {
+        let mut a = ModeBreakdown::default();
+        a.record(ModeClass::H, 10);
+        a.record(ModeClass::H, 5);
+        a.record(ModeClass::L, 1000);
+        assert_eq!(a.txns(ModeClass::H), 2);
+        assert_eq!(a.ops(ModeClass::H), 15);
+        assert_eq!(a.total_txns(), 3);
+        assert_eq!(a.total_ops(), 1015);
+
+        let mut b = ModeBreakdown::default();
+        b.record(ModeClass::OPlus, 7);
+        a.merge(&b);
+        assert_eq!(a.txns(ModeClass::OPlus), 1);
+        assert_eq!(a.total_txns(), 4);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<&str> = ModeClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["H", "O", "O+", "O2L", "L"]);
+    }
+
+    #[test]
+    fn mean_period_handles_empty() {
+        let s = TuFastStats::default();
+        assert_eq!(s.mean_period(), 0.0);
+        let s = TuFastStats { period_sum: 3000, period_samples: 3, ..Default::default() };
+        assert!((s.mean_period() - 1000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,473 @@
+//! The three-mode router (paper §IV-C, Figure 10).
+
+use std::sync::Arc;
+
+use tufast_htm::AbortCode;
+use tufast_txn::{
+    GraphScheduler, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome, TxnSystem, TxnWorker,
+};
+
+use crate::config::TuFastConfig;
+use crate::hmode::{self, HAttempt, HScratch};
+use crate::monitor::ContentionMonitor;
+use crate::omode::{self, OAttempt, OFailCode, OScratch};
+use crate::stats::{ModeClass, TuFastStats};
+
+/// The TuFast hybrid transactional memory.
+///
+/// Implements [`GraphScheduler`], so it is a drop-in replacement for any of
+/// the baseline schedulers in `tufast-txn` — same transaction bodies, same
+/// shared [`TxnSystem`].
+pub struct TuFast {
+    sys: Arc<TxnSystem>,
+    config: TuFastConfig,
+}
+
+impl TuFast {
+    /// TuFast with default parameters over a shared system.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        Self::with_config(sys, TuFastConfig::default())
+    }
+
+    /// TuFast with explicit parameters.
+    pub fn with_config(sys: Arc<TxnSystem>, config: TuFastConfig) -> Self {
+        config.validate();
+        TuFast { sys, config }
+    }
+
+    /// The shared system (to build value regions, inspect memory, …).
+    pub fn system(&self) -> &Arc<TxnSystem> {
+        &self.sys
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TuFastConfig {
+        &self.config
+    }
+}
+
+impl GraphScheduler for TuFast {
+    type Worker = TuFastWorker;
+
+    fn worker(&self) -> TuFastWorker {
+        let l_sched = if self.config.ordered_l_mode {
+            TwoPhaseLocking::new_ordered(Arc::clone(&self.sys))
+        } else {
+            TwoPhaseLocking::new(Arc::clone(&self.sys))
+        };
+        let l_worker = l_sched.worker();
+        TuFastWorker {
+            me: self.sys.new_worker_id(),
+            ctx: self.sys.htm_ctx(),
+            monitor: ContentionMonitor::new(self.config.min_period, self.config.max_period),
+            l_worker,
+            h_scratch: HScratch::new(),
+            o_scratch: OScratch::new(),
+            period_cap: self.config.max_period,
+            h_hint_cap: self.config.h_max_hint_words,
+            sys: Arc::clone(&self.sys),
+            config: self.config.clone(),
+            stats: TuFastStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TuFast"
+    }
+}
+
+/// Per-thread TuFast execution state: an HTM context, a contention monitor,
+/// and an embedded L-mode (2PL) worker.
+pub struct TuFastWorker {
+    sys: Arc<TxnSystem>,
+    config: TuFastConfig,
+    me: u32,
+    ctx: tufast_htm::HtmCtx,
+    monitor: ContentionMonitor,
+    l_worker: <TwoPhaseLocking as GraphScheduler>::Worker,
+    h_scratch: HScratch,
+    o_scratch: OScratch,
+    /// Learned upper bound on `period` from observed capacity overflows
+    /// (piece footprints depend on the workload's line locality, which the
+    /// pure contention model cannot see). Recovers slowly on success.
+    period_cap: u32,
+    /// Learned size-hint bound for entering H mode: hints above this have
+    /// been observed to capacity-abort, so H is skipped (the paper's
+    /// "unless the size of transaction makes H mode impossible").
+    h_hint_cap: usize,
+    stats: TuFastStats,
+}
+
+impl TuFastWorker {
+    /// Full TuFast statistics (mode breakdown, HTM counters, period trace),
+    /// taking and resetting them.
+    pub fn take_tufast_stats(&mut self) -> TuFastStats {
+        let mut out = std::mem::take(&mut self.stats);
+        out.htm = self.ctx.take_stats();
+        out
+    }
+
+    /// Current smoothed per-operation HTM abort probability (the adaptive
+    /// period input; paper Figure 17).
+    pub fn contention_p(&self) -> f64 {
+        self.monitor.p()
+    }
+
+    /// The `period` the worker would choose right now.
+    ///
+    /// The learned capacity cap is part of the *adaptive* machinery
+    /// (paper §IV-D); a static configuration uses its period verbatim and
+    /// rediscovers capacity limits per transaction, exactly like the
+    /// paper's static baseline in Figure 17.
+    pub fn current_period(&self) -> u32 {
+        if self.config.adaptive_period {
+            self.monitor.suggest_period().min(self.period_cap).max(self.config.min_period)
+        } else {
+            self.config.static_period
+        }
+    }
+
+    /// Run in L mode, folding its per-transaction ops into `class`.
+    fn run_l(&mut self, hint: usize, class: ModeClass, attempts_so_far: u32, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let out = self.l_worker.execute(hint, body);
+        // Drain the inner 2PL worker's counters into ours immediately, so
+        // `stats()` is always complete and nothing is counted twice.
+        let delta = self.l_worker.take_stats();
+        let ops = delta.reads + delta.writes;
+        self.stats.sched.merge(&delta);
+        if out.committed {
+            self.stats.modes.record(class, ops);
+        }
+        TxnOutcome { committed: out.committed, attempts: attempts_so_far + out.attempts }
+    }
+}
+
+impl TxnWorker for TuFastWorker {
+    fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let hint = size_hint.max(1);
+        let mut attempts = 0u32;
+
+        // Entry decision (Figure 10): size hints beyond O-mode reach go
+        // straight to L mode.
+        if hint > self.config.o_max_hint_words {
+            return self.run_l(hint, ModeClass::L, attempts, body);
+        }
+
+        // ---- H mode (skipped when the hint alone guarantees overflow,
+        // statically or per the learned capacity bound).
+        if hint <= self.config.h_max_hint_words.min(self.h_hint_cap) {
+            let mut tries = 0;
+            while tries < self.config.h_retries {
+                tries += 1;
+                attempts += 1;
+                match hmode::attempt(&mut self.ctx, &self.sys, &mut self.stats.sched, &mut self.h_scratch, body) {
+                    HAttempt::Committed { ops } => {
+                        self.stats.modes.record(ModeClass::H, ops);
+                        self.stats.sched.commits += 1;
+                        // Slow recovery of the learned H bound.
+                        if hint * 2 > self.h_hint_cap {
+                            self.h_hint_cap =
+                                (self.h_hint_cap + self.h_hint_cap / 16).min(self.config.h_max_hint_words);
+                        }
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    HAttempt::UserAborted => {
+                        self.stats.sched.user_aborts += 1;
+                        return TxnOutcome { committed: false, attempts };
+                    }
+                    HAttempt::Aborted(code) => {
+                        self.stats.sched.restarts += 1;
+                        if code == AbortCode::Capacity {
+                            // Deterministic on retry: proceed to O now, and
+                            // skip H for future hints this large.
+                            self.h_hint_cap = (hint * 3 / 4).max(64);
+                            break;
+                        }
+                        tufast_txn::backoff(tries, self.me);
+                    }
+                }
+            }
+        }
+
+        // ---- O mode with period halving.
+        let initial_period = self.current_period();
+        self.stats.period_sum += u64::from(initial_period);
+        self.stats.period_samples += 1;
+        let mut period = initial_period;
+        let mut adjusted = false;
+        let mut o_tries = 0;
+        while o_tries < self.config.o_retries && period >= self.config.min_period {
+            o_tries += 1;
+            attempts += 1;
+            match omode::attempt(
+                &mut self.ctx,
+                &self.sys,
+                self.me,
+                period,
+                self.config.value_validation,
+                &mut self.o_scratch,
+                body,
+            ) {
+                OAttempt::Committed { ops, pieces } => {
+                    self.monitor.observe(ops, 0);
+                    // Slow recovery of the learned capacity cap.
+                    self.period_cap = (self.period_cap + self.period_cap / 16).min(self.config.max_period);
+                    self.stats.sched.reads += ops; // O-level op split is read-dominated; see DESIGN.md
+                    let class = if adjusted { ModeClass::OPlus } else { ModeClass::O };
+                    self.stats.modes.record(class, ops);
+                    self.stats.sched.commits += 1;
+                    let _ = pieces;
+                    return TxnOutcome { committed: true, attempts };
+                }
+                OAttempt::UserAborted => {
+                    self.stats.sched.user_aborts += 1;
+                    return TxnOutcome { committed: false, attempts };
+                }
+                OAttempt::Failed { code, ops, fit_period } => {
+                    self.stats.sched.restarts += 1;
+                    self.stats.sched.reads += ops;
+                    // Capacity overflow is deterministic in the piece size,
+                    // not evidence of contention: jump straight to a
+                    // fitting period and keep the monitor clean. Conflicts
+                    // feed the monitor and halve the period (paper §IV-D).
+                    match fit_period {
+                        Some(fit) => {
+                            // Deterministic overflow: adopt the fitting
+                            // period even below the floor — the loop guard
+                            // then proceeds to L, as the paper prescribes,
+                            // instead of re-running a doomed piece size.
+                            period = period.min(fit);
+                            self.period_cap = period.max(self.config.min_period);
+                        }
+                        None => {
+                            let contention_abort = matches!(
+                                code,
+                                OFailCode::Htm(_) | OFailCode::LockBusy | OFailCode::Validation
+                            );
+                            self.monitor.observe(ops.max(1), u64::from(contention_abort));
+                            period /= 2;
+                        }
+                    }
+                    adjusted = true;
+                    tufast_txn::backoff(o_tries, self.me);
+                }
+            }
+        }
+
+        // ---- L mode (after O gave up).
+        self.run_l(hint, ModeClass::O2L, attempts, body)
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats.sched
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats).sched
+    }
+
+    fn htm_ops(&self) -> u64 {
+        // H-mode data reads/writes, lock subscriptions, and O-mode piece
+        // reads all run inside emulated hardware transactions.
+        let h = self.ctx.stats();
+        h.reads + h.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+    use tufast_txn::TxnOps;
+
+    fn setup(n_vertices: usize, words: u64) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("data", words);
+        let sys = TxnSystem::with_defaults(n_vertices, layout);
+        (sys, data)
+    }
+
+    #[test]
+    fn small_transaction_lands_in_h_mode() {
+        let (sys, data) = setup(4, 32);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let out = w.execute(4, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.modes.txns(ModeClass::H), 1);
+        assert_eq!(stats.modes.total_txns(), 1);
+    }
+
+    #[test]
+    fn medium_transaction_lands_in_o_mode() {
+        // Hint above H threshold but below O threshold: skips H entirely.
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 100_000);
+        let sys = TxnSystem::with_defaults(4, layout);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let out = w.execute(10_000, &mut |ops| {
+            let mut sum = 0u64;
+            for i in 0..5_000u64 {
+                sum = sum.wrapping_add(ops.read(0, big.addr(i * 8))?);
+            }
+            ops.write(1, big.addr(1), sum + 1)
+        });
+        assert!(out.committed);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus), 1);
+        assert_eq!(stats.modes.txns(ModeClass::H), 0);
+    }
+
+    #[test]
+    fn huge_hint_goes_straight_to_l() {
+        let (sys, data) = setup(2, 16);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        // Hint above o_max (262144 by default): body itself is tiny, but
+        // the router must trust the hint (the paper's Figure 10 entry arc).
+        let out = w.execute(1_000_000, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.modes.txns(ModeClass::L), 1);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 1);
+    }
+
+    #[test]
+    fn capacity_overflow_routes_h_to_o() {
+        // Small hint (so H is tried) but a body that overflows HTM: must
+        // end up committed via O after exactly one H capacity abort.
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 64 * 1024);
+        let sys = TxnSystem::with_defaults(2, layout);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let out = w.execute(16, &mut |ops| {
+            let mut sum = 0u64;
+            for i in 0..2_000u64 {
+                sum = sum.wrapping_add(ops.read(0, big.addr(i * 8))?);
+            }
+            ops.write(1, big.addr(1), sum)
+        });
+        assert!(out.committed);
+        let stats = w.take_tufast_stats();
+        // H must have capacity-aborted exactly once (no blind H retries);
+        // O-mode pieces may add further capacity aborts while the period
+        // halves into range.
+        assert!(stats.htm.aborts_capacity >= 1);
+        assert!(stats.sched.restarts >= 1);
+        assert_eq!(stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus), 1);
+    }
+
+    #[test]
+    fn user_abort_propagates_from_any_mode() {
+        let (sys, data) = setup(2, 16);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        for hint in [2usize, 1_000_000] {
+            let out = w.execute(hint, &mut |ops| {
+                ops.write(0, data.addr(0), 77)?;
+                Err(ops.user_abort())
+            });
+            assert!(!out.committed, "hint {hint}");
+            assert_eq!(sys.mem().load_direct(data.addr(0)), 0, "hint {hint}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_sizes_preserve_counter() {
+        // Small H-mode increments race with O-mode scans and L-mode
+        // monsters, all touching one counter.
+        let mut layout = MemoryLayout::new();
+        let counter = layout.alloc("counter", 1);
+        let filler = layout.alloc("filler", 80_000);
+        let sys = TxnSystem::with_defaults(4, layout);
+        let tufast = Arc::new(TuFast::new(Arc::clone(&sys)));
+        let small = 4u64;
+        let per_small = 200u64;
+        std::thread::scope(|s| {
+            for _ in 0..small {
+                let tufast = Arc::clone(&tufast);
+                s.spawn(move || {
+                    let mut w = tufast.worker();
+                    for _ in 0..per_small {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, counter.addr(0))?;
+                            ops.write(0, counter.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+            for t in 0..2u64 {
+                let tufast = Arc::clone(&tufast);
+                s.spawn(move || {
+                    let mut w = tufast.worker();
+                    for _ in 0..10 {
+                        // Medium: O-mode scan + increment.
+                        w.execute(12_000, &mut |ops| {
+                            let x = ops.read(0, counter.addr(0))?;
+                            let mut sum = 0u64;
+                            for i in 0..3_000u64 {
+                                sum = sum.wrapping_add(ops.read(1, filler.addr(i * 8 + t))?);
+                            }
+                            ops.write(0, counter.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+            {
+                let tufast = Arc::clone(&tufast);
+                s.spawn(move || {
+                    let mut w = tufast.worker();
+                    for _ in 0..5 {
+                        // Huge hint: L mode.
+                        w.execute(1_000_000, &mut |ops| {
+                            let x = ops.read(0, counter.addr(0))?;
+                            ops.write(0, counter.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sys.mem().load_direct(counter.addr(0)),
+            small * per_small + 2 * 10 + 5
+        );
+        for v in 0..4u32 {
+            assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");
+        }
+    }
+
+    #[test]
+    fn period_halving_reaches_l_mode_under_sabotage() {
+        // A body that always invalidates its own O-mode read set commits
+        // only via L; the breakdown must say O2L.
+        let (sys, data) = setup(2, 16);
+        let config = TuFastConfig { h_retries: 1, o_retries: 2, ..TuFastConfig::default() };
+        let tufast = TuFast::with_config(Arc::clone(&sys), config);
+        let mut w = tufast.worker();
+        let sys2 = Arc::clone(&sys);
+        let out = w.execute(8_000, &mut |ops| {
+            // hint 8000 > 4096: skips H, goes to O.
+            let x = ops.read(0, data.addr(0))?;
+            // Sabotage: bump vertex 0's version so O validation fails.
+            // (Fails silently once L mode holds the lock — by then the
+            // sabotage has done its job.)
+            if sys2.locks().try_exclusive(sys2.mem(), 0, 90).is_ok() {
+                sys2.locks().unlock_exclusive(sys2.mem(), 0, 90, true);
+            }
+            ops.write(1, data.addr(1), x + 1)
+        });
+        assert!(out.committed, "L mode must eventually commit");
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.modes.txns(ModeClass::O2L), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! A Polymer-like variant of the frontier engine.
+//!
+//! Polymer is "a NUMA-aware graph computing system" (paper §VI-A): Ligra's
+//! model with vertex data and work statically partitioned per socket so
+//! that threads touch NUMA-local memory. True NUMA effects cannot be
+//! reproduced on one socket (DESIGN.md §2); what *is* architectural — and
+//! implemented here — is the static owner-computes partitioning: each
+//! thread owns a fixed contiguous vertex range and processes exactly the
+//! frontier members in its range, instead of Ligra's dynamic chunk
+//! stealing. On skewed graphs the static split load-imbalances on hubs,
+//! which is the qualitative behaviour the paper reports (Polymer "suffers
+//! from same performance issue that slows down Ligra or Galois").
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tufast_graph::{Graph, VertexId};
+
+use crate::common::{atomic_min, atomic_vec};
+use crate::ligra::Frontier;
+
+/// Run `f(v)` for every member of `frontier`, with members statically
+/// assigned to threads by owner range (owner-computes).
+pub fn static_vertex_map(n: usize, frontier: &Frontier, threads: usize, f: impl Fn(VertexId) + Sync) {
+    let threads = threads.max(1);
+    let per = n.div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = (t * per) as VertexId;
+            let hi = (((t + 1) * per).min(n)) as VertexId;
+            let f = &f;
+            let members = frontier.members();
+            s.spawn(move || {
+                for &v in members {
+                    if v >= lo && v < hi {
+                        f(v);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Frontier edge-map with owner-computes scheduling.
+pub fn edge_map(
+    g: &Graph,
+    frontier: &Frontier,
+    threads: usize,
+    update: impl Fn(VertexId, VertexId) -> bool + Sync,
+) -> Frontier {
+    let n = g.num_vertices();
+    let activated: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    static_vertex_map(n, frontier, threads, |v| {
+        for &u in g.neighbors(v) {
+            if update(v, u) {
+                activated[u as usize].store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    Frontier::from_vec(
+        (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+    )
+}
+
+/// BFS with static partitioning.
+pub fn bfs(g: &Graph, source: VertexId, threads: usize) -> Vec<u64> {
+    let dist = atomic_vec(g.num_vertices(), u64::MAX);
+    if g.num_vertices() == 0 {
+        return Vec::new();
+    }
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = Frontier::single(source);
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        level += 1;
+        frontier = edge_map(g, &frontier, threads, |_, u| {
+            dist[u as usize]
+                .compare_exchange(u64::MAX, level, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Synchronous PageRank with static per-thread vertex ranges. Requires
+/// in-edges.
+pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(g.reverse().is_some(), "polymer::pagerank pulls over in-edges");
+    let rank: Vec<AtomicU64> = atomic_vec(n, (1.0 / n as f64).to_bits());
+    let next: Vec<AtomicU64> = atomic_vec(n, 0);
+    let base = (1.0 - damping) / n as f64;
+    let all = Frontier::all(g);
+    for _ in 0..max_iters {
+        let residual = AtomicU64::new(0f64.to_bits());
+        static_vertex_map(n, &all, threads, |v| {
+            let mut sum = 0.0;
+            for &u in g.in_neighbors(v) {
+                sum += f64::from_bits(rank[u as usize].load(Ordering::Relaxed)) / g.degree(u) as f64;
+            }
+            let new = base + damping * sum;
+            let old = f64::from_bits(rank[v as usize].load(Ordering::Relaxed));
+            next[v as usize].store(new.to_bits(), Ordering::Relaxed);
+            let delta = (new - old).abs();
+            let mut cur = residual.load(Ordering::Relaxed);
+            while delta > f64::from_bits(cur) {
+                match residual.compare_exchange_weak(cur, delta.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        });
+        static_vertex_map(n, &all, threads, |v| {
+            rank[v as usize].store(next[v as usize].load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        if f64::from_bits(residual.load(Ordering::Relaxed)) < eps {
+            break;
+        }
+    }
+    rank.into_iter().map(|r| f64::from_bits(r.into_inner())).collect()
+}
+
+/// WCC with static partitioning (symmetric graphs).
+pub fn wcc(g: &Graph, threads: usize) -> Vec<u64> {
+    let n = g.num_vertices();
+    let label: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
+    let mut frontier = Frontier::all(g);
+    while !frontier.is_empty() {
+        frontier = edge_map(g, &frontier, threads, |s, d| {
+            let ls = label[s as usize].load(Ordering::Relaxed);
+            atomic_min(&label[d as usize], ls)
+        });
+    }
+    label.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// Bellman-Ford rounds with static partitioning.
+pub fn sssp(g: &Graph, source: VertexId, threads: usize) -> Vec<u64> {
+    assert!(g.has_weights(), "polymer::sssp needs edge weights");
+    let n = g.num_vertices();
+    let dist = atomic_vec(n, u64::MAX);
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = Frontier::single(source);
+    while !frontier.is_empty() {
+        let activated: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        static_vertex_map(n, &frontier, threads, |v| {
+            let dv = dist[v as usize].load(Ordering::Relaxed);
+            if dv == u64::MAX {
+                return;
+            }
+            for (u, w) in g.weighted_neighbors(v) {
+                if atomic_min(&dist[u as usize], dv + u64::from(w)) {
+                    activated[u as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        frontier = Frontier::from_vec(
+            (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+        );
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Triangle counting with static ranges.
+pub fn triangle(g: &Graph, threads: usize) -> u64 {
+    let total = AtomicU64::new(0);
+    let all = Frontier::all(g);
+    static_vertex_map(g.num_vertices(), &all, threads, |v| {
+        let nv = g.neighbors(v);
+        let mut local = 0u64;
+        for &u in nv.iter().filter(|&&u| u > v) {
+            let nu = g.neighbors(u);
+            let (mut i, mut j) = (nv.partition_point(|&x| x <= u), nu.partition_point(|&x| x <= u));
+            while i < nv.len() && j < nu.len() {
+                match nv[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        local += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// Greedy MIS by rounds with static ranges (symmetric graphs).
+pub fn mis(g: &Graph, threads: usize) -> Vec<u64> {
+    // Same round structure as ligra::mis; only the scheduling differs, and
+    // the fixpoint is identical — delegate.
+    crate::ligra::mis(g, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn bfs_matches_ligra() {
+        let g = gen::grid2d(11, 11);
+        assert_eq!(bfs(&g, 0, 4), crate::ligra::bfs(&g, 0, 4));
+    }
+
+    #[test]
+    fn wcc_matches_ligra() {
+        let base = gen::rmat(8, 4, 9);
+        let mut b = GraphBuilder::new(base.num_vertices());
+        for (s, d) in base.edges() {
+            b.add_edge(s, d);
+        }
+        let g = b.symmetric().build();
+        assert_eq!(wcc(&g, 4), crate::ligra::wcc(&g, 4));
+    }
+
+    #[test]
+    fn pagerank_matches_ligra() {
+        let base = gen::rmat(8, 8, 2);
+        let mut b = GraphBuilder::new(base.num_vertices());
+        for (s, d) in base.edges() {
+            b.add_edge(s, d);
+        }
+        let g = b.with_in_edges().build();
+        let a = pagerank(&g, 0.85, 1e-12, 100, 4);
+        let l = crate::ligra::pagerank(&g, 0.85, 1e-12, 100, 4);
+        for v in 0..g.num_vertices() {
+            assert!((a[v] - l[v]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sssp_and_triangle_match_ligra() {
+        let g = gen::with_random_weights(&gen::grid2d(9, 9), 10, 4);
+        assert_eq!(sssp(&g, 0, 4), crate::ligra::sssp(&g, 0, 4));
+        let base = gen::rmat(8, 8, 6);
+        let mut b = GraphBuilder::new(base.num_vertices());
+        for (s, d) in base.edges() {
+            b.add_edge(s, d);
+        }
+        let sym = b.symmetric().build();
+        assert_eq!(triangle(&sym, 4), crate::ligra::triangle(&sym, 4));
+    }
+}

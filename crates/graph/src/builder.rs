@@ -1,0 +1,310 @@
+//! Edge-list accumulation and CSR construction.
+
+use crate::csr::{Csr, Graph, VertexId};
+
+/// Accumulates edges and builds a [`Graph`].
+///
+/// The builder sorts edges by `(src, dst)`, removes duplicates and
+/// self-loops by default (the paper's analytics treat graphs as simple),
+/// and can symmetrise (for the undirected MIS/matching workloads) and
+/// materialise in-edges (for pull-style PageRank).
+#[derive(Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<u32>,
+    weighted: bool,
+    keep_duplicates: bool,
+    keep_self_loops: bool,
+    symmetric: bool,
+    in_edges: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        assert!(num_vertices <= u32::MAX as usize - 1, "vertex id overflow");
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            weights: Vec::new(),
+            weighted: false,
+            keep_duplicates: false,
+            keep_self_loops: false,
+            symmetric: false,
+            in_edges: false,
+        }
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_edge_capacity(mut self, cap: usize) -> Self {
+        self.edges.reserve(cap);
+        self
+    }
+
+    /// Add a directed edge.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range, or if weighted edges were added
+    /// before (mixing is an error).
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        assert!(!self.weighted, "cannot mix weighted and unweighted edges");
+        self.check(src, dst);
+        self.edges.push((src, dst));
+    }
+
+    /// Add a directed edge with a weight.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, weight: u32) {
+        assert!(self.weights.len() == self.edges.len(), "cannot mix weighted and unweighted edges");
+        self.weighted = true;
+        self.check(src, dst);
+        self.edges.push((src, dst));
+        self.weights.push(weight);
+    }
+
+    #[inline]
+    fn check(&self, src: VertexId, dst: VertexId) {
+        assert!((src as usize) < self.num_vertices, "src {src} out of range");
+        assert!((dst as usize) < self.num_vertices, "dst {dst} out of range");
+    }
+
+    /// Keep parallel edges instead of deduplicating.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.keep_duplicates = true;
+        self
+    }
+
+    /// Keep self-loops instead of dropping them.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Add the reverse of every edge before building (undirected view).
+    pub fn symmetric(mut self) -> Self {
+        self.symmetric = true;
+        self
+    }
+
+    /// Materialise the reverse adjacency as well.
+    pub fn with_in_edges(mut self) -> Self {
+        self.in_edges = true;
+        self
+    }
+
+    /// Number of edges currently buffered.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Build the graph, consuming the builder.
+    pub fn build(self) -> Graph {
+        let GraphBuilder {
+            num_vertices,
+            mut edges,
+            mut weights,
+            weighted,
+            keep_duplicates,
+            keep_self_loops,
+            symmetric,
+            in_edges,
+        } = self;
+
+        if symmetric {
+            let fwd = edges.len();
+            edges.reserve(fwd);
+            for i in 0..fwd {
+                let (s, d) = edges[i];
+                edges.push((d, s));
+            }
+            if weighted {
+                weights.reserve(fwd);
+                for i in 0..fwd {
+                    let w = weights[i];
+                    weights.push(w);
+                }
+            }
+        }
+
+        // Sort edges (carrying weights along) and clean.
+        let (out, out_weights) = build_csr(
+            num_vertices,
+            &mut edges,
+            if weighted { Some(&mut weights) } else { None },
+            keep_duplicates,
+            keep_self_loops,
+        );
+
+        let rev = in_edges.then(|| {
+            let mut rev_edges: Vec<(VertexId, VertexId)> = out
+                .new_edges_iter()
+                .map(|(s, d)| (d, s))
+                .collect();
+            // Already deduped/cleaned in the forward pass.
+            let (csr, _) = build_csr(num_vertices, &mut rev_edges, None, true, true);
+            csr
+        });
+
+        Graph::from_parts(out, rev, out_weights)
+    }
+}
+
+impl Csr {
+    fn new_edges_iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+    }
+}
+
+fn build_csr(
+    num_vertices: usize,
+    edges: &mut Vec<(VertexId, VertexId)>,
+    mut weights: Option<&mut Vec<u32>>,
+    keep_duplicates: bool,
+    keep_self_loops: bool,
+) -> (Csr, Option<Vec<u32>>) {
+    // Sort by (src, dst); when weighted, sort an index permutation so weights
+    // travel with their edges (smallest weight wins among duplicates, making
+    // dedup deterministic).
+    let (sorted_edges, sorted_weights): (Vec<(VertexId, VertexId)>, Option<Vec<u32>>) =
+        if let Some(w) = weights.as_deref_mut() {
+            let mut perm: Vec<usize> = (0..edges.len()).collect();
+            perm.sort_unstable_by_key(|&i| (edges[i], w[i]));
+            (
+                perm.iter().map(|&i| edges[i]).collect(),
+                Some(perm.iter().map(|&i| w[i]).collect()),
+            )
+        } else {
+            edges.sort_unstable();
+            (std::mem::take(edges), None)
+        };
+
+    let mut offsets = vec![0u64; num_vertices + 1];
+    let mut targets = Vec::with_capacity(sorted_edges.len());
+    let mut out_weights = sorted_weights.as_ref().map(|_| Vec::with_capacity(sorted_edges.len()));
+    let mut prev: Option<(VertexId, VertexId)> = None;
+    for (i, &(s, d)) in sorted_edges.iter().enumerate() {
+        if !keep_self_loops && s == d {
+            continue;
+        }
+        if !keep_duplicates && prev == Some((s, d)) {
+            continue;
+        }
+        prev = Some((s, d));
+        offsets[s as usize + 1] += 1;
+        targets.push(d);
+        if let (Some(ow), Some(sw)) = (&mut out_weights, &sorted_weights) {
+            ow.push(sw[i]);
+        }
+    }
+    for i in 0..num_vertices {
+        offsets[i + 1] += offsets[i];
+    }
+    (Csr::new(offsets, targets), out_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn keep_duplicates_and_loops_when_requested() {
+        let mut b = GraphBuilder::new(2).keep_duplicates().keep_self_loops();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn symmetric_adds_reverse_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.symmetric().build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn symmetric_dedups_mutual_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.symmetric().build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weights_follow_edges_through_sorting() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(2, 0, 99);
+        b.add_weighted_edge(0, 2, 7);
+        b.add_weighted_edge(0, 1, 5);
+        let g = b.build();
+        assert_eq!(g.weighted_neighbors(0).collect::<Vec<_>>(), vec![(1, 5), (2, 7)]);
+        assert_eq!(g.weighted_neighbors(2).collect::<Vec<_>>(), vec![(0, 99)]);
+    }
+
+    #[test]
+    fn duplicate_weighted_edges_keep_smallest_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 9);
+        b.add_weighted_edge(0, 1, 3);
+        let g = b.build();
+        assert_eq!(g.weighted_neighbors(0).collect::<Vec<_>>(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn symmetric_weighted_graph_mirrors_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 4);
+        let g = b.symmetric().build();
+        assert_eq!(g.weighted_neighbors(1).collect::<Vec<_>>(), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix")]
+    fn mixing_weighted_and_unweighted_panics() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_weighted_edge(1, 2, 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Compressed-sparse-row adjacency storage.
+
+/// Vertex identifier. `u32` bounds graphs at ~4.2 B vertices, far beyond the
+/// laptop-scale stand-ins this reproduction runs on, while halving the
+/// memory traffic of the hot adjacency arrays versus `usize`.
+pub type VertexId = u32;
+
+/// One direction of adjacency in CSR form: `targets[offsets[v]..offsets[v+1]]`
+/// are the neighbours of `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Box<[u64]>,
+    targets: Box<[VertexId]>,
+}
+
+impl Csr {
+    pub(crate) fn new(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbours of `v` (sorted ascending, duplicates removed by the builder
+    /// unless multi-edges were requested).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Index range of `v`'s edges in the target array — the edge ids, used
+    /// to look up per-edge weights.
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+}
+
+/// A directed graph in CSR form, with optional reverse adjacency and
+/// optional `u32` edge weights (aligned with the out-edge array).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    out: Csr,
+    rev: Option<Csr>,
+    weights: Option<Box<[u32]>>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(out: Csr, rev: Option<Csr>, weights: Option<Vec<u32>>) -> Self {
+        if let Some(w) = &weights {
+            assert_eq!(w.len() as u64, out.num_edges(), "one weight per out-edge");
+        }
+        Graph { out, rev, weights: weights.map(Vec::into_boxed_slice) }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.out.num_edges()
+    }
+
+    /// Average out-degree (the paper's Table II `|E|/|V|` column).
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_vertices().max(1) as f64
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Edge-id range of `v`'s out-edges (for weight lookups).
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.out.edge_range(v)
+    }
+
+    /// Out-neighbours of `v` zipped with their weights.
+    ///
+    /// # Panics
+    /// If the graph has no weights.
+    #[inline]
+    pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let range = self.out.edge_range(v);
+        let w = self.weights.as_ref().expect("graph has no edge weights");
+        self.out.neighbors(v).iter().copied().zip(w[range].iter().copied())
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    /// If the graph was built without in-edges.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.rev().degree(v)
+    }
+
+    /// In-neighbours of `v`.
+    ///
+    /// # Panics
+    /// If the graph was built without in-edges.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.rev().neighbors(v)
+    }
+
+    /// The reverse adjacency, if materialised.
+    #[inline]
+    pub fn reverse(&self) -> Option<&Csr> {
+        self.rev.as_ref()
+    }
+
+    /// The forward adjacency.
+    #[inline]
+    pub fn forward(&self) -> &Csr {
+        &self.out
+    }
+
+    /// Whether edge weights are present.
+    #[inline]
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Per-edge weights aligned with the out-edge array, if present.
+    #[inline]
+    pub fn weights(&self) -> Option<&[u32]> {
+        self.weights.as_deref()
+    }
+
+    /// Iterate all vertices.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterate all directed edges as `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+    }
+
+    /// Maximum out-degree and the vertex attaining it.
+    pub fn max_degree(&self) -> (VertexId, usize) {
+        self.vertices()
+            .map(|v| (v, self.degree(v)))
+            .max_by_key(|&(_, d)| d)
+            .unwrap_or((0, 0))
+    }
+
+    fn rev(&self) -> &Csr {
+        self.rev.as_ref().expect("graph built without in-edges; use GraphBuilder::with_in_edges")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::Graph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.with_in_edges().build()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_adjacency() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[u32]);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn edges_iterator_enumerates_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn max_degree_finds_hub() {
+        let mut b = GraphBuilder::new(5);
+        for u in 1..5 {
+            b.add_edge(0, u);
+        }
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.max_degree(), (0, 4));
+    }
+
+    #[test]
+    fn weighted_neighbors_align() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(0, 2, 20);
+        let g = b.build();
+        let wn: Vec<_> = g.weighted_neighbors(0).collect();
+        assert_eq!(wn, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge weights")]
+    fn weighted_access_without_weights_panics() {
+        let g = diamond();
+        let _ = g.weighted_neighbors(0).count();
+    }
+}

@@ -1,0 +1,34 @@
+//! # tufast-graph — graph storage, generation, and statistics
+//!
+//! The graph substrate for the TuFast reproduction:
+//!
+//! * [`Graph`] — compressed sparse row (CSR) adjacency with optional
+//!   in-edges and optional edge weights, built through [`GraphBuilder`].
+//! * [`gen`] — seeded synthetic generators. The paper's evaluation graphs
+//!   (friendster, twitter-mpi, sk-2005, uk-2007-05; 1.8–3.7 B edges) are
+//!   replaced by laptop-scale stand-ins with matched average degree and
+//!   power-law skew: [`gen::rmat`] and [`gen::barabasi_albert`] for the
+//!   social/web graphs, [`gen::erdos_renyi`] for the even-degree synthetic
+//!   workload of the paper's Figure 7, [`gen::grid2d`] for road-like graphs.
+//! * [`stats`] — degree distributions and the log-binned histogram used to
+//!   regenerate the paper's Figure 5.
+//! * [`load`] — SNAP-format edge-list reader/writer so the real datasets can
+//!   be dropped in where disk and memory allow.
+//! * [`binio`] — a binary CSR cache format (parse the edge list once, then
+//!   reload in a few large reads).
+//! * [`partition`] — vertex partitioners (hash, range, hybrid-cut) for the
+//!   simulated distributed engines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binio;
+mod builder;
+mod csr;
+pub mod gen;
+pub mod load;
+pub mod partition;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, Graph, VertexId};

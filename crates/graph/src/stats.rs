@@ -1,0 +1,160 @@
+//! Degree statistics and histograms (paper Figure 5 / Table II).
+
+use crate::csr::Graph;
+
+/// Summary degree statistics for a graph — the columns of the paper's
+/// Table II plus the skew indicators its analysis leans on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: u64,
+    /// `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Largest out-degree.
+    pub max_degree: usize,
+    /// Median out-degree.
+    pub median_degree: usize,
+    /// 99th-percentile out-degree.
+    pub p99_degree: usize,
+    /// Fraction of vertices whose *transaction footprint* (degree + 1
+    /// vertices, two words each) fits the default 32 KB HTM capacity —
+    /// the population TuFast can route to H mode.
+    pub htm_fit_fraction: f64,
+}
+
+/// Compute [`DegreeStats`] for `g`, using `capacity_words` as the HTM
+/// footprint bound (4096 words for the default geometry).
+pub fn degree_stats(g: &Graph, capacity_words: usize) -> DegreeStats {
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let n = degrees.len();
+    let max_degree = degrees.last().copied().unwrap_or(0);
+    let fit = degrees
+        .iter()
+        .take_while(|&&d| footprint_words(d) <= capacity_words)
+        .count();
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree,
+        median_degree: degrees.get(n / 2).copied().unwrap_or(0),
+        p99_degree: degrees.get((n * 99) / 100).copied().unwrap_or(0),
+        htm_fit_fraction: if n == 0 { 0.0 } else { fit as f64 / n as f64 },
+    }
+}
+
+/// Words a degree-`d` vertex transaction touches in the paper's
+/// micro-benchmark model: the vertex and each neighbour contribute a data
+/// word and a lock word.
+#[inline]
+pub fn footprint_words(degree: usize) -> usize {
+    2 * (degree + 1)
+}
+
+/// One point of a degree histogram: `count` vertices have out-degree
+/// `degree`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegreePoint {
+    /// The out-degree.
+    pub degree: usize,
+    /// How many vertices have it.
+    pub count: usize,
+}
+
+/// Exact degree → count histogram, sorted by degree ascending, zero counts
+/// omitted. Plotted on log-log axes this is the paper's Figure 5.
+pub fn degree_histogram(g: &Graph) -> Vec<DegreePoint> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for v in g.vertices() {
+        *counts.entry(g.degree(v)).or_insert(0) += 1;
+    }
+    counts.into_iter().map(|(degree, count)| DegreePoint { degree, count }).collect()
+}
+
+/// Least-squares slope of `log10(count)` against `log10(degree)` over the
+/// histogram (degree ≥ 1). A power-law graph gives a clearly negative
+/// slope (the straight line of Figure 5); an even-degree graph does not.
+pub fn log_log_slope(hist: &[DegreePoint]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .filter(|p| p.degree >= 1 && p.count >= 1)
+        .map(|p| ((p.degree as f64).log10(), (p.count as f64).log10()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_on_star() {
+        let g = gen::star(101);
+        let s = degree_stats(&g, 4096);
+        assert_eq!(s.num_vertices, 101);
+        assert_eq!(s.max_degree, 100);
+        assert_eq!(s.median_degree, 1);
+        // Only the hub exceeds nothing here (footprint 202 < 4096): all fit.
+        assert!((s.htm_fit_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_fraction_excludes_giant_hub() {
+        let g = gen::star(10_000);
+        let s = degree_stats(&g, 4096);
+        // Hub footprint = 2*(9999+1) words > 4096; leaves fit.
+        assert!(s.htm_fit_fraction < 1.0);
+        assert!(s.htm_fit_fraction > 0.999);
+    }
+
+    #[test]
+    fn histogram_counts_every_vertex() {
+        let g = gen::rmat(8, 8, 5);
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|p| p.count).sum();
+        assert_eq!(total, g.num_vertices());
+        // Sorted ascending, unique degrees.
+        assert!(hist.windows(2).all(|w| w[0].degree < w[1].degree));
+    }
+
+    #[test]
+    fn power_law_graph_has_negative_slope() {
+        let g = gen::rmat(12, 16, 5);
+        let slope = log_log_slope(&degree_histogram(&g)).unwrap();
+        assert!(slope < -0.5, "R-MAT slope {slope} not power-law-like");
+    }
+
+    #[test]
+    fn even_graph_is_not_power_law() {
+        let er = gen::erdos_renyi(5000, 50_000, 2);
+        let rm = gen::rmat(12, 10, 2);
+        let s_er = log_log_slope(&degree_histogram(&er)).unwrap();
+        let s_rm = log_log_slope(&degree_histogram(&rm)).unwrap();
+        // The ER histogram is bell-shaped; its fitted slope is much less
+        // steep than the R-MAT power law.
+        assert!(s_rm < s_er, "rmat {s_rm} vs er {s_er}");
+    }
+
+    #[test]
+    fn footprint_model() {
+        assert_eq!(footprint_words(0), 2);
+        assert_eq!(footprint_words(2047), 4096);
+        assert!(footprint_words(2048) > 4096);
+    }
+}

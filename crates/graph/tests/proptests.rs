@@ -1,0 +1,108 @@
+//! Property-based tests of graph construction and generator invariants.
+
+use proptest::prelude::*;
+
+use tufast_graph::{gen, load, GraphBuilder};
+
+proptest! {
+    /// CSR construction preserves exactly the deduplicated, loop-free edge
+    /// multiset, sorted per source.
+    #[test]
+    fn builder_matches_model(edges in prop::collection::vec((0u32..50, 0u32..50), 0..400)) {
+        let mut b = GraphBuilder::new(50);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let mut model: Vec<(u32, u32)> = edges
+            .iter()
+            .copied()
+            .filter(|&(s, d)| s != d)
+            .collect();
+        model.sort_unstable();
+        model.dedup();
+        let got: Vec<(u32, u32)> = g.edges().collect();
+        prop_assert_eq!(got, model);
+        // Adjacency lists are sorted (binary-searchable).
+        for v in g.vertices() {
+            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// In-edges are the exact transpose.
+    #[test]
+    fn reverse_is_transpose(edges in prop::collection::vec((0u32..40, 0u32..40), 0..300)) {
+        let mut b = GraphBuilder::new(40);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.with_in_edges().build();
+        let forward: Vec<(u32, u32)> = g.edges().collect();
+        let mut back: Vec<(u32, u32)> = g
+            .vertices()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        back.sort_unstable();
+        prop_assert_eq!(forward, back);
+    }
+
+    /// Symmetric graphs are actually symmetric.
+    #[test]
+    fn symmetric_builder_produces_symmetric_graph(edges in prop::collection::vec((0u32..30, 0u32..30), 0..200)) {
+        let mut b = GraphBuilder::new(30);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.symmetric().build();
+        for (s, d) in g.edges() {
+            prop_assert!(g.neighbors(d).binary_search(&s).is_ok(), "missing reverse of ({s},{d})");
+        }
+    }
+
+    /// Edge-list round-trip preserves the degree multiset.
+    #[test]
+    fn edge_list_roundtrip(edges in prop::collection::vec((0u32..30, 0u32..30), 1..200)) {
+        let mut b = GraphBuilder::new(30);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        load::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = load::read_edge_list(buf.as_slice(), load::LoadOptions::default()).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        let mut d2: Vec<usize> = g2.vertices().map(|v| g2.degree(v)).filter(|&d| d > 0).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// R-MAT generators are deterministic in their seed and in-bounds.
+    #[test]
+    fn rmat_is_seed_deterministic(seed in any::<u64>()) {
+        let g1 = gen::rmat(7, 4, seed);
+        let g2 = gen::rmat(7, 4, seed);
+        prop_assert_eq!(g1.num_edges(), g2.num_edges());
+        prop_assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        prop_assert_eq!(g1.num_vertices(), 128);
+    }
+
+    /// Random weights stay in range and respect undirected symmetry.
+    #[test]
+    fn weights_in_range(seed in any::<u64>(), max_w in 1u32..1000) {
+        let base = gen::grid2d(6, 6);
+        let g = gen::with_random_weights(&base, max_w, seed);
+        for v in g.vertices() {
+            for (u, w) in g.weighted_neighbors(v) {
+                prop_assert!((1..=max_w).contains(&w));
+                let back: Vec<u32> = g
+                    .weighted_neighbors(u)
+                    .filter(|&(x, _)| x == v)
+                    .map(|(_, w)| w)
+                    .collect();
+                prop_assert_eq!(back, vec![w]);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Configuration of the emulated HTM.
+
+/// Parameters of the emulated RTM implementation.
+///
+/// The defaults model the Haswell-class L1D the paper describes: 32 KB,
+/// 8-way set-associative, 64-byte lines — 64 sets, so a transaction aborts
+/// with [`AbortCode::Capacity`](crate::AbortCode::Capacity) as soon as nine
+/// distinct transactional lines map to the same set.
+#[derive(Clone, Debug)]
+pub struct HtmConfig {
+    /// Total modelled L1 data cache size in bytes.
+    pub l1_bytes: usize,
+    /// Cache associativity (ways per set).
+    pub associativity: usize,
+    /// Cache line size in bytes. Must be a multiple of 8.
+    pub line_bytes: usize,
+    /// Ways per set unavailable to the transaction because they hold
+    /// non-transactional data (stack, code, other heap lines). Real
+    /// transactions never get the whole L1 to themselves; reserving one way
+    /// reproduces the paper's measured ~25 % abort probability for a 10 KB
+    /// random footprint (a pure 8-way model gives only ~6 %).
+    pub reserved_ways: usize,
+    /// Per-transactional-operation probability of an environmental
+    /// ([`Spurious`](crate::AbortCode::Spurious)) abort. `0.0` disables
+    /// injection (useful for deterministic tests); the paper's environment
+    /// has a small nonzero rate from interrupts.
+    pub spurious_abort_rate: f64,
+    /// Maximum flat-nesting depth (Intel supports 7 nested `XBEGIN`s that
+    /// are flattened into the outermost transaction).
+    pub max_nesting: u32,
+    /// Seed used to derive per-context RNGs for spurious-abort injection.
+    pub seed: u64,
+}
+
+impl HtmConfig {
+    /// Number of cache sets implied by the geometry.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.l1_bytes / (self.associativity * self.line_bytes)
+    }
+
+    /// Maximum number of distinct lines a transaction can ever hold
+    /// (the ways left after reservation, across all sets).
+    #[inline]
+    pub fn max_lines(&self) -> usize {
+        self.num_sets() * (self.associativity - self.reserved_ways)
+    }
+
+    /// Capacity in 8-byte words — the paper's "8,192 ints" figure is the
+    /// same quantity counted in 4-byte ints.
+    #[inline]
+    pub fn capacity_words(&self) -> usize {
+        self.l1_bytes / 8
+    }
+
+    /// Validate the geometry; called by the runtime at construction.
+    pub(crate) fn validate(&self) {
+        assert!(self.line_bytes >= 8 && self.line_bytes % 8 == 0, "line size must be a multiple of 8 bytes");
+        assert!(self.associativity >= 1, "associativity must be at least 1");
+        assert!(self.reserved_ways < self.associativity, "reserved ways must leave at least one usable way");
+        assert!(
+            self.l1_bytes % (self.associativity * self.line_bytes) == 0,
+            "L1 size must be a whole number of sets"
+        );
+        assert!(self.num_sets().is_power_of_two(), "number of sets must be a power of two");
+        assert!((0.0..1.0).contains(&self.spurious_abort_rate), "spurious rate must be in [0,1)");
+    }
+
+    /// A tiny cache geometry (1 KB, 2-way) that makes capacity aborts easy to
+    /// trigger in unit tests.
+    pub fn tiny_for_tests() -> Self {
+        HtmConfig {
+            l1_bytes: 1024,
+            associativity: 2,
+            line_bytes: 64,
+            reserved_ways: 0,
+            spurious_abort_rate: 0.0,
+            max_nesting: 7,
+            seed: 0xDEAD_BEEF,
+        }
+    }
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            l1_bytes: 32 * 1024,
+            associativity: 8,
+            line_bytes: 64,
+            reserved_ways: 1,
+            spurious_abort_rate: 0.0,
+            max_nesting: 7,
+            seed: 0x7A5F_2019, // "TuFast 2019"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_haswell() {
+        let c = HtmConfig::default();
+        c.validate();
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.max_lines(), 448); // one way per set reserved
+        assert_eq!(c.capacity_words(), 4096);
+    }
+
+    #[test]
+    fn tiny_geometry_is_valid() {
+        let c = HtmConfig::tiny_for_tests();
+        c.validate();
+        assert_eq!(c.num_sets(), 8);
+        assert_eq!(c.max_lines(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_associativity_rejected() {
+        let c = HtmConfig { associativity: 0, ..HtmConfig::default() };
+        c.validate();
+    }
+}

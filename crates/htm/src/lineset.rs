@@ -1,0 +1,179 @@
+//! A small open-addressed hash set of line ids, tuned for transaction-local
+//! footprints (tens to a few thousand entries, cleared on every begin).
+//!
+//! `std::collections::HashSet` would work but pays SipHash and per-begin
+//! reallocation; this set uses a Fibonacci-multiplicative hash, linear
+//! probing, and is reused across transactions without freeing.
+
+const EMPTY: u64 = u64::MAX;
+
+/// An insert-only set of `u64` keys (line ids). `u64::MAX` is reserved.
+#[derive(Debug)]
+pub struct LineSet {
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // Fibonacci hashing: multiply by 2^64 / φ, take the high bits via shift
+    // at probe time. Good spread for sequential line ids.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl LineSet {
+    /// Create a set with capacity for at least `cap` entries before rehash.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(8) * 2).next_power_of_two();
+        LineSet { slots: vec![EMPTY; slots], mask: slots - 1, len: 0 }
+    }
+
+    /// Number of distinct keys inserted since the last [`clear`](Self::clear).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all keys, keeping the allocation.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.slots.fill(EMPTY);
+            self.len = 0;
+        }
+    }
+
+    /// Insert `key`; returns `true` if it was not already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved as the empty marker");
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = (hash(key) as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == key {
+                return false;
+            }
+            if slot == EMPTY {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = (hash(key) as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == key {
+                return true;
+            }
+            if slot == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Iterate over the keys in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().copied().filter(|&k| k != EMPTY)
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; 0]);
+        let new_cap = (old.len() * 2).max(16);
+        self.slots = vec![EMPTY; new_cap];
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for key in old {
+            if key != EMPTY {
+                self.insert(key);
+            }
+        }
+    }
+}
+
+impl Default for LineSet {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = LineSet::with_capacity(4);
+        assert!(s.insert(1));
+        assert!(s.insert(2));
+        assert!(!s.insert(1));
+        assert!(s.contains(1));
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut s = LineSet::with_capacity(4);
+        for i in 0..1000 {
+            assert!(s.insert(i));
+        }
+        for i in 0..1000 {
+            assert!(s.contains(i), "missing {i}");
+            assert!(!s.insert(i));
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_working() {
+        let mut s = LineSet::default();
+        for i in 0..100 {
+            s.insert(i * 7);
+        }
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(7));
+        assert!(s.insert(7));
+    }
+
+    #[test]
+    fn iter_yields_all_keys() {
+        let mut s = LineSet::default();
+        for i in 10..30 {
+            s.insert(i);
+        }
+        let mut got: Vec<u64> = s.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (10..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adversarial_keys_with_same_hash_bucket() {
+        // Keys spaced by the table size collide under mask-only hashing;
+        // the multiplicative hash plus probing must still separate them.
+        let mut s = LineSet::with_capacity(8);
+        let keys: Vec<u64> = (0..50).map(|i| i * 16).collect();
+        for &k in &keys {
+            assert!(s.insert(k));
+        }
+        for &k in &keys {
+            assert!(s.contains(k));
+        }
+    }
+}

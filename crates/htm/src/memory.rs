@@ -1,0 +1,512 @@
+//! The shared transactional heap: words, regions, line metadata, and the
+//! strongly-isolated direct (non-transactional) access path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::meta;
+
+/// Words (8 bytes each) per modelled 64-byte cache line.
+pub const WORDS_PER_LINE: usize = 8;
+
+/// Index of a word in a [`TxMemory`].
+///
+/// Addresses are plain indices rather than raw pointers so the whole
+/// emulation stays in safe Rust, and so experiments are deterministic: the
+/// word→cache-line→cache-set mapping is a pure function of the address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line this word belongs to.
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 / WORDS_PER_LINE as u64
+    }
+
+    /// Offset this address by `delta` words.
+    #[inline]
+    pub fn offset(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+}
+
+/// A named, line-aligned allocation inside a [`TxMemory`].
+///
+/// Regions are handed out by [`MemoryLayout::alloc`] before the memory is
+/// built, in the style of a static data segment: graph algorithms allocate
+/// one region per vertex-value array (`rank`, `dist`, `match`, …) plus the
+/// per-vertex lock-word region used by the schedulers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRegion {
+    base: u64,
+    len: u64,
+}
+
+impl MemRegion {
+    /// Address of element `i`. Panics in debug builds on out-of-range.
+    #[inline]
+    pub fn addr(&self, i: u64) -> Addr {
+        debug_assert!(i < self.len, "region index {i} out of range {}", self.len);
+        Addr(self.base + i)
+    }
+
+    /// Number of words in the region.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First word address of the region.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        Addr(self.base)
+    }
+
+    /// Iterate over all addresses in the region.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        (self.base..self.base + self.len).map(Addr)
+    }
+}
+
+/// A bump allocator for carving a [`TxMemory`] into named [`MemRegion`]s.
+///
+/// Every region is aligned to a cache-line boundary so two regions never
+/// share a line (cross-region false sharing would make experiments harder to
+/// reason about; *intra*-region line sharing is deliberate and realistic).
+#[derive(Debug, Default)]
+pub struct MemoryLayout {
+    cursor: u64,
+    regions: Vec<(String, MemRegion)>,
+}
+
+impl MemoryLayout {
+    /// Start an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` words under `name`, returning the region handle.
+    pub fn alloc(&mut self, name: &str, len: u64) -> MemRegion {
+        let region = MemRegion { base: self.cursor, len };
+        self.regions.push((name.to_string(), region));
+        // Advance to the next line boundary.
+        let lpw = WORDS_PER_LINE as u64;
+        self.cursor = (self.cursor + len).div_ceil(lpw) * lpw;
+        region
+    }
+
+    /// Allocate `len` slots padded so each slot starts its own cache line.
+    ///
+    /// Used for the "padded locks" ablation: padding removes false-sharing
+    /// aborts between neighbouring vertices at 8× the metadata footprint.
+    pub fn alloc_padded(&mut self, name: &str, len: u64) -> PaddedRegion {
+        let region = self.alloc(name, len * WORDS_PER_LINE as u64);
+        PaddedRegion { inner: region }
+    }
+
+    /// Total words allocated so far (rounded up to whole lines).
+    pub fn total_words(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The named regions allocated so far, in allocation order.
+    pub fn regions(&self) -> &[(String, MemRegion)] {
+        &self.regions
+    }
+}
+
+/// A region in which each logical slot occupies a full cache line.
+#[derive(Clone, Copy, Debug)]
+pub struct PaddedRegion {
+    inner: MemRegion,
+}
+
+impl PaddedRegion {
+    /// Address of logical slot `i` (the first word of its private line).
+    #[inline]
+    pub fn addr(&self, i: u64) -> Addr {
+        self.inner.addr(i * WORDS_PER_LINE as u64)
+    }
+
+    /// Number of logical slots.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.inner.len() / WORDS_PER_LINE as u64
+    }
+
+    /// Whether the region has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The shared transactional heap.
+///
+/// Holds the data words, one metadata word (versioned lock, see
+/// [`crate::meta`]) per cache line, and the global version clock. All
+/// access — transactional via [`HtmCtx`](crate::HtmCtx) *and*
+/// non-transactional via the `*_direct` methods here — is arbitrated through
+/// the line metadata. That arbitration is what gives the emulation real
+/// HTM's *strong isolation*: a direct store publishes a new line version, so
+/// any in-flight transaction that read the line aborts at its next access or
+/// at commit.
+pub struct TxMemory {
+    words: Box<[AtomicU64]>,
+    line_meta: Box<[AtomicU64]>,
+    clock: AtomicU64,
+}
+
+/// Owner id used by direct (non-transactional) accessors when they briefly
+/// lock a line. Distinct from every context id.
+const DIRECT_OWNER: u32 = meta::MAX_OWNER;
+
+/// A snapshot of one line's versioned lock (advanced API; see
+/// [`TxMemory::line_state`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Unlocked; last published at `version`.
+    Unlocked {
+        /// Global-clock value at last publication.
+        version: u64,
+    },
+    /// Write-locked by a committing transaction or direct accessor.
+    Locked {
+        /// The holder's context id.
+        owner: u32,
+    },
+}
+
+impl TxMemory {
+    /// Build a zero-initialised memory covering `layout`.
+    pub fn new(layout: &MemoryLayout) -> Self {
+        Self::with_words(layout.total_words())
+    }
+
+    /// Build a zero-initialised memory of exactly `words` words.
+    pub fn with_words(words: u64) -> Self {
+        let words = words.max(1) as usize;
+        let lines = words.div_ceil(WORDS_PER_LINE);
+        TxMemory {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            line_meta: (0..lines).map(|_| AtomicU64::new(meta::unlocked(0))).collect(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory is empty (never true in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Current value of the global version clock.
+    #[inline]
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Advance the global clock, returning the new (unique) timestamp.
+    #[inline]
+    pub(crate) fn clock_tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    #[inline]
+    pub(crate) fn word(&self, addr: Addr) -> &AtomicU64 {
+        &self.words[addr.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn line(&self, line: u64) -> &AtomicU64 {
+        &self.line_meta[line as usize]
+    }
+
+    /// Observe a line's versioned-lock state.
+    ///
+    /// Advanced API for software TM protocols layered over this memory
+    /// (see `tufast-txn`'s TinySTM-like scheduler); normal users go through
+    /// [`HtmCtx`](crate::HtmCtx) or the `*_direct` methods.
+    #[inline]
+    pub fn line_state(&self, line: u64) -> LineState {
+        let m = self.line(line).load(Ordering::Acquire);
+        if meta::is_locked(m) {
+            LineState::Locked { owner: meta::owner(m) }
+        } else {
+            LineState::Unlocked { version: meta::version(m) }
+        }
+    }
+
+    /// Try to write-lock `line` for context `owner`; returns the pre-lock
+    /// version on success and the observed metadata word on failure.
+    ///
+    /// Advanced API (see [`line_state`](Self::line_state)): callers must
+    /// pair every successful lock with [`unlock_line_pub`](Self::unlock_line_pub)
+    /// and must not hold line locks across blocking operations.
+    #[inline]
+    pub fn try_lock_line_pub(&self, line: u64, owner: u32) -> Result<u64, ()> {
+        self.try_lock_line(line, owner).map_err(|_| ())
+    }
+
+    /// Unlock a line previously locked via
+    /// [`try_lock_line_pub`](Self::try_lock_line_pub), publishing
+    /// `new_version` (use the pre-lock version to release without change,
+    /// or a fresh [`clock_tick_pub`](Self::clock_tick_pub) after stores).
+    #[inline]
+    pub fn unlock_line_pub(&self, line: u64, new_version: u64) {
+        self.unlock_line(line, new_version);
+    }
+
+    /// Current global version clock (advanced API).
+    #[inline]
+    pub fn clock_now_pub(&self) -> u64 {
+        self.clock_now()
+    }
+
+    /// Advance the global clock, returning a fresh timestamp (advanced API).
+    #[inline]
+    pub fn clock_tick_pub(&self) -> u64 {
+        self.clock_tick()
+    }
+
+    /// Store to a word whose line the caller currently holds locked via
+    /// [`try_lock_line_pub`](Self::try_lock_line_pub). Storing without the
+    /// lock is memory-safe but breaks the isolation protocol.
+    #[inline]
+    pub fn store_locked(&self, addr: Addr, val: u64) {
+        debug_assert!(
+            matches!(self.line_state(addr.line()), LineState::Locked { .. }),
+            "store_locked without holding the line lock"
+        );
+        self.word(addr).store(val, Ordering::Release);
+    }
+
+    /// Try to write-lock `line` for context `owner`; returns the pre-lock
+    /// version on success and the observed metadata word on failure.
+    #[inline]
+    pub(crate) fn try_lock_line(&self, line: u64, owner: u32) -> Result<u64, u64> {
+        let m = self.line(line);
+        let cur = m.load(Ordering::Acquire);
+        if meta::is_locked(cur) {
+            return Err(cur);
+        }
+        let ver = meta::version(cur);
+        match m.compare_exchange(cur, meta::locked(ver, owner), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => Ok(ver),
+            Err(observed) => Err(observed),
+        }
+    }
+
+    /// Unlock `line`, publishing `new_version`.
+    #[inline]
+    pub(crate) fn unlock_line(&self, line: u64, new_version: u64) {
+        self.line(line).store(meta::unlocked(new_version), Ordering::Release);
+    }
+
+    /// Spin until `line` is locked by `owner`. Used by the direct path,
+    /// which must always succeed (it models a plain coherence-arbitrated
+    /// store and can never "abort").
+    #[inline]
+    fn lock_line_spin(&self, line: u64, owner: u32) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            match self.try_lock_line(line, owner) {
+                Ok(ver) => return ver,
+                Err(_) => {
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-transactional load. Single-word loads are naturally atomic.
+    #[inline]
+    pub fn load_direct(&self, addr: Addr) -> u64 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Non-transactional store with strong isolation: the line is briefly
+    /// locked and republished at a fresh version so concurrent transactions
+    /// observe the conflict, exactly as a plain store on TSX hardware would
+    /// abort transactions holding the line.
+    pub fn store_direct(&self, addr: Addr, val: u64) {
+        let line = addr.line();
+        self.lock_line_spin(line, DIRECT_OWNER);
+        self.word(addr).store(val, Ordering::Release);
+        self.unlock_line(line, self.clock_tick());
+    }
+
+    /// Non-transactional compare-and-swap with strong isolation. On success
+    /// returns `Ok(previous)` and publishes a new line version; on failure
+    /// returns `Err(observed)` and leaves the version untouched (a failed
+    /// CAS performs no store).
+    pub fn cas_direct(&self, addr: Addr, expected: u64, new: u64) -> Result<u64, u64> {
+        let line = addr.line();
+        let old_ver = self.lock_line_spin(line, DIRECT_OWNER);
+        let cur = self.word(addr).load(Ordering::Acquire);
+        if cur == expected {
+            self.word(addr).store(new, Ordering::Release);
+            self.unlock_line(line, self.clock_tick());
+            Ok(cur)
+        } else {
+            self.unlock_line(line, old_ver);
+            Err(cur)
+        }
+    }
+
+    /// Non-transactional read-modify-write with strong isolation. `f`
+    /// returns `Some(new)` to store or `None` to leave the word unchanged;
+    /// the pre-image is returned either way.
+    pub fn rmw_direct(&self, addr: Addr, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        let line = addr.line();
+        let old_ver = self.lock_line_spin(line, DIRECT_OWNER);
+        let cur = self.word(addr).load(Ordering::Acquire);
+        match f(cur) {
+            Some(new) => {
+                self.word(addr).store(new, Ordering::Release);
+                self.unlock_line(line, self.clock_tick());
+            }
+            None => self.unlock_line(line, old_ver),
+        }
+        cur
+    }
+
+    /// Non-transactional atomic add, returning the pre-image.
+    pub fn fetch_add_direct(&self, addr: Addr, delta: u64) -> u64 {
+        self.rmw_direct(addr, |v| Some(v.wrapping_add(delta)))
+    }
+
+    /// Bulk non-transactional fill of a region (initialisation helper; still
+    /// strongly isolated, one line at a time).
+    pub fn fill_region(&self, region: &MemRegion, val: u64) {
+        for addr in region.iter() {
+            self.store_direct(addr, val);
+        }
+    }
+
+    /// Snapshot a region into a `Vec` (sequential contexts only — values
+    /// from concurrently-committing transactions may be torn *across* words,
+    /// never within one).
+    pub fn snapshot_region(&self, region: &MemRegion) -> Vec<u64> {
+        region.iter().map(|a| self.load_direct(a)).collect()
+    }
+}
+
+impl std::fmt::Debug for TxMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxMemory")
+            .field("words", &self.words.len())
+            .field("lines", &self.line_meta.len())
+            .field("clock", &self.clock_now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_aligns_regions_to_lines() {
+        let mut l = MemoryLayout::new();
+        let a = l.alloc("a", 3);
+        let b = l.alloc("b", 10);
+        let c = l.alloc("c", 1);
+        assert_eq!(a.base().0, 0);
+        assert_eq!(b.base().0, 8); // 3 rounds up to one line
+        assert_eq!(c.base().0, 24); // 10 rounds up to two lines
+        assert_ne!(a.addr(2).line(), b.addr(0).line());
+        assert_eq!(l.total_words(), 32);
+    }
+
+    #[test]
+    fn padded_region_gives_one_line_per_slot() {
+        let mut l = MemoryLayout::new();
+        let p = l.alloc_padded("locks", 4);
+        assert_eq!(p.len(), 4);
+        let lines: Vec<u64> = (0..4).map(|i| p.addr(i).line()).collect();
+        for w in lines.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn direct_store_bumps_line_version() {
+        let mem = TxMemory::with_words(64);
+        let before = mem.clock_now();
+        mem.store_direct(Addr(0), 7);
+        assert_eq!(mem.load_direct(Addr(0)), 7);
+        assert!(mem.clock_now() > before);
+    }
+
+    #[test]
+    fn cas_direct_success_and_failure() {
+        let mem = TxMemory::with_words(8);
+        assert_eq!(mem.cas_direct(Addr(3), 0, 5), Ok(0));
+        assert_eq!(mem.cas_direct(Addr(3), 0, 9), Err(5));
+        assert_eq!(mem.load_direct(Addr(3)), 5);
+    }
+
+    #[test]
+    fn failed_cas_does_not_bump_version() {
+        let mem = TxMemory::with_words(8);
+        mem.store_direct(Addr(0), 1);
+        let clock = mem.clock_now();
+        let _ = mem.cas_direct(Addr(0), 42, 43);
+        assert_eq!(mem.clock_now(), clock);
+    }
+
+    #[test]
+    fn rmw_none_leaves_word_and_version() {
+        let mem = TxMemory::with_words(8);
+        mem.store_direct(Addr(1), 10);
+        let clock = mem.clock_now();
+        let pre = mem.rmw_direct(Addr(1), |_| None);
+        assert_eq!(pre, 10);
+        assert_eq!(mem.load_direct(Addr(1)), 10);
+        assert_eq!(mem.clock_now(), clock);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let mem = TxMemory::with_words(8);
+        assert_eq!(mem.fetch_add_direct(Addr(2), 5), 0);
+        assert_eq!(mem.fetch_add_direct(Addr(2), 7), 5);
+        assert_eq!(mem.load_direct(Addr(2)), 12);
+    }
+
+    #[test]
+    fn concurrent_direct_increments_do_not_lose_updates() {
+        let mem = std::sync::Arc::new(TxMemory::with_words(8));
+        let threads = 8;
+        let per = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let mem = std::sync::Arc::clone(&mem);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        mem.fetch_add_direct(Addr(0), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.load_direct(Addr(0)), threads * per);
+    }
+}

@@ -1,0 +1,96 @@
+//! Encoding of the per-cache-line metadata word (a TL2-style versioned lock).
+//!
+//! Layout of the 64-bit metadata word:
+//!
+//! ```text
+//!  63      62..48            47..0
+//! +------+------------------+----------------------------+
+//! | lock | owner (ctx id+1) | version (global clock val) |
+//! +------+------------------+----------------------------+
+//! ```
+//!
+//! * When `lock` is clear the line is unlocked and `owner` is zero; `version`
+//!   is the global-clock value at which the line was last published.
+//! * When `lock` is set the line is write-locked by context `owner - 1`
+//!   (either a committing transaction or a direct accessor); `version` still
+//!   holds the pre-lock version so readers can tell the line is in flux.
+
+/// Number of version bits. 48 bits of commit timestamps is ~10^14 commits.
+pub(crate) const VERSION_BITS: u32 = 48;
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+const LOCK_BIT: u64 = 1 << 63;
+const OWNER_SHIFT: u32 = VERSION_BITS;
+const OWNER_MASK: u64 = 0x7FFF; // 15 bits
+
+/// Maximum context id representable in the owner field.
+pub(crate) const MAX_OWNER: u32 = (OWNER_MASK as u32) - 1;
+
+/// Is the line currently write-locked?
+#[inline]
+pub(crate) fn is_locked(meta: u64) -> bool {
+    meta & LOCK_BIT != 0
+}
+
+/// Version component of a metadata word.
+#[inline]
+pub(crate) fn version(meta: u64) -> u64 {
+    meta & VERSION_MASK
+}
+
+/// Owner context id of a locked word. Only meaningful when [`is_locked`].
+#[inline]
+pub(crate) fn owner(meta: u64) -> u32 {
+    (((meta >> OWNER_SHIFT) & OWNER_MASK) as u32).wrapping_sub(1)
+}
+
+/// Build an unlocked metadata word with the given version.
+#[inline]
+pub(crate) fn unlocked(version: u64) -> u64 {
+    debug_assert!(version <= VERSION_MASK, "version clock overflow");
+    version
+}
+
+/// Build a locked metadata word preserving the pre-lock version.
+#[inline]
+pub(crate) fn locked(version: u64, owner: u32) -> u64 {
+    debug_assert!(version <= VERSION_MASK);
+    debug_assert!(owner <= MAX_OWNER);
+    LOCK_BIT | (u64::from(owner + 1) << OWNER_SHIFT) | version
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlocked_roundtrip() {
+        let m = unlocked(12345);
+        assert!(!is_locked(m));
+        assert_eq!(version(m), 12345);
+    }
+
+    #[test]
+    fn locked_roundtrip() {
+        let m = locked(999, 42);
+        assert!(is_locked(m));
+        assert_eq!(version(m), 999);
+        assert_eq!(owner(m), 42);
+    }
+
+    #[test]
+    fn owner_zero_is_distinguishable() {
+        // Context id 0 must encode as a *locked* word different from any
+        // unlocked word, hence the +1 bias in the owner field.
+        let m = locked(0, 0);
+        assert!(is_locked(m));
+        assert_eq!(owner(m), 0);
+        assert_ne!(m, unlocked(0));
+    }
+
+    #[test]
+    fn max_owner_fits() {
+        let m = locked(VERSION_MASK, MAX_OWNER);
+        assert_eq!(owner(m), MAX_OWNER);
+        assert_eq!(version(m), VERSION_MASK);
+    }
+}

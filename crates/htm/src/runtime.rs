@@ -1,0 +1,108 @@
+//! The shared HTM runtime: owns the memory and hands out per-thread contexts.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::config::HtmConfig;
+use crate::ctx::HtmCtx;
+use crate::memory::{MemoryLayout, TxMemory};
+use crate::meta;
+
+/// Shared entry point to the emulated HTM.
+///
+/// Cheap to share via `Arc`; create one per experiment, carve the memory
+/// with a [`MemoryLayout`], then give each worker thread its own
+/// [`HtmCtx`] via [`ctx`](Self::ctx).
+pub struct HtmRuntime {
+    mem: Arc<TxMemory>,
+    config: HtmConfig,
+    next_ctx: AtomicU32,
+}
+
+impl HtmRuntime {
+    /// Build a runtime over a fresh zeroed memory covering `layout`.
+    pub fn new(layout: MemoryLayout, config: HtmConfig) -> Self {
+        config.validate();
+        Self::from_memory(Arc::new(TxMemory::new(&layout)), config)
+    }
+
+    /// Build a runtime over an existing shared memory (e.g. to run several
+    /// schedulers against the same heap).
+    pub fn from_memory(mem: Arc<TxMemory>, config: HtmConfig) -> Self {
+        config.validate();
+        HtmRuntime { mem, config, next_ctx: AtomicU32::new(0) }
+    }
+
+    /// Create a new per-thread transaction context.
+    ///
+    /// # Panics
+    /// After `meta::MAX_OWNER - 1` contexts (32 766) have been created.
+    pub fn ctx(&self) -> HtmCtx {
+        let id = self.next_ctx.fetch_add(1, Ordering::Relaxed);
+        assert!(id < meta::MAX_OWNER - 1, "HTM context ids exhausted");
+        HtmCtx::new(Arc::clone(&self.mem), &self.config, id)
+    }
+
+    /// The shared transactional memory.
+    #[inline]
+    pub fn memory(&self) -> &Arc<TxMemory> {
+        &self.mem
+    }
+
+    /// The configured geometry.
+    #[inline]
+    pub fn config(&self) -> &HtmConfig {
+        &self.config
+    }
+
+    /// Words a transaction can touch before the cache is *guaranteed* to
+    /// overflow (the paper's "8,192 ints" ≙ 4,096 u64 words). Footprints
+    /// well below this may still abort — see [`L1Model`](crate::L1Model).
+    #[inline]
+    pub fn capacity_words(&self) -> usize {
+        self.config.capacity_words()
+    }
+}
+
+impl std::fmt::Debug for HtmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmRuntime")
+            .field("memory", &self.mem)
+            .field("contexts", &self.next_ctx.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_get_unique_ids() {
+        let mut layout = MemoryLayout::new();
+        layout.alloc("w", 8);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        let a = rt.ctx();
+        let b = rt.ctx();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn shared_memory_between_runtimes() {
+        let mut layout = MemoryLayout::new();
+        let r = layout.alloc("w", 8);
+        let mem = Arc::new(TxMemory::new(&layout));
+        let rt1 = HtmRuntime::from_memory(Arc::clone(&mem), HtmConfig::default());
+        let rt2 = HtmRuntime::from_memory(Arc::clone(&mem), HtmConfig::default());
+        rt1.memory().store_direct(r.addr(0), 9);
+        assert_eq!(rt2.memory().load_direct(r.addr(0)), 9);
+    }
+
+    #[test]
+    fn capacity_words_matches_paper() {
+        let mut layout = MemoryLayout::new();
+        layout.alloc("w", 8);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        assert_eq!(rt.capacity_words(), 4096);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-context HTM statistics, mergeable across threads.
+
+use crate::abort::AbortCode;
+
+/// Counters describing one context's (or an aggregate of contexts')
+/// transactional activity. The benchmark harness uses these to reproduce the
+/// paper's Figure 4 (abort probability) and to cross-check mode-routing
+/// decisions in the TuFast core.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HtmStats {
+    /// Transactions started.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts caused by conflicts (including lock-busy lines).
+    pub aborts_conflict: u64,
+    /// Aborts caused by the capacity model.
+    pub aborts_capacity: u64,
+    /// Aborts requested via `abort_explicit`.
+    pub aborts_explicit: u64,
+    /// Injected environmental aborts.
+    pub aborts_spurious: u64,
+    /// Transactional reads performed (including aborted work).
+    pub reads: u64,
+    /// Transactional writes performed (including aborted work).
+    pub writes: u64,
+    /// Successful snapshot extensions (conflict aborts avoided by
+    /// revalidating the read set).
+    pub extensions: u64,
+    /// Largest distinct-line footprint seen in any transaction.
+    pub max_lines: u32,
+}
+
+impl HtmStats {
+    /// Total aborts of all causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_spurious
+    }
+
+    /// Fraction of started transactions that aborted (0 when none started).
+    pub fn abort_rate(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / self.begins as f64
+        }
+    }
+
+    pub(crate) fn record_abort(&mut self, code: AbortCode) {
+        match code {
+            AbortCode::Conflict => self.aborts_conflict += 1,
+            AbortCode::Capacity => self.aborts_capacity += 1,
+            AbortCode::Explicit(_) => self.aborts_explicit += 1,
+            AbortCode::Spurious => self.aborts_spurious += 1,
+        }
+    }
+
+    /// Fold another context's counters into this one.
+    pub fn merge(&mut self, other: &HtmStats) {
+        self.begins += other.begins;
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_capacity += other.aborts_capacity;
+        self.aborts_explicit += other.aborts_explicit;
+        self.aborts_spurious += other.aborts_spurious;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.extensions += other.extensions;
+        self.max_lines = self.max_lines.max(other.max_lines);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_accounting() {
+        let mut s = HtmStats::default();
+        s.record_abort(AbortCode::Conflict);
+        s.record_abort(AbortCode::Capacity);
+        s.record_abort(AbortCode::Explicit(3));
+        s.record_abort(AbortCode::Spurious);
+        assert_eq!(s.aborts(), 4);
+        assert_eq!(s.aborts_conflict, 1);
+        assert_eq!(s.aborts_capacity, 1);
+        assert_eq!(s.aborts_explicit, 1);
+        assert_eq!(s.aborts_spurious, 1);
+    }
+
+    #[test]
+    fn abort_rate_handles_zero_begins() {
+        assert_eq!(HtmStats::default().abort_rate(), 0.0);
+        let s = HtmStats { begins: 4, aborts_conflict: 1, ..Default::default() };
+        assert!((s.abort_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let a = HtmStats { begins: 1, commits: 1, max_lines: 10, ..Default::default() };
+        let b = HtmStats { begins: 2, reads: 5, max_lines: 3, ..Default::default() };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.begins, 3);
+        assert_eq!(m.commits, 1);
+        assert_eq!(m.reads, 5);
+        assert_eq!(m.max_lines, 10);
+    }
+}

@@ -1,0 +1,167 @@
+//! An open-addressed map from word address to buffered value, preserving
+//! insertion order — the transaction write buffer.
+//!
+//! Requirements that rule out `HashMap`: cheap clearing between
+//! transactions, order-preserving iteration (writes are applied in program
+//! order at commit), and last-writer-wins updates in place.
+
+use crate::memory::Addr;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Write buffer: address → value with insertion-order iteration.
+#[derive(Debug)]
+pub struct WordMap {
+    /// Hash table of indices into `entries`.
+    slots: Vec<u32>,
+    mask: usize,
+    entries: Vec<(u64, u64)>,
+}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl WordMap {
+    /// Create a map with room for `cap` entries before rehash.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(8) * 2).next_power_of_two();
+        WordMap { slots: vec![EMPTY; slots], mask: slots - 1, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of distinct addresses buffered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forget all writes, keeping allocations.
+    pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.slots.fill(EMPTY);
+            self.entries.clear();
+        }
+    }
+
+    /// Buffer `val` for `addr`; returns `true` if the address was new.
+    pub fn insert(&mut self, addr: Addr, val: u64) -> bool {
+        if (self.entries.len() + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let key = addr.0;
+        let mut i = (hash(key) as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                self.slots[i] = self.entries.len() as u32;
+                self.entries.push((key, val));
+                return true;
+            }
+            if self.entries[slot as usize].0 == key {
+                self.entries[slot as usize].1 = val;
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Buffered value for `addr`, if any.
+    pub fn get(&self, addr: Addr) -> Option<u64> {
+        let key = addr.0;
+        let mut i = (hash(key) as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return None;
+            }
+            let (k, v) = self.entries[slot as usize];
+            if k == key {
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Iterate buffered `(addr, value)` pairs in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.entries.iter().map(|&(a, v)| (Addr(a), v))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        self.slots = vec![EMPTY; new_cap];
+        self.mask = new_cap - 1;
+        for (idx, &(k, _)) in self.entries.iter().enumerate() {
+            let mut i = (hash(k) as usize) & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = idx as u32;
+        }
+    }
+}
+
+impl Default for WordMap {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update() {
+        let mut m = WordMap::with_capacity(4);
+        assert!(m.insert(Addr(10), 1));
+        assert!(m.insert(Addr(20), 2));
+        assert!(!m.insert(Addr(10), 3)); // update in place
+        assert_eq!(m.get(Addr(10)), Some(3));
+        assert_eq!(m.get(Addr(20)), Some(2));
+        assert_eq!(m.get(Addr(30)), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_preserves_first_insertion_order() {
+        let mut m = WordMap::default();
+        m.insert(Addr(5), 50);
+        m.insert(Addr(1), 10);
+        m.insert(Addr(9), 90);
+        m.insert(Addr(5), 55); // update must not move position
+        let order: Vec<(u64, u64)> = m.iter().map(|(a, v)| (a.0, v)).collect();
+        assert_eq!(order, vec![(5, 55), (1, 10), (9, 90)]);
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut m = WordMap::with_capacity(2);
+        for i in 0..500u64 {
+            m.insert(Addr(i * 3), i);
+        }
+        for i in 0..500u64 {
+            assert_eq!(m.get(Addr(i * 3)), Some(i));
+        }
+        let order: Vec<u64> = m.iter().map(|(a, _)| a.0).collect();
+        assert_eq!(order, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = WordMap::default();
+        m.insert(Addr(1), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(Addr(1)), None);
+        m.insert(Addr(1), 2);
+        assert_eq!(m.get(Addr(1)), Some(2));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the HTM substrate: the transaction-local hash
+//! structures against std-collection models, and serializability of random
+//! single-threaded transaction schedules against a direct interpreter.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use tufast_htm::{Addr, HtmConfig, HtmRuntime, LineSet, MemoryLayout, WordMap};
+
+proptest! {
+    #[test]
+    fn lineset_behaves_like_hashset(keys in prop::collection::vec(0u64..10_000, 0..300)) {
+        let mut set = LineSet::with_capacity(4);
+        let mut model: HashSet<u64> = HashSet::new();
+        for &k in &keys {
+            prop_assert_eq!(set.insert(k), model.insert(k));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        for &k in &keys {
+            prop_assert!(set.contains(k));
+        }
+        let mut collected: Vec<u64> = set.iter().collect();
+        collected.sort_unstable();
+        let mut expected: Vec<u64> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn wordmap_behaves_like_hashmap(ops in prop::collection::vec((0u64..5_000, 0u64..1_000_000), 0..300)) {
+        let mut map = WordMap::with_capacity(4);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for &(k, v) in &ops {
+            let fresh = map.insert(Addr(k), v);
+            if model.insert(k, v).is_none() {
+                order.push(k);
+                prop_assert!(fresh);
+            } else {
+                prop_assert!(!fresh);
+            }
+        }
+        prop_assert_eq!(map.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(map.get(Addr(k)), Some(v));
+        }
+        // Insertion order is preserved.
+        let got_order: Vec<u64> = map.iter().map(|(a, _)| a.0).collect();
+        prop_assert_eq!(got_order, order);
+    }
+
+    /// Random schedules of transactional read-modify-writes interleaved
+    /// with direct stores must match a plain interpreter (single thread:
+    /// every transaction commits unless capacity kills it, and capacity
+    /// can't, at these sizes).
+    #[test]
+    fn single_thread_schedule_matches_interpreter(
+        script in prop::collection::vec((0u64..64, 0u64..100, any::<bool>()), 1..100),
+    ) {
+        let mut layout = MemoryLayout::new();
+        layout.alloc("cells", 64);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        let mut ctx = rt.ctx();
+        let mut model = vec![0u64; 64];
+        for &(addr, delta, transactional) in &script {
+            if transactional {
+                loop {
+                    ctx.begin().unwrap();
+                    let Ok(v) = ctx.read(Addr(addr)) else { continue };
+                    if ctx.write(Addr(addr), v.wrapping_add(delta)).is_err() {
+                        continue;
+                    }
+                    if ctx.commit().is_ok() {
+                        break;
+                    }
+                }
+            } else {
+                rt.memory().fetch_add_direct(Addr(addr), delta);
+            }
+            model[addr as usize] = model[addr as usize].wrapping_add(delta);
+        }
+        for (i, &expected) in model.iter().enumerate() {
+            prop_assert_eq!(rt.memory().load_direct(Addr(i as u64)), expected);
+        }
+    }
+
+    /// The capacity model is deterministic: the same footprint aborts (or
+    /// fits) identically across repeated attempts.
+    #[test]
+    fn capacity_verdict_is_deterministic(lines in prop::collection::hash_set(0u64..4096, 1..600)) {
+        let mut layout = MemoryLayout::new();
+        layout.alloc("arena", 4096 * 8);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        let mut ctx = rt.ctx();
+        let verdict = |ctx: &mut tufast_htm::HtmCtx| -> bool {
+            ctx.begin().unwrap();
+            for &line in &lines {
+                if ctx.read(Addr(line * 8)).is_err() {
+                    return false; // aborted (capacity)
+                }
+            }
+            ctx.commit().is_ok()
+        };
+        let first = verdict(&mut ctx);
+        for _ in 0..3 {
+            prop_assert_eq!(verdict(&mut ctx), first);
+        }
+    }
+}

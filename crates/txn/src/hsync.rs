@@ -1,0 +1,377 @@
+//! An HSync-like two-mode hybrid: HTM fast path with a global-lock fallback
+//! (classical lock elision) — the paper's "HSync" baseline (its ref [56]).
+//!
+//! Every transaction first runs entirely inside one hardware transaction
+//! that *subscribes* the global fallback word; after a bounded number of
+//! retryable aborts — or immediately on a capacity abort — it acquires the
+//! global fallback lock and runs non-speculatively. Subscription makes the
+//! two paths mutually safe: fallback acquisition invalidates the word every
+//! speculative transaction has in its read set.
+//!
+//! Being two-mode, HSync has no middle gear for the moderate-size
+//! transactions TuFast handles in O mode: anything past HTM capacity
+//! serialises globally. That cliff is exactly what the paper's Figures 13
+//! and 14 show TuFast avoiding.
+
+use std::sync::Arc;
+
+use tufast_htm::{AbortCode, Addr, HtmCtx};
+
+use crate::system::TxnSystem;
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+/// Default HTM retries before falling back.
+pub const DEFAULT_HTM_RETRIES: u32 = 5;
+
+/// The HSync-like scheduler.
+pub struct HSyncLike {
+    sys: Arc<TxnSystem>,
+    retries: u32,
+}
+
+impl HSyncLike {
+    /// Create with [`DEFAULT_HTM_RETRIES`].
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        HSyncLike { sys, retries: DEFAULT_HTM_RETRIES }
+    }
+
+    /// Create with an explicit HTM retry budget.
+    pub fn with_retries(sys: Arc<TxnSystem>, retries: u32) -> Self {
+        HSyncLike { sys, retries: retries.max(1) }
+    }
+}
+
+impl GraphScheduler for HSyncLike {
+    type Worker = HSyncWorker;
+
+    fn worker(&self) -> HSyncWorker {
+        HSyncWorker {
+            ctx: self.sys.htm_ctx(),
+            sys: Arc::clone(&self.sys),
+            retries: self.retries,
+            undo: Vec::with_capacity(32),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HSync"
+    }
+}
+
+/// Per-thread HSync state.
+pub struct HSyncWorker {
+    sys: Arc<TxnSystem>,
+    ctx: HtmCtx,
+    retries: u32,
+    undo: Vec<(Addr, u64)>,
+    stats: SchedStats,
+}
+
+/// Speculative ops: everything inside one HTM transaction.
+struct HtmOps<'a> {
+    ctx: &'a mut HtmCtx,
+    stats: &'a mut SchedStats,
+    last_abort: Option<AbortCode>,
+}
+
+impl TxnOps for HtmOps<'_> {
+    fn read(&mut self, _v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        if !self.ctx.in_tx() {
+            // The body kept calling ops after an abort it failed to
+            // propagate; keep signalling restart.
+            return Err(TxInterrupt::Restart);
+        }
+        self.ctx.read(addr).map_err(|code| {
+            self.last_abort = Some(code);
+            TxInterrupt::Restart
+        })
+    }
+
+    fn write(&mut self, _v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        if !self.ctx.in_tx() {
+            return Err(TxInterrupt::Restart);
+        }
+        self.ctx.write(addr, val).map_err(|code| {
+            self.last_abort = Some(code);
+            TxInterrupt::Restart
+        })
+    }
+}
+
+/// Fallback ops: in-place under the global lock, with an undo log so a
+/// user abort can roll back.
+struct FallbackOps<'a> {
+    sys: &'a TxnSystem,
+    undo: &'a mut Vec<(Addr, u64)>,
+    stats: &'a mut SchedStats,
+}
+
+impl TxnOps for FallbackOps<'_> {
+    fn read(&mut self, _v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        Ok(self.sys.mem().load_direct(addr))
+    }
+
+    fn write(&mut self, _v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        let mem = self.sys.mem();
+        self.undo.push((addr, mem.load_direct(addr)));
+        mem.store_direct(addr, val);
+        Ok(())
+    }
+}
+
+impl HSyncWorker {
+    /// One speculative attempt. `Ok(true)` = committed, `Ok(false)` = user
+    /// abort, `Err(code)` = HTM abort.
+    fn htm_attempt(&mut self, body: &mut TxnBody<'_>) -> Result<bool, AbortCode> {
+        let fallback = self.sys.fallback_word();
+        self.ctx.begin().expect("no nesting here");
+        // Subscribe the fallback lock; busy means a fallback transaction is
+        // running — abort and let the caller wait it out.
+        match self.ctx.read(fallback) {
+            Ok(0) => {}
+            Ok(_) => {
+                let code = self.ctx.abort_explicit(0xF0);
+                return Err(code);
+            }
+            Err(code) => return Err(code),
+        }
+        let mut ops = HtmOps { ctx: &mut self.ctx, stats: &mut self.stats, last_abort: None };
+        match body(&mut ops) {
+            Ok(()) => {
+                let ops_abort = ops.last_abort;
+                if !self.ctx.in_tx() {
+                    // Aborted mid-body but the body returned Ok anyway.
+                    return Err(ops_abort.unwrap_or(AbortCode::Conflict));
+                }
+                match self.ctx.commit() {
+                    Ok(()) => Ok(true),
+                    Err(code) => Err(ops_abort.unwrap_or(code)),
+                }
+            }
+            Err(TxInterrupt::Restart) => {
+                let code = ops.last_abort.unwrap_or(AbortCode::Conflict);
+                if self.ctx.in_tx() {
+                    self.ctx.abort_explicit(0xF1);
+                }
+                Err(code)
+            }
+            Err(TxInterrupt::UserAbort) => {
+                if self.ctx.in_tx() {
+                    self.ctx.abort_explicit(0xFF);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Serialise under the global fallback lock.
+    fn fallback_attempt(&mut self, body: &mut TxnBody<'_>) -> bool {
+        let mem = self.sys.mem();
+        let fallback = self.sys.fallback_word();
+        let mut spins = 0u32;
+        while mem.cas_direct(fallback, 0, 1).is_err() {
+            spins += 1;
+            if spins % 256 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.undo.clear();
+        let mut ops = FallbackOps { sys: &self.sys, undo: &mut self.undo, stats: &mut self.stats };
+        let result = body(&mut ops);
+        match result {
+            Ok(()) => {
+                mem.store_direct(fallback, 0);
+                true
+            }
+            Err(_) => {
+                // Roll back in-place writes, newest first, then release.
+                for &(addr, old) in self.undo.iter().rev() {
+                    mem.store_direct(addr, old);
+                }
+                mem.store_direct(fallback, 0);
+                false
+            }
+        }
+    }
+}
+
+impl TxnWorker for HSyncWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        let mut htm_tries = 0u32;
+        loop {
+            attempts += 1;
+            if htm_tries < self.retries {
+                htm_tries += 1;
+                match self.htm_attempt(body) {
+                    Ok(true) => {
+                        self.stats.commits += 1;
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    Ok(false) => {
+                        self.stats.user_aborts += 1;
+                        return TxnOutcome { committed: false, attempts };
+                    }
+                    Err(code) => {
+                        self.stats.restarts += 1;
+                        if code == AbortCode::Capacity {
+                            // Deterministic: skip the remaining retries.
+                            htm_tries = self.retries;
+                        }
+                        backoff(htm_tries, self.ctx.id());
+                    }
+                }
+            } else {
+                // Fallback path. A `false` here is a user abort (the global
+                // lock admits no conflicts).
+                let committed = self.fallback_attempt(body);
+                if committed {
+                    self.stats.commits += 1;
+                } else {
+                    self.stats.user_aborts += 1;
+                }
+                return TxnOutcome { committed, attempts };
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn htm_ops(&self) -> u64 {
+        let h = self.ctx.stats();
+        h.reads + h.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", n as u64);
+        let sys = TxnSystem::with_defaults(n, layout);
+        for i in 0..n as u64 {
+            sys.mem().store_direct(acc.addr(i), 100);
+        }
+        (sys, acc)
+    }
+
+    #[test]
+    fn small_transaction_commits_via_htm() {
+        let (sys, acc) = bank(1);
+        let sched = HSyncLike::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
+        // The fallback lock was never taken.
+        assert_eq!(sys.mem().load_direct(sys.fallback_word()), 0);
+    }
+
+    #[test]
+    fn oversized_transaction_falls_back_and_commits() {
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 10_000);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = HSyncLike::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(10_000, &mut |ops| {
+            // Touch > 448 distinct lines: guaranteed capacity abort.
+            for i in 0..10_000u64 {
+                ops.write(0, big.addr(i), i)?;
+            }
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(big.addr(9_999)), 9_999);
+        assert_eq!(sys.mem().load_direct(sys.fallback_word()), 0, "fallback lock released");
+        assert!(w.stats().restarts >= 1, "capacity abort should be recorded");
+    }
+
+    #[test]
+    fn user_abort_in_fallback_rolls_back() {
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 8000);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = HSyncLike::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(8000, &mut |ops| {
+            for i in 0..8000u64 {
+                ops.write(0, big.addr(i), 1)?;
+            }
+            Err(ops.user_abort())
+        });
+        assert!(!out.committed);
+        for i in (0..8000).step_by(997) {
+            assert_eq!(sys.mem().load_direct(big.addr(i)), 0, "write {i} not rolled back");
+        }
+        assert_eq!(sys.mem().load_direct(sys.fallback_word()), 0);
+    }
+
+    #[test]
+    fn mixed_htm_and_fallback_preserve_invariants() {
+        // Small increments race with huge fallback transactions touching the
+        // same counter; the total must be exact.
+        let mut layout = MemoryLayout::new();
+        let counter = layout.alloc("counter", 1);
+        let filler = layout.alloc("filler", 8000);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = Arc::new(HSyncLike::new(Arc::clone(&sys)));
+        let small_threads = 4u64;
+        let big_threads = 2u64;
+        let per = 200u64;
+        std::thread::scope(|s| {
+            for _ in 0..small_threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..per {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, counter.addr(0))?;
+                            ops.write(0, counter.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+            for _ in 0..big_threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..20 {
+                        w.execute(8000, &mut |ops| {
+                            let x = ops.read(0, counter.addr(0))?;
+                            for i in 0..8000u64 {
+                                ops.write(0, filler.addr(i), x + i)?;
+                            }
+                            ops.write(0, counter.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sys.mem().load_direct(counter.addr(0)),
+            small_threads * per + big_threads * 20
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! HTM-accelerated timestamp ordering (H-TO) — the paper's baseline from
+//! its reference [10] (Leis et al., "Exploiting hardware transactional
+//! memory in main-memory databases").
+//!
+//! Protocol: plain timestamp ordering, but the multi-word metadata
+//! manoeuvres — `wts` check + `rts` claim + value read, and the commit's
+//! check-publish-stamp sequence — run inside small hardware transactions,
+//! making them atomic without latching. On HTM aborts (including capacity
+//! overflow of large commits) the worker falls back to the lock-based TO
+//! paths shared with [`TimestampOrdering`](crate::TimestampOrdering).
+//!
+//! The HTM commit also bumps each written vertex's lock-word version
+//! *inside* the transaction, so the lock-free fallback readers (which
+//! sample the lock word around their value load) observe HTM commits.
+
+use std::sync::Arc;
+
+use tufast_htm::{Addr, HtmCtx, WordMap};
+
+use crate::locks::LockWord;
+use crate::system::TxnSystem;
+use crate::to::{pack, to_commit_locked, to_read_fallback, unpack};
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+/// HTM attempts per accelerated operation before falling back.
+const HTM_OP_RETRIES: u32 = 2;
+
+/// The H-TO scheduler.
+pub struct HTimestampOrdering {
+    sys: Arc<TxnSystem>,
+}
+
+impl HTimestampOrdering {
+    /// Create the scheduler over a shared system.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        HTimestampOrdering { sys }
+    }
+}
+
+impl GraphScheduler for HTimestampOrdering {
+    type Worker = HtoWorker;
+
+    fn worker(&self) -> HtoWorker {
+        HtoWorker {
+            id: self.sys.new_worker_id(),
+            ctx: self.sys.htm_ctx(),
+            sys: Arc::clone(&self.sys),
+            ts: 0,
+            writes: WordMap::with_capacity(32),
+            write_vertices: Vec::with_capacity(16),
+            write_seen: WordMap::with_capacity(16),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "H-TO"
+    }
+}
+
+/// Per-thread H-TO state.
+pub struct HtoWorker {
+    id: u32,
+    sys: Arc<TxnSystem>,
+    ctx: HtmCtx,
+    ts: u32,
+    writes: WordMap,
+    write_vertices: Vec<VertexId>,
+    write_seen: WordMap,
+    stats: SchedStats,
+}
+
+/// Outcome of one HTM-accelerated attempt.
+enum HtmTry<T> {
+    Done(T),
+    /// Timestamp rule violated — a genuine TO restart, not an HTM problem.
+    TsViolation,
+    /// HTM aborted or a lock was busy: use the fallback path.
+    Fallback,
+}
+
+impl HtoWorker {
+    fn reset(&mut self) {
+        self.writes.clear();
+        self.write_vertices.clear();
+        self.write_seen.clear();
+        let ts = self.sys.next_ts();
+        assert!(ts < u64::from(u32::MAX), "H-TO timestamp space exhausted");
+        self.ts = ts as u32;
+    }
+
+    /// `wts` check + `rts` claim + value read, atomically in one HTM txn.
+    fn htm_read(&mut self, v: VertexId, addr: Addr) -> HtmTry<u64> {
+        let lock_addr = self.sys.locks().addr(v);
+        let ts_addr = self.sys.to_ts_addr(v);
+        if self.ctx.begin().is_err() {
+            return HtmTry::Fallback;
+        }
+        // Subscribe the vertex lock; a held write lock means a lock-based
+        // committer is mid-flight.
+        let lw = match self.ctx.read(lock_addr) {
+            Ok(w) => LockWord(w),
+            Err(_) => return HtmTry::Fallback,
+        };
+        if lw.writer().is_some() {
+            self.ctx.abort_explicit(0xA0);
+            return HtmTry::Fallback;
+        }
+        let tsw = match self.ctx.read(ts_addr) {
+            Ok(w) => w,
+            Err(_) => return HtmTry::Fallback,
+        };
+        let (wts, rts) = unpack(tsw);
+        if wts > self.ts {
+            self.ctx.abort_explicit(0xA1);
+            return HtmTry::TsViolation;
+        }
+        if rts < self.ts && self.ctx.write(ts_addr, pack(wts, self.ts)).is_err() {
+            return HtmTry::Fallback;
+        }
+        let val = match self.ctx.read(addr) {
+            Ok(v) => v,
+            Err(_) => return HtmTry::Fallback,
+        };
+        match self.ctx.commit() {
+            Ok(()) => HtmTry::Done(val),
+            Err(_) => HtmTry::Fallback,
+        }
+    }
+
+    /// Validate + publish + stamp, atomically in one HTM txn.
+    fn htm_commit(&mut self) -> HtmTry<()> {
+        if self.ctx.begin().is_err() {
+            return HtmTry::Fallback;
+        }
+        for &v in &self.write_vertices {
+            let lock_addr = self.sys.locks().addr(v);
+            let lw = match self.ctx.read(lock_addr) {
+                Ok(w) => LockWord(w),
+                Err(_) => return HtmTry::Fallback,
+            };
+            if !lw.is_free() {
+                self.ctx.abort_explicit(0xA2);
+                return HtmTry::Fallback;
+            }
+            let ts_addr = self.sys.to_ts_addr(v);
+            let tsw = match self.ctx.read(ts_addr) {
+                Ok(w) => w,
+                Err(_) => return HtmTry::Fallback,
+            };
+            let (wts, rts) = unpack(tsw);
+            if wts > self.ts || rts > self.ts {
+                self.ctx.abort_explicit(0xA3);
+                return HtmTry::TsViolation;
+            }
+            // Stamp wts and bump the vertex version so lock-free readers
+            // and validators see this commit.
+            if self.ctx.write(ts_addr, pack(self.ts, rts)).is_err()
+                || self.ctx.write(lock_addr, lw.bumped().0).is_err()
+            {
+                return HtmTry::Fallback;
+            }
+        }
+        let writes: Vec<(Addr, u64)> = self.writes.iter().collect();
+        for (addr, val) in writes {
+            if self.ctx.write(addr, val).is_err() {
+                return HtmTry::Fallback;
+            }
+        }
+        match self.ctx.commit() {
+            Ok(()) => HtmTry::Done(()),
+            Err(_) => HtmTry::Fallback,
+        }
+    }
+
+    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+        if self.writes.is_empty() {
+            return Ok(());
+        }
+        for _ in 0..HTM_OP_RETRIES {
+            match self.htm_commit() {
+                HtmTry::Done(()) => return Ok(()),
+                HtmTry::TsViolation => return Err(TxInterrupt::Restart),
+                HtmTry::Fallback => {}
+            }
+        }
+        to_commit_locked(&self.sys, self.id, self.ts, &self.writes, &self.write_vertices)
+    }
+}
+
+impl TxnOps for HtoWorker {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        if let Some(val) = self.writes.get(addr) {
+            return Ok(val);
+        }
+        for _ in 0..HTM_OP_RETRIES {
+            match self.htm_read(v, addr) {
+                HtmTry::Done(val) => return Ok(val),
+                HtmTry::TsViolation => return Err(TxInterrupt::Restart),
+                HtmTry::Fallback => {}
+            }
+        }
+        to_read_fallback(&self.sys, self.id, self.ts, v, addr)
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        let (wts, rts) = unpack(self.sys.mem().load_direct(self.sys.to_ts_addr(v)));
+        if wts > self.ts || rts > self.ts {
+            return Err(TxInterrupt::Restart);
+        }
+        self.writes.insert(addr, val);
+        if self.write_seen.insert(Addr(u64::from(v)), 1) {
+            self.write_vertices.push(v);
+        }
+        Ok(())
+    }
+}
+
+impl TxnWorker for HtoWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.reset();
+            match body(self) {
+                Ok(()) => match self.try_commit() {
+                    Ok(()) => {
+                        self.stats.commits += 1;
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    Err(_) => {
+                        self.stats.restarts += 1;
+                        backoff(attempts, self.id);
+                    }
+                },
+                Err(TxInterrupt::Restart) => {
+                    self.stats.restarts += 1;
+                    backoff(attempts, self.id);
+                }
+                Err(TxInterrupt::UserAbort) => {
+                    self.stats.user_aborts += 1;
+                    return TxnOutcome { committed: false, attempts };
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn htm_ops(&self) -> u64 {
+        let h = self.ctx.stats();
+        h.reads + h.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", n as u64);
+        let sys = TxnSystem::with_defaults(n, layout);
+        for i in 0..n as u64 {
+            sys.mem().store_direct(acc.addr(i), 100);
+        }
+        (sys, acc)
+    }
+
+    #[test]
+    fn simple_read_write_commits() {
+        let (sys, acc) = bank(1);
+        let sched = HTimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), x + 5)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 105);
+        let (wts, rts) = unpack(sys.mem().load_direct(sys.to_ts_addr(0)));
+        assert!(wts > 0 && rts > 0);
+    }
+
+    #[test]
+    fn huge_commit_falls_back_to_locks() {
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 20_000);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = HTimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(20_000, &mut |ops| {
+            for i in 0..20_000u64 {
+                ops.write(0, big.addr(i), i + 1)?;
+            }
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(big.addr(19_999)), 20_000);
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let (sys, acc) = bank(1);
+        let sched = Arc::new(HTimestampOrdering::new(Arc::clone(&sys)));
+        let threads = 6;
+        let per = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..per {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, acc.addr(0))?;
+                            ops.write(0, acc.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100 + threads * per);
+    }
+
+    #[test]
+    fn transfers_preserve_total() {
+        let n = 4usize;
+        let (sys, acc) = bank(n);
+        let sched = Arc::new(HTimestampOrdering::new(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for i in 0..200u64 {
+                        let from = ((t + i * 3) % n as u64) as VertexId;
+                        let to = ((t * 5 + i + 1) % n as u64) as VertexId;
+                        if from == to {
+                            continue;
+                        }
+                        w.execute(4, &mut |ops| {
+                            let a = ops.read(from, acc.addr(u64::from(from)))?;
+                            let b = ops.read(to, acc.addr(u64::from(to)))?;
+                            ops.write(from, acc.addr(u64::from(from)), a.wrapping_sub(1))?;
+                            ops.write(to, acc.addr(u64::from(to)), b.wrapping_add(1))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        assert_eq!(total, 100 * n as u64);
+    }
+}

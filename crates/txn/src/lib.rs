@@ -1,0 +1,49 @@
+//! # tufast-txn — concurrency substrate and baseline transaction schedulers
+//!
+//! Everything TuFast's three modes *share* (paper §IV-A: "by sharing same
+//! locks and metadata, they are integrated as one HyTM") lives here, plus
+//! the baseline schedulers the paper evaluates against (Figures 7, 13, 14):
+//!
+//! * [`TxnSystem`] — the shared heap: transactional memory, per-vertex
+//!   versioned reader–writer lock words (*inside* the transactional memory,
+//!   so HTM transactions can subscribe to them), the emulated-HTM runtime,
+//!   timestamp-ordering metadata, and the deadlock table.
+//! * [`VertexLocks`] — try/blocking shared & exclusive vertex locks with a
+//!   32-bit commit version per vertex, encoded in one word.
+//! * [`deadlock`] — a wait-for table with cycle detection for writer-writer
+//!   waits and a bounded-wait fallback for reader-held locks.
+//! * Scheduler traits ([`GraphScheduler`], [`TxnWorker`], [`TxnOps`]) —
+//!   every scheduler (including TuFast itself, in the `tufast` crate) runs
+//!   the *same* transaction bodies, so throughput comparisons are
+//!   apples-to-apples.
+//! * Baselines: [`TwoPhaseLocking`], [`Occ`] (Silo-like),
+//!   [`TimestampOrdering`], [`SoftwareTm`] (TinySTM-like),
+//!   [`HSyncLike`] (HTM + global-fallback hybrid), and
+//!   [`HTimestampOrdering`] (HTM-accelerated TO).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deadlock;
+mod hsync;
+mod hto;
+mod locks;
+mod occ;
+mod stm;
+mod system;
+mod tpl;
+mod to;
+mod traits;
+
+pub use hsync::HSyncLike;
+pub use hto::HTimestampOrdering;
+pub use locks::{LockWord, VertexLocks};
+pub use occ::Occ;
+pub use stm::SoftwareTm;
+pub use system::{SystemConfig, TxnSystem};
+pub use to::TimestampOrdering;
+pub use tpl::TwoPhaseLocking;
+pub use traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+
+/// Vertex identifier, re-exported for convenience (same as `tufast-graph`).
+pub type VertexId = u32;

@@ -1,0 +1,366 @@
+//! Optimistic concurrency control, Silo-style — the paper's optimistic
+//! baseline (its "OCC" in Figures 7, 13, 14 is "an optimistic transaction
+//! scheduler Silo optimized for main-memory database").
+//!
+//! Reads record the vertex's commit version; writes are buffered. Commit
+//! locks the write set (sorted, try-with-bounded-spin), validates that
+//! every read version is unchanged and unlocked (or locked by us),
+//! publishes, and releases with a version bump.
+
+use std::sync::Arc;
+
+use tufast_htm::{Addr, WordMap};
+
+use crate::system::TxnSystem;
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+/// Bounded spins per write-lock during commit.
+const COMMIT_LOCK_SPINS: u32 = 128;
+/// Bounded retries of the consistent-read loop.
+const READ_RETRIES: u32 = 4096;
+
+/// The Silo-like OCC scheduler.
+pub struct Occ {
+    sys: Arc<TxnSystem>,
+}
+
+impl Occ {
+    /// Create the scheduler over a shared system.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        Occ { sys }
+    }
+}
+
+impl GraphScheduler for Occ {
+    type Worker = OccWorker;
+
+    fn worker(&self) -> OccWorker {
+        OccWorker {
+            id: self.sys.new_worker_id(),
+            sys: Arc::clone(&self.sys),
+            reads: Vec::with_capacity(32),
+            read_seen: WordMap::with_capacity(32),
+            writes: WordMap::with_capacity(32),
+            write_vertices: Vec::with_capacity(16),
+            write_seen: WordMap::with_capacity(16),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "OCC"
+    }
+}
+
+/// Per-thread OCC state.
+pub struct OccWorker {
+    id: u32,
+    sys: Arc<TxnSystem>,
+    /// `(vertex, version at first read)`.
+    reads: Vec<(VertexId, u32)>,
+    read_seen: WordMap,
+    /// Buffered writes: address → value.
+    writes: WordMap,
+    write_vertices: Vec<VertexId>,
+    write_seen: WordMap,
+    stats: SchedStats,
+}
+
+impl OccWorker {
+    fn reset(&mut self) {
+        self.reads.clear();
+        self.read_seen.clear();
+        self.writes.clear();
+        self.write_vertices.clear();
+        self.write_seen.clear();
+    }
+
+    /// Consistent read of `(version, value)`: the vertex lock word is
+    /// sampled around the data load; a concurrent committer forces a retry.
+    fn consistent_read(&self, v: VertexId, addr: Addr) -> Result<(u32, u64), TxInterrupt> {
+        let mem = self.sys.mem();
+        let locks = self.sys.locks();
+        for attempt in 0..READ_RETRIES {
+            let w1 = locks.peek(mem, v);
+            if w1.writer().is_some_and(|o| o != self.id) {
+                // Yield regularly: on oversubscribed cores the lock holder
+                // needs CPU time to finish its commit.
+                if attempt % 32 == 31 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            let val = mem.load_direct(addr);
+            let w2 = locks.peek(mem, v);
+            if w1 == w2 {
+                return Ok((w1.version(), val));
+            }
+        }
+        Err(TxInterrupt::Restart)
+    }
+
+    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+        let mem = self.sys.mem();
+        let locks = self.sys.locks();
+
+        if self.writes.is_empty() {
+            // Read-only: still validate the read set so the transaction is
+            // serializable at its commit point (Silo's read validation).
+            for &(v, ver) in &self.reads {
+                let w = locks.peek(mem, v);
+                if w.version() != ver || w.writer().is_some() {
+                    return Err(TxInterrupt::Restart);
+                }
+            }
+            return Ok(());
+        }
+
+        // Phase 1: lock the write set in vertex order.
+        let mut order: Vec<VertexId> = self.write_vertices.clone();
+        order.sort_unstable();
+        let mut acquired = 0usize;
+        'locking: for (i, &v) in order.iter().enumerate() {
+            for spin in 0..COMMIT_LOCK_SPINS {
+                if locks.try_exclusive(mem, v, self.id).is_ok() {
+                    acquired = i + 1;
+                    continue 'locking;
+                }
+                if spin % 32 == 31 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            // Failed: release what we got and restart.
+            for &u in &order[..acquired] {
+                locks.unlock_exclusive(mem, u, self.id, false);
+            }
+            return Err(TxInterrupt::Restart);
+        }
+
+        // Phase 2: validate reads.
+        let mut ok = true;
+        for &(v, ver) in &self.reads {
+            let w = locks.peek(mem, v);
+            let valid = w.version() == ver && w.writer().map_or(true, |o| o == self.id);
+            if !valid {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            for &u in &order {
+                locks.unlock_exclusive(mem, u, self.id, false);
+            }
+            return Err(TxInterrupt::Restart);
+        }
+
+        // Phase 3: publish and release with a version bump.
+        for (addr, val) in self.writes.iter() {
+            mem.store_direct(addr, val);
+        }
+        for &u in &order {
+            locks.unlock_exclusive(mem, u, self.id, true);
+        }
+        Ok(())
+    }
+}
+
+impl TxnOps for OccWorker {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        if let Some(val) = self.writes.get(addr) {
+            return Ok(val);
+        }
+        let (ver, val) = self.consistent_read(v, addr)?;
+        if self.read_seen.insert(Addr(u64::from(v)), 1) {
+            self.reads.push((v, ver));
+        }
+        Ok(val)
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        self.writes.insert(addr, val);
+        if self.write_seen.insert(Addr(u64::from(v)), 1) {
+            self.write_vertices.push(v);
+        }
+        Ok(())
+    }
+}
+
+impl TxnWorker for OccWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.reset();
+            match body(self) {
+                Ok(()) => match self.try_commit() {
+                    Ok(()) => {
+                        self.stats.commits += 1;
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    Err(_) => {
+                        self.stats.restarts += 1;
+                        backoff(attempts, self.id);
+                    }
+                },
+                Err(TxInterrupt::Restart) => {
+                    self.stats.restarts += 1;
+                    backoff(attempts, self.id);
+                }
+                Err(TxInterrupt::UserAbort) => {
+                    self.stats.user_aborts += 1;
+                    self.reset();
+                    return TxnOutcome { committed: false, attempts };
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", n as u64);
+        let sys = TxnSystem::with_defaults(n, layout);
+        for i in 0..n as u64 {
+            sys.mem().store_direct(acc.addr(i), 100);
+        }
+        (sys, acc)
+    }
+
+    #[test]
+    fn write_buffering_and_read_own_write() {
+        let (sys, acc) = bank(1);
+        let sched = Occ::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 55)?;
+            assert_eq!(ops.read(0, acc.addr(0))?, 55);
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 55);
+        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 1);
+    }
+
+    #[test]
+    fn nothing_published_before_commit() {
+        let (sys, acc) = bank(1);
+        let sched = Occ::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 1)?;
+            // Mid-transaction, shared memory still has the old value.
+            assert_eq!(sys.mem().load_direct(acc.addr(0)), 100);
+            Ok(())
+        });
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 1);
+    }
+
+    #[test]
+    fn stale_read_forces_restart() {
+        let (sys, acc) = bank(1);
+        let sched = Occ::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let mut first = true;
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, acc.addr(0))?;
+            if first {
+                first = false;
+                // Another "thread" commits between our read and commit.
+                sys.locks().try_exclusive(sys.mem(), 0, 99).unwrap();
+                sys.mem().store_direct(acc.addr(0), 500);
+                sys.locks().unlock_exclusive(sys.mem(), 0, 99, true);
+            }
+            ops.write(0, acc.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 2, "first attempt must have failed validation");
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 501);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let (sys, acc) = bank(1);
+        let sched = Arc::new(Occ::new(Arc::clone(&sys)));
+        let threads = 8;
+        let per = 300;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..per {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, acc.addr(0))?;
+                            ops.write(0, acc.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100 + threads * per);
+    }
+
+    #[test]
+    fn transfers_preserve_total_under_contention() {
+        let n = 4usize;
+        let (sys, acc) = bank(n);
+        let sched = Arc::new(Occ::new(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for i in 0..300u64 {
+                        let from = ((t * 13 + i) % n as u64) as VertexId;
+                        let to = ((t * 7 + i * 3 + 1) % n as u64) as VertexId;
+                        if from == to {
+                            continue;
+                        }
+                        w.execute(4, &mut |ops| {
+                            let a = ops.read(from, acc.addr(u64::from(from)))?;
+                            let b = ops.read(to, acc.addr(u64::from(to)))?;
+                            ops.write(from, acc.addr(u64::from(from)), a.wrapping_sub(1))?;
+                            ops.write(to, acc.addr(u64::from(to)), b.wrapping_add(1))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        assert_eq!(total, 100 * n as u64);
+    }
+
+    #[test]
+    fn user_abort_discards_buffered_writes() {
+        let (sys, acc) = bank(1);
+        let sched = Occ::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 0)?;
+            Err(ops.user_abort())
+        });
+        assert!(!out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100);
+    }
+}

@@ -1,0 +1,389 @@
+//! A TinySTM-like word-based software transactional memory — the paper's
+//! "STM" baseline (it integrates TinySTM 1.0.5 by "replacing all hardware
+//! instructions by software counterparts").
+//!
+//! Same lazy-versioning protocol family as the emulated HTM (TL2 with
+//! time-base extension), but:
+//!
+//! * no capacity limit — an STM transaction can be arbitrarily large;
+//! * per-access *software instrumentation cost*. In the real systems this
+//!   is the 2–4× per-access overhead of STM barrier code versus raw loads;
+//!   because our HTM is itself emulated in software, that gap would vanish,
+//!   so it is modelled explicitly as a configurable spin per transactional
+//!   access ([`SoftwareTm::with_penalty`]), calibrated in `tufast-bench`
+//!   and documented in EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use tufast_htm::{Addr, LineSet, LineState, WordMap};
+
+use crate::system::TxnSystem;
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+const COMMIT_LOCK_SPINS: u32 = 128;
+const READ_RACE_RETRIES: u32 = 4096;
+
+/// Default modelled instrumentation cost (spin iterations per access).
+pub const DEFAULT_PENALTY_SPINS: u32 = 25;
+
+/// The TinySTM-like scheduler.
+pub struct SoftwareTm {
+    sys: Arc<TxnSystem>,
+    penalty_spins: u32,
+}
+
+impl SoftwareTm {
+    /// Create with the default modelled instrumentation cost.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        SoftwareTm { sys, penalty_spins: DEFAULT_PENALTY_SPINS }
+    }
+
+    /// Override the modelled per-access instrumentation cost (0 disables —
+    /// useful for correctness tests and the calibration bench).
+    pub fn with_penalty(sys: Arc<TxnSystem>, penalty_spins: u32) -> Self {
+        SoftwareTm { sys, penalty_spins }
+    }
+}
+
+impl GraphScheduler for SoftwareTm {
+    type Worker = StmWorker;
+
+    fn worker(&self) -> StmWorker {
+        // Draw an HTM context purely to obtain a line-lock owner id from
+        // the same id space as every other line locker.
+        let owner = self.sys.htm_ctx().id();
+        StmWorker {
+            sys: Arc::clone(&self.sys),
+            owner,
+            penalty_spins: self.penalty_spins,
+            start_ts: 0,
+            read_set: Vec::with_capacity(64),
+            read_lines: LineSet::with_capacity(64),
+            write_buf: WordMap::with_capacity(64),
+            write_lines: LineSet::with_capacity(64),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "STM"
+    }
+}
+
+/// Per-thread STM state.
+pub struct StmWorker {
+    sys: Arc<TxnSystem>,
+    owner: u32,
+    penalty_spins: u32,
+    start_ts: u64,
+    read_set: Vec<(u64, u64)>,
+    read_lines: LineSet,
+    write_buf: WordMap,
+    write_lines: LineSet,
+    stats: SchedStats,
+}
+
+impl StmWorker {
+    fn begin(&mut self) {
+        self.start_ts = self.sys.mem().clock_now_pub();
+        self.read_set.clear();
+        self.read_lines.clear();
+        self.write_buf.clear();
+        self.write_lines.clear();
+    }
+
+    #[inline]
+    fn instrument(&self) {
+        for _ in 0..self.penalty_spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Full read-set revalidation (TinySTM's time-base extension).
+    fn validate(&self) -> bool {
+        let mem = self.sys.mem();
+        self.read_set.iter().all(|&(line, ver)| {
+            matches!(mem.line_state(line), LineState::Unlocked { version } if version == ver)
+        })
+    }
+
+    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+        let mem = self.sys.mem();
+        if self.write_buf.is_empty() {
+            return Ok(());
+        }
+        let mut lines: Vec<u64> = self.write_lines.iter().collect();
+        lines.sort_unstable();
+        let mut locked: Vec<(u64, u64)> = Vec::with_capacity(lines.len());
+        'locking: for &line in &lines {
+            for spin in 0..COMMIT_LOCK_SPINS {
+                if let Ok(old_ver) = mem.try_lock_line_pub(line, self.owner) {
+                    locked.push((line, old_ver));
+                    continue 'locking;
+                }
+                if spin % 32 == 31 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            for &(l, v) in &locked {
+                mem.unlock_line_pub(l, v);
+            }
+            return Err(TxInterrupt::Restart);
+        }
+        let commit_ts = mem.clock_tick_pub();
+        // `locked` is sorted by line (built from sorted `lines`), so a
+        // binary search finds the pre-lock version of lines we hold.
+        let ok = self.read_set.iter().all(|&(line, ver)| {
+            match locked.binary_search_by_key(&line, |&(l, _)| l) {
+                // We hold the line: compare against its pre-lock version —
+                // another transaction may have committed it between our
+                // read and our lock acquisition.
+                Ok(i) => locked[i].1 == ver,
+                Err(_) => matches!(mem.line_state(line), LineState::Unlocked { version } if version == ver),
+            }
+        });
+        if !ok {
+            for &(l, v) in &locked {
+                mem.unlock_line_pub(l, v);
+            }
+            return Err(TxInterrupt::Restart);
+        }
+        for (addr, val) in self.write_buf.iter() {
+            mem.store_locked(addr, val);
+        }
+        for &(l, _) in &locked {
+            mem.unlock_line_pub(l, commit_ts);
+        }
+        Ok(())
+    }
+}
+
+impl TxnOps for StmWorker {
+    fn read(&mut self, _v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        self.instrument();
+        if let Some(val) = self.write_buf.get(addr) {
+            return Ok(val);
+        }
+        let mem = self.sys.mem();
+        let line = addr.line();
+        let mut races = 0;
+        loop {
+            let s1 = mem.line_state(line);
+            let version = match s1 {
+                LineState::Locked { .. } => {
+                    races += 1;
+                    if races > READ_RACE_RETRIES {
+                        return Err(TxInterrupt::Restart);
+                    }
+                    if races % 32 == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                    continue;
+                }
+                LineState::Unlocked { version } => version,
+            };
+            let val = mem.load_direct(addr);
+            if mem.line_state(line) != s1 {
+                races += 1;
+                if races > READ_RACE_RETRIES {
+                    return Err(TxInterrupt::Restart);
+                }
+                continue;
+            }
+            if version > self.start_ts {
+                // Extension: revalidate everything (the O(R)-per-event cost
+                // real TinySTM pays for opacity).
+                let new_ts = mem.clock_now_pub();
+                if !self.validate() {
+                    return Err(TxInterrupt::Restart);
+                }
+                self.start_ts = new_ts;
+                continue;
+            }
+            if self.read_lines.insert(line) {
+                self.read_set.push((line, version));
+            }
+            return Ok(val);
+        }
+    }
+
+    fn write(&mut self, _v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        self.instrument();
+        let line = addr.line();
+        if matches!(self.sys.mem().line_state(line), LineState::Locked { owner } if owner != self.owner) {
+            return Err(TxInterrupt::Restart);
+        }
+        self.write_buf.insert(addr, val);
+        self.write_lines.insert(line);
+        Ok(())
+    }
+}
+
+impl TxnWorker for StmWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.begin();
+            match body(self) {
+                Ok(()) => match self.try_commit() {
+                    Ok(()) => {
+                        self.stats.commits += 1;
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    Err(_) => {
+                        self.stats.restarts += 1;
+                        backoff(attempts, self.owner);
+                    }
+                },
+                Err(TxInterrupt::Restart) => {
+                    self.stats.restarts += 1;
+                    backoff(attempts, self.owner);
+                }
+                Err(TxInterrupt::UserAbort) => {
+                    self.stats.user_aborts += 1;
+                    return TxnOutcome { committed: false, attempts };
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", n as u64);
+        let sys = TxnSystem::with_defaults(n, layout);
+        for i in 0..n as u64 {
+            sys.mem().store_direct(acc.addr(i), 100);
+        }
+        (sys, acc)
+    }
+
+    #[test]
+    fn read_own_write_and_publish_at_commit() {
+        let (sys, acc) = bank(1);
+        let sched = SoftwareTm::with_penalty(Arc::clone(&sys), 0);
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 7)?;
+            assert_eq!(ops.read(0, acc.addr(0))?, 7);
+            assert_eq!(sys.mem().load_direct(acc.addr(0)), 100, "lazy versioning");
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 7);
+    }
+
+    #[test]
+    fn no_capacity_limit_unlike_htm() {
+        // A transaction far beyond the 32 KB HTM capacity must commit.
+        let mut layout = MemoryLayout::new();
+        let big = layout.alloc("big", 100_000);
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = SoftwareTm::with_penalty(Arc::clone(&sys), 0);
+        let mut w = sched.worker();
+        let out = w.execute(100_000, &mut |ops| {
+            for i in 0..100_000u64 {
+                ops.write(0, big.addr(i), i)?;
+            }
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(sys.mem().load_direct(big.addr(99_999)), 99_999);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let (sys, acc) = bank(1);
+        let sched = Arc::new(SoftwareTm::with_penalty(Arc::clone(&sys), 0));
+        let threads = 8;
+        let per = 300;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..per {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, acc.addr(0))?;
+                            ops.write(0, acc.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100 + threads * per);
+    }
+
+    #[test]
+    fn multi_line_invariant_under_contention() {
+        let mut layout = MemoryLayout::new();
+        let a = layout.alloc("a", 1);
+        let b = layout.alloc("b", 1); // separate cache line
+        let sys = TxnSystem::with_defaults(1, layout);
+        let sched = Arc::new(SoftwareTm::with_penalty(Arc::clone(&sys), 0));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for i in 0..300u64 {
+                        let d = (t + i) % 9 + 1;
+                        w.execute(4, &mut |ops| {
+                            let x = ops.read(0, a.addr(0))?;
+                            let y = ops.read(0, b.addr(0))?;
+                            ops.write(0, a.addr(0), x.wrapping_add(d))?;
+                            ops.write(0, b.addr(0), y.wrapping_sub(d))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let x = sys.mem().load_direct(a.addr(0));
+        let y = sys.mem().load_direct(b.addr(0));
+        assert_eq!(x.wrapping_add(y), 0);
+    }
+
+    #[test]
+    fn penalty_spins_make_it_slower() {
+        let (sys, acc) = bank(1);
+        let fast = SoftwareTm::with_penalty(Arc::clone(&sys), 0);
+        let slow = SoftwareTm::with_penalty(Arc::clone(&sys), 5000);
+        let time = |sched: &SoftwareTm| {
+            let mut w = sched.worker();
+            let t0 = std::time::Instant::now();
+            for _ in 0..2000 {
+                w.execute(2, &mut |ops| {
+                    let x = ops.read(0, acc.addr(0))?;
+                    ops.write(0, acc.addr(0), x + 1)
+                });
+            }
+            t0.elapsed()
+        };
+        let t_fast = time(&fast);
+        let t_slow = time(&slow);
+        assert!(t_slow > t_fast, "penalty had no effect: {t_fast:?} vs {t_slow:?}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The shared transactional system every scheduler runs on.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tufast_htm::{Addr, HtmConfig, HtmCtx, HtmRuntime, MemRegion, MemoryLayout, TxMemory};
+
+use crate::deadlock::WaitForTable;
+use crate::locks::VertexLocks;
+use crate::VertexId;
+
+/// System-wide configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Emulated-HTM geometry and abort injection.
+    pub htm: HtmConfig,
+    /// Give each vertex lock its own cache line (ablation; default packed,
+    /// as in the paper).
+    pub padded_locks: bool,
+    /// Upper bound on concurrently live workers (sizes the wait-for table).
+    pub max_workers: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig { htm: HtmConfig::default(), padded_locks: false, max_workers: 512 }
+    }
+}
+
+/// The shared substrate: one per experiment, shared by every scheduler and
+/// worker via `Arc`.
+///
+/// Construction appends the scheduler metadata — per-vertex lock words,
+/// timestamp-ordering read/write timestamps, and the HSync global-fallback
+/// word — to the caller's [`MemoryLayout`] (which already holds the
+/// algorithm's value regions), then builds the memory and the HTM runtime
+/// over it. Locks living *inside* the transactional memory is what lets
+/// hardware transactions subscribe to them (paper §IV-A).
+pub struct TxnSystem {
+    htm: HtmRuntime,
+    locks: VertexLocks,
+    /// One word per vertex: write-timestamp in the high 32 bits, read-
+    /// timestamp in the low 32 — packed so timestamp ordering can check
+    /// `wts` and claim `rts` in one atomic read-modify-write.
+    to_ts: MemRegion,
+    fallback_word: Addr,
+    wait_table: WaitForTable,
+    ts_counter: AtomicU64,
+    next_worker: AtomicU32,
+    num_vertices: usize,
+}
+
+impl TxnSystem {
+    /// Finalise `layout` (adding scheduler metadata) and build the system.
+    pub fn build(num_vertices: usize, mut layout: MemoryLayout, config: SystemConfig) -> Arc<Self> {
+        let locks = if config.padded_locks {
+            VertexLocks::alloc_padded(&mut layout, num_vertices)
+        } else {
+            VertexLocks::alloc(&mut layout, num_vertices)
+        };
+        let to_ts = layout.alloc("to-timestamps", num_vertices as u64);
+        let fallback = layout.alloc("hsync-fallback", 1);
+        let htm = HtmRuntime::new(layout, config.htm);
+        Arc::new(TxnSystem {
+            htm,
+            locks,
+            to_ts,
+            fallback_word: fallback.addr(0),
+            wait_table: WaitForTable::new(config.max_workers),
+            ts_counter: AtomicU64::new(1),
+            next_worker: AtomicU32::new(0),
+            num_vertices,
+        })
+    }
+
+    /// Convenience: a system with default config over `layout`.
+    pub fn with_defaults(num_vertices: usize, layout: MemoryLayout) -> Arc<Self> {
+        Self::build(num_vertices, layout, SystemConfig::default())
+    }
+
+    /// The shared memory.
+    #[inline]
+    pub fn mem(&self) -> &TxMemory {
+        self.htm.memory()
+    }
+
+    /// The shared memory as an `Arc` (for spawned threads).
+    #[inline]
+    pub fn mem_arc(&self) -> Arc<TxMemory> {
+        Arc::clone(self.htm.memory())
+    }
+
+    /// The emulated-HTM runtime.
+    #[inline]
+    pub fn htm(&self) -> &HtmRuntime {
+        &self.htm
+    }
+
+    /// A fresh per-thread HTM context.
+    #[inline]
+    pub fn htm_ctx(&self) -> HtmCtx {
+        self.htm.ctx()
+    }
+
+    /// The per-vertex lock array.
+    #[inline]
+    pub fn locks(&self) -> &VertexLocks {
+        &self.locks
+    }
+
+    /// The wait-for table for blocking acquisitions.
+    #[inline]
+    pub fn wait_table(&self) -> &WaitForTable {
+        &self.wait_table
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Allocate a unique worker id (lock owner / wait-table slot).
+    pub fn new_worker_id(&self) -> u32 {
+        let id = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (id as usize) < self.wait_table.capacity(),
+            "worker ids exhausted; raise SystemConfig::max_workers"
+        );
+        id
+    }
+
+    /// Draw a fresh timestamp (timestamp-ordering schedulers).
+    #[inline]
+    pub fn next_ts(&self) -> u64 {
+        self.ts_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Address of vertex `v`'s packed timestamp word (`wts << 32 | rts`).
+    #[inline]
+    pub fn to_ts_addr(&self, v: VertexId) -> Addr {
+        self.to_ts.addr(u64::from(v))
+    }
+
+    /// The HSync global-fallback lock word.
+    #[inline]
+    pub fn fallback_word(&self) -> Addr {
+        self.fallback_word
+    }
+
+    /// Words a transaction over a degree-`d` neighbourhood touches —
+    /// the size-hint helper exported to algorithm code.
+    #[inline]
+    pub fn neighborhood_hint(degree: usize) -> usize {
+        2 * (degree + 1)
+    }
+}
+
+impl std::fmt::Debug for TxnSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnSystem")
+            .field("vertices", &self.num_vertices)
+            .field("memory_words", &self.mem().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_appends_metadata_after_user_regions() {
+        let mut layout = MemoryLayout::new();
+        let values = layout.alloc("values", 100);
+        let sys = TxnSystem::with_defaults(100, layout);
+        // User region is intact and disjoint from lock words.
+        sys.mem().store_direct(values.addr(99), 7);
+        assert_eq!(sys.mem().load_direct(values.addr(99)), 7);
+        assert!(sys.locks().addr(0).0 >= 100);
+        assert_eq!(sys.locks().len(), 100);
+    }
+
+    #[test]
+    fn worker_ids_are_unique_and_bounded() {
+        let layout = MemoryLayout::new();
+        let sys = TxnSystem::build(
+            1,
+            layout,
+            SystemConfig { max_workers: 4, ..SystemConfig::default() },
+        );
+        let ids: Vec<u32> = (0..4).map(|_| sys.new_worker_id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let sys = TxnSystem::with_defaults(1, MemoryLayout::new());
+        let a = sys.next_ts();
+        let b = sys.next_ts();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn padded_layout_spreads_lock_words() {
+        let sys = TxnSystem::build(
+            8,
+            MemoryLayout::new(),
+            SystemConfig { padded_locks: true, ..SystemConfig::default() },
+        );
+        assert_ne!(sys.locks().addr(0).line(), sys.locks().addr(1).line());
+    }
+
+    #[test]
+    fn hint_model_matches_stats_module() {
+        assert_eq!(TxnSystem::neighborhood_hint(0), 2);
+        assert_eq!(TxnSystem::neighborhood_hint(10), 22);
+    }
+}

@@ -1,0 +1,378 @@
+//! Basic timestamp ordering (TO) — the third classical scheduler of the
+//! paper's Figure 7.
+//!
+//! Every transaction draws a timestamp at begin. A read of vertex `v` is
+//! legal only if no later-stamped writer already committed (`wts(v) ≤ ts`),
+//! and it raises `rts(v)`; both live in one packed word so the check and
+//! the claim are a single atomic read-modify-write. Writes are buffered and
+//! applied at commit under the vertex locks after rechecking
+//! `rts(v) ≤ ts ∧ wts(v) ≤ ts`. Conservative (no Thomas write rule): any
+//! violation restarts the transaction with a fresh timestamp.
+
+use std::sync::Arc;
+
+use tufast_htm::{Addr, WordMap};
+
+use crate::system::TxnSystem;
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+const COMMIT_LOCK_SPINS: u32 = 128;
+const READ_RETRIES: u32 = 4096;
+
+#[inline]
+pub(crate) fn pack(wts: u32, rts: u32) -> u64 {
+    (u64::from(wts) << 32) | u64::from(rts)
+}
+
+#[inline]
+pub(crate) fn unpack(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+/// Lock-free timestamp-ordered read: check `wts ≤ ts`, claim `rts`, and
+/// sample the value consistently around the vertex lock word. Shared by
+/// [`TimestampOrdering`] and the H-TO fallback path.
+pub(crate) fn to_read_fallback(
+    sys: &TxnSystem,
+    me: u32,
+    ts: u32,
+    v: VertexId,
+    addr: Addr,
+) -> Result<u64, TxInterrupt> {
+    let mem = sys.mem();
+    let locks = sys.locks();
+    for attempt in 0..READ_RETRIES {
+        let w1 = locks.peek(mem, v);
+        if w1.writer().is_some_and(|o| o != me) {
+            if attempt % 32 == 31 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        let pre = mem.rmw_direct(sys.to_ts_addr(v), |w| {
+            let (wts, rts) = unpack(w);
+            (wts <= ts).then(|| pack(wts, rts.max(ts)))
+        });
+        let (pre_wts, _) = unpack(pre);
+        if pre_wts > ts {
+            return Err(TxInterrupt::Restart);
+        }
+        let val = mem.load_direct(addr);
+        let w2 = locks.peek(mem, v);
+        if w1 == w2 {
+            return Ok(val);
+        }
+    }
+    Err(TxInterrupt::Restart)
+}
+
+/// Lock-based timestamp-ordered commit: lock the write vertices in order,
+/// recheck `rts ≤ ts ∧ wts ≤ ts`, publish, advance `wts`, release. Shared
+/// by [`TimestampOrdering`] and the H-TO fallback path.
+pub(crate) fn to_commit_locked(
+    sys: &TxnSystem,
+    me: u32,
+    ts: u32,
+    writes: &WordMap,
+    write_vertices: &[VertexId],
+) -> Result<(), TxInterrupt> {
+    if writes.is_empty() {
+        return Ok(());
+    }
+    let mem = sys.mem();
+    let locks = sys.locks();
+    let mut order: Vec<VertexId> = write_vertices.to_vec();
+    order.sort_unstable();
+    let mut acquired = 0usize;
+    'locking: for (i, &v) in order.iter().enumerate() {
+        for spin in 0..COMMIT_LOCK_SPINS {
+            if locks.try_exclusive(mem, v, me).is_ok() {
+                acquired = i + 1;
+                continue 'locking;
+            }
+            if spin % 32 == 31 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for &u in &order[..acquired] {
+            locks.unlock_exclusive(mem, u, me, false);
+        }
+        return Err(TxInterrupt::Restart);
+    }
+
+    let ok = order.iter().all(|&v| {
+        let (wts, rts) = unpack(mem.load_direct(sys.to_ts_addr(v)));
+        wts <= ts && rts <= ts
+    });
+    if !ok {
+        for &u in &order {
+            locks.unlock_exclusive(mem, u, me, false);
+        }
+        return Err(TxInterrupt::Restart);
+    }
+
+    for (addr, val) in writes.iter() {
+        mem.store_direct(addr, val);
+    }
+    for &v in &order {
+        mem.rmw_direct(sys.to_ts_addr(v), |w| {
+            let (wts, rts) = unpack(w);
+            Some(pack(wts.max(ts), rts))
+        });
+        locks.unlock_exclusive(mem, v, me, true);
+    }
+    Ok(())
+}
+
+/// The timestamp-ordering scheduler.
+pub struct TimestampOrdering {
+    sys: Arc<TxnSystem>,
+}
+
+impl TimestampOrdering {
+    /// Create the scheduler over a shared system.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        TimestampOrdering { sys }
+    }
+}
+
+impl GraphScheduler for TimestampOrdering {
+    type Worker = ToWorker;
+
+    fn worker(&self) -> ToWorker {
+        ToWorker {
+            id: self.sys.new_worker_id(),
+            sys: Arc::clone(&self.sys),
+            ts: 0,
+            writes: WordMap::with_capacity(32),
+            write_vertices: Vec::with_capacity(16),
+            write_seen: WordMap::with_capacity(16),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TO"
+    }
+}
+
+/// Per-thread TO state.
+pub struct ToWorker {
+    id: u32,
+    sys: Arc<TxnSystem>,
+    /// This attempt's timestamp.
+    ts: u32,
+    writes: WordMap,
+    write_vertices: Vec<VertexId>,
+    write_seen: WordMap,
+    stats: SchedStats,
+}
+
+impl ToWorker {
+    fn reset(&mut self) {
+        self.writes.clear();
+        self.write_vertices.clear();
+        self.write_seen.clear();
+        let ts = self.sys.next_ts();
+        assert!(ts < u64::from(u32::MAX), "TO timestamp space exhausted");
+        self.ts = ts as u32;
+    }
+
+    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+        to_commit_locked(&self.sys, self.id, self.ts, &self.writes, &self.write_vertices)
+    }
+}
+
+impl TxnOps for ToWorker {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        if let Some(val) = self.writes.get(addr) {
+            return Ok(val);
+        }
+        to_read_fallback(&self.sys, self.id, self.ts, v, addr)
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        // Early sanity check (non-binding; the commit recheck is the
+        // authoritative one): restart immediately if already illegal.
+        let (wts, rts) = unpack(self.sys.mem().load_direct(self.sys.to_ts_addr(v)));
+        if wts > self.ts || rts > self.ts {
+            return Err(TxInterrupt::Restart);
+        }
+        self.writes.insert(addr, val);
+        if self.write_seen.insert(Addr(u64::from(v)), 1) {
+            self.write_vertices.push(v);
+        }
+        Ok(())
+    }
+}
+
+impl TxnWorker for ToWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.reset();
+            match body(self) {
+                Ok(()) => match self.try_commit() {
+                    Ok(()) => {
+                        self.stats.commits += 1;
+                        return TxnOutcome { committed: true, attempts };
+                    }
+                    Err(_) => {
+                        self.stats.restarts += 1;
+                        backoff(attempts, self.id);
+                    }
+                },
+                Err(TxInterrupt::Restart) => {
+                    self.stats.restarts += 1;
+                    backoff(attempts, self.id);
+                }
+                Err(TxInterrupt::UserAbort) => {
+                    self.stats.user_aborts += 1;
+                    return TxnOutcome { committed: false, attempts };
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", n as u64);
+        let sys = TxnSystem::with_defaults(n, layout);
+        for i in 0..n as u64 {
+            sys.mem().store_direct(acc.addr(i), 100);
+        }
+        (sys, acc)
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let (w, r) = unpack(pack(7, 9));
+        assert_eq!((w, r), (7, 9));
+    }
+
+    #[test]
+    fn simple_commit_updates_wts() {
+        let (sys, acc) = bank(1);
+        let sched = TimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
+        let (wts, rts) = unpack(sys.mem().load_direct(sys.to_ts_addr(0)));
+        assert!(wts > 0);
+        assert!(rts > 0);
+    }
+
+    #[test]
+    fn older_writer_after_younger_reader_restarts() {
+        let (sys, acc) = bank(1);
+        let sched = TimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        // Simulate a younger reader having stamped rts a few ticks ahead.
+        sys.mem().store_direct(sys.to_ts_addr(0), pack(0, 5));
+        let out = w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 1)?;
+            Ok(())
+        });
+        // It must restart until its (fresh-per-attempt) timestamp passes
+        // the blocking rts, then commit.
+        assert!(out.committed);
+        assert!(out.attempts >= 2, "first attempt (ts ≤ 5) must have restarted");
+        // Commits once its timestamp reaches the blocking rts (ts == rts is
+        // legal: real timestamp spaces never collide across transactions).
+        let (wts, _) = unpack(sys.mem().load_direct(sys.to_ts_addr(0)));
+        assert!(wts >= 5, "wts = {wts}");
+    }
+
+    #[test]
+    fn read_of_future_write_restarts_until_timestamp_catches_up() {
+        let (sys, acc) = bank(1);
+        sys.mem().store_direct(sys.to_ts_addr(0), pack(500, 0));
+        let sched = TimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(out.committed);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let (sys, acc) = bank(1);
+        let sched = Arc::new(TimestampOrdering::new(Arc::clone(&sys)));
+        let threads = 6;
+        let per = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..per {
+                        w.execute(2, &mut |ops| {
+                            let x = ops.read(0, acc.addr(0))?;
+                            ops.write(0, acc.addr(0), x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100 + threads * per);
+    }
+
+    #[test]
+    fn transfers_preserve_total() {
+        let n = 4usize;
+        let (sys, acc) = bank(n);
+        let sched = Arc::new(TimestampOrdering::new(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for i in 0..200u64 {
+                        let from = ((t + i * 5) % n as u64) as VertexId;
+                        let to = ((t * 3 + i + 1) % n as u64) as VertexId;
+                        if from == to {
+                            continue;
+                        }
+                        w.execute(4, &mut |ops| {
+                            let a = ops.read(from, acc.addr(u64::from(from)))?;
+                            let b = ops.read(to, acc.addr(u64::from(to)))?;
+                            ops.write(from, acc.addr(u64::from(from)), a.wrapping_sub(1))?;
+                            ops.write(to, acc.addr(u64::from(to)), b.wrapping_add(1))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        assert_eq!(total, 100 * n as u64);
+    }
+}

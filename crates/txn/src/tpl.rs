@@ -1,0 +1,436 @@
+//! Strict two-phase locking — the paper's pessimistic baseline and the
+//! protocol of TuFast's L mode (Algorithm 3).
+//!
+//! Reads take shared vertex locks, writes take exclusive ones (in-place,
+//! with an undo log); all locks are released at commit (strictness). A
+//! blocked worker registers a wait-for edge; cycles — or bounded-wait
+//! timeouts on anonymous reader-held locks — make the requester the victim:
+//! it rolls back, releases everything, and restarts.
+//!
+//! With [`ordered`](TwoPhaseLocking::new_ordered), deadlock *prevention*
+//! replaces detection (paper §IV-E): the caller promises that bodies
+//! acquire vertices in ascending id order (natural for "iterate my
+//! neighbours" transactions over sorted adjacency), so no cycle can form
+//! and the wait-for bookkeeping is skipped.
+
+use std::sync::Arc;
+
+use tufast_htm::{Addr, WordMap};
+
+use crate::deadlock::WaitOutcome;
+use crate::system::TxnSystem;
+use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::VertexId;
+
+/// Lock modes recorded in the worker's held-lock table.
+const HELD_SHARED: u64 = 1;
+const HELD_EXCL: u64 = 2;
+const HELD_EXCL_WROTE: u64 = 3;
+
+/// The 2PL scheduler.
+pub struct TwoPhaseLocking {
+    sys: Arc<TxnSystem>,
+    ordered: bool,
+}
+
+impl TwoPhaseLocking {
+    /// 2PL with deadlock detection.
+    pub fn new(sys: Arc<TxnSystem>) -> Self {
+        TwoPhaseLocking { sys, ordered: false }
+    }
+
+    /// 2PL with ordered-acquisition deadlock *prevention*. Correct only for
+    /// bodies that touch vertices in ascending id order.
+    pub fn new_ordered(sys: Arc<TxnSystem>) -> Self {
+        TwoPhaseLocking { sys, ordered: true }
+    }
+}
+
+impl GraphScheduler for TwoPhaseLocking {
+    type Worker = TplWorker;
+
+    fn worker(&self) -> TplWorker {
+        TplWorker {
+            id: self.sys.new_worker_id(),
+            sys: Arc::clone(&self.sys),
+            ordered: self.ordered,
+            held: WordMap::with_capacity(32),
+            held_order: Vec::with_capacity(32),
+            undo: Vec::with_capacity(32),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.ordered {
+            "2PL-ordered"
+        } else {
+            "2PL"
+        }
+    }
+}
+
+/// Per-thread 2PL execution state.
+pub struct TplWorker {
+    id: u32,
+    sys: Arc<TxnSystem>,
+    ordered: bool,
+    /// vertex id → HELD_* mode.
+    held: WordMap,
+    held_order: Vec<VertexId>,
+    undo: Vec<(Addr, u64)>,
+    stats: SchedStats,
+}
+
+impl TplWorker {
+    #[inline]
+    fn held_mode(&self, v: VertexId) -> Option<u64> {
+        self.held.get(Addr(u64::from(v)))
+    }
+
+    #[inline]
+    fn set_held(&mut self, v: VertexId, mode: u64) {
+        if self.held.insert(Addr(u64::from(v)), mode) {
+            self.held_order.push(v);
+        }
+    }
+
+    /// Blocking shared acquisition with deadlock handling.
+    fn acquire_shared(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        let mem = self.sys.mem();
+        let locks = self.sys.locks();
+        let mut anon_attempt = 0u32;
+        loop {
+            match locks.try_shared(mem, v) {
+                Ok(_) => return Ok(()),
+                Err(pre) => {
+                    let holder = pre.writer().expect("shared acquisition fails only on a writer");
+                    if holder == self.id {
+                        unreachable!("lock table says we already hold {v} exclusively");
+                    }
+                    if !self.ordered && self.sys.wait_table().register_and_check(self.id, holder) {
+                        self.stats.deadlock_victims += 1;
+                        return Err(TxInterrupt::Restart);
+                    }
+                    let outcome = self.sys.wait_table().bounded_anonymous_wait(anon_attempt);
+                    if !self.ordered {
+                        self.sys.wait_table().clear(self.id);
+                    }
+                    if outcome == WaitOutcome::Victim {
+                        self.stats.deadlock_victims += 1;
+                        return Err(TxInterrupt::Restart);
+                    }
+                    anon_attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Blocking exclusive acquisition with deadlock handling.
+    fn acquire_exclusive(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        let mem = self.sys.mem();
+        let locks = self.sys.locks();
+        let mut anon_attempt = 0u32;
+        loop {
+            match locks.try_exclusive(mem, v, self.id) {
+                Ok(_) => return Ok(()),
+                Err(pre) => {
+                    if let Some(holder) = pre.writer() {
+                        debug_assert_ne!(holder, self.id, "double exclusive acquisition of {v}");
+                        if !self.ordered && self.sys.wait_table().register_and_check(self.id, holder) {
+                            self.stats.deadlock_victims += 1;
+                            return Err(TxInterrupt::Restart);
+                        }
+                    }
+                    // Readers are anonymous either way: bounded wait.
+                    let outcome = self.sys.wait_table().bounded_anonymous_wait(anon_attempt);
+                    if !self.ordered {
+                        self.sys.wait_table().clear(self.id);
+                    }
+                    if outcome == WaitOutcome::Victim {
+                        self.stats.deadlock_victims += 1;
+                        return Err(TxInterrupt::Restart);
+                    }
+                    anon_attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Undo in-place writes (reverse order) and release all locks.
+    fn rollback(&mut self) {
+        let mem = self.sys.mem();
+        for &(addr, old) in self.undo.iter().rev() {
+            mem.store_direct(addr, old);
+        }
+        self.undo.clear();
+        self.release_all(true);
+    }
+
+    /// Release all locks; `undone` tells whether exclusive writes were
+    /// rolled back (version still bumps — the data changed twice).
+    fn release_all(&mut self, undone: bool) {
+        let mem = self.sys.mem();
+        let locks = self.sys.locks();
+        for &v in self.held_order.iter().rev() {
+            match self.held.get(Addr(u64::from(v))).expect("held table out of sync") {
+                HELD_SHARED => locks.unlock_shared(mem, v),
+                HELD_EXCL => locks.unlock_exclusive(mem, v, self.id, false),
+                HELD_EXCL_WROTE => locks.unlock_exclusive(mem, v, self.id, true),
+                // An undone write still published intermediate values that
+                // optimistic readers may have seen; bump regardless.
+                _ => unreachable!("bad held mode"),
+            }
+        }
+        let _ = undone;
+        self.held.clear();
+        self.held_order.clear();
+    }
+}
+
+impl TxnOps for TplWorker {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        self.stats.reads += 1;
+        if self.held_mode(v).is_none() {
+            self.acquire_shared(v)?;
+            self.set_held(v, HELD_SHARED);
+        }
+        Ok(self.sys.mem().load_direct(addr))
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        self.stats.writes += 1;
+        match self.held_mode(v) {
+            Some(HELD_EXCL) | Some(HELD_EXCL_WROTE) => {}
+            Some(HELD_SHARED) => {
+                // Upgrade; failure risks the classic upgrade deadlock, so
+                // the requester immediately becomes the victim.
+                if !self.sys.locks().try_upgrade(self.sys.mem(), v, self.id) {
+                    self.stats.deadlock_victims += 1;
+                    return Err(TxInterrupt::Restart);
+                }
+                self.set_held(v, HELD_EXCL);
+            }
+            None => {
+                self.acquire_exclusive(v)?;
+                self.set_held(v, HELD_EXCL);
+            }
+            Some(_) => unreachable!("bad held mode"),
+        }
+        let mem = self.sys.mem();
+        self.undo.push((addr, mem.load_direct(addr)));
+        mem.store_direct(addr, val);
+        self.set_held(v, HELD_EXCL_WROTE);
+        Ok(())
+    }
+}
+
+impl TxnWorker for TplWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match body(self) {
+                Ok(()) => {
+                    // Strict 2PL commit: writes are already in place; drop
+                    // the undo log and release everything.
+                    self.undo.clear();
+                    self.release_all(false);
+                    self.stats.commits += 1;
+                    return TxnOutcome { committed: true, attempts };
+                }
+                Err(TxInterrupt::Restart) => {
+                    self.rollback();
+                    self.stats.restarts += 1;
+                    backoff(attempts, self.id);
+                }
+                Err(TxInterrupt::UserAbort) => {
+                    self.rollback();
+                    self.stats.user_aborts += 1;
+                    return TxnOutcome { committed: false, attempts };
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tufast_htm::MemoryLayout;
+
+    fn bank(n_accounts: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let accounts = layout.alloc("accounts", n_accounts as u64);
+        let sys = TxnSystem::with_defaults(n_accounts, layout);
+        for i in 0..n_accounts as u64 {
+            sys.mem().store_direct(accounts.addr(i), 100);
+        }
+        (sys, accounts)
+    }
+
+    #[test]
+    fn single_threaded_transfer() {
+        let (sys, acc) = bank(2);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(4, &mut |ops| {
+            let a = ops.read(0, acc.addr(0))?;
+            let b = ops.read(1, acc.addr(1))?;
+            ops.write(0, acc.addr(0), a - 30)?;
+            ops.write(1, acc.addr(1), b + 30)?;
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 70);
+        assert_eq!(sys.mem().load_direct(acc.addr(1)), 130);
+        // All locks released.
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+        assert!(sys.locks().peek(sys.mem(), 1).is_free());
+    }
+
+    #[test]
+    fn user_abort_rolls_back_in_place_writes() {
+        let (sys, acc) = bank(1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            ops.write(0, acc.addr(0), 0)?;
+            Err(ops.user_abort())
+        });
+        assert!(!out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100);
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+        assert_eq!(w.stats().user_aborts, 1);
+    }
+
+    #[test]
+    fn conflicting_transfers_preserve_total() {
+        let n = 8;
+        let (sys, acc) = bank(n);
+        let sched = Arc::new(TwoPhaseLocking::new(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sched = Arc::clone(&sched);
+                let acc = acc;
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for i in 0..300u64 {
+                        let from = ((t + i) % n as u64) as VertexId;
+                        let to = ((t + i * 7 + 1) % n as u64) as VertexId;
+                        if from == to {
+                            continue;
+                        }
+                        w.execute(4, &mut |ops| {
+                            let a = ops.read(from, acc.addr(u64::from(from)))?;
+                            let b = ops.read(to, acc.addr(u64::from(to)))?;
+                            ops.write(from, acc.addr(u64::from(from)), a.wrapping_sub(1))?;
+                            ops.write(to, acc.addr(u64::from(to)), b.wrapping_add(1))?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        assert_eq!(total, 100 * n as u64);
+        for v in 0..n as u32 {
+            assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");
+        }
+    }
+
+    #[test]
+    fn deadlock_prone_pattern_terminates() {
+        // Two accounts, workers transferring in opposite orders — the
+        // classic deadlock. Detection/victimisation must keep progress.
+        let (sys, acc) = bank(2);
+        let sched = Arc::new(TwoPhaseLocking::new(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    let (x, y) = if t % 2 == 0 { (0u32, 1u32) } else { (1, 0) };
+                    for _ in 0..200 {
+                        let out = w.execute(4, &mut |ops| {
+                            let a = ops.read(x, acc.addr(u64::from(x)))?;
+                            ops.write(x, acc.addr(u64::from(x)), a.wrapping_add(1))?;
+                            let b = ops.read(y, acc.addr(u64::from(y)))?;
+                            ops.write(y, acc.addr(u64::from(y)), b.wrapping_sub(1))?;
+                            Ok(())
+                        });
+                        assert!(out.committed);
+                    }
+                });
+            }
+        });
+        let a = sys.mem().load_direct(acc.addr(0));
+        let b = sys.mem().load_direct(acc.addr(1));
+        assert_eq!(a.wrapping_add(b), 200);
+    }
+
+    #[test]
+    fn repeated_reads_take_one_lock() {
+        let (sys, acc) = bank(1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        w.execute(2, &mut |ops| {
+            for _ in 0..10 {
+                ops.read(0, acc.addr(0))?;
+            }
+            Ok(())
+        });
+        assert_eq!(w.stats().reads, 10);
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+    }
+
+    #[test]
+    fn read_then_write_upgrades() {
+        let (sys, acc) = bank(1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute(2, &mut |ops| {
+            let v = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), v + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
+        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 1);
+    }
+
+    #[test]
+    fn ordered_mode_commits_under_contention() {
+        let (sys, acc) = bank(4);
+        let sched = Arc::new(TwoPhaseLocking::new_ordered(Arc::clone(&sys)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let mut w = sched.worker();
+                    for _ in 0..200 {
+                        // Ascending-order access, as the mode requires.
+                        w.execute(8, &mut |ops| {
+                            for v in 0..4u32 {
+                                let x = ops.read(v, acc.addr(u64::from(v)))?;
+                                ops.write(v, acc.addr(u64::from(v)), x + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        for v in 0..4u64 {
+            assert_eq!(sys.mem().load_direct(acc.addr(v)), 100 + 800);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The scheduler-agnostic transaction interface.
+//!
+//! Transaction bodies are written once against [`TxnOps`] (the paper's
+//! Table I: `READ(v, addr)` / `WRITE(v, addr, val)` inside a
+//! `BEGIN(size)`…`COMMIT` bracket) and executed by any [`GraphScheduler`].
+//! The benchmark harness runs the *same closures* through 2PL, OCC, TO,
+//! STM, HSync, H-TO and TuFast, which is what makes the paper's Figure 7 /
+//! 13 / 14 comparisons meaningful.
+
+use tufast_htm::Addr;
+
+use crate::VertexId;
+
+/// Control-flow signal raised by transactional operations.
+///
+/// Bodies simply propagate it with `?`; the scheduler catches it and
+/// decides what to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxInterrupt {
+    /// The attempt cannot commit (conflict, abort, deadlock victim…).
+    /// The scheduler rolls back and re-runs the body.
+    Restart,
+    /// The body itself called [`TxnOps::user_abort`] — roll back and do
+    /// *not* retry (the paper's `ABORT()`).
+    UserAbort,
+}
+
+/// Transactional read/write operations, implemented per scheduler.
+///
+/// `v` names the vertex whose lock protects the access (the paper
+/// associates every address with a vertex); `addr` is the shared word.
+pub trait TxnOps {
+    /// Transactionally read `addr` (protected by vertex `v`).
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt>;
+    /// Transactionally write `val` to `addr` (protected by vertex `v`).
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt>;
+    /// Abandon the transaction without retry; the body must return the
+    /// produced interrupt immediately.
+    fn user_abort(&mut self) -> TxInterrupt {
+        TxInterrupt::UserAbort
+    }
+}
+
+/// A transaction body: runs against any scheduler's [`TxnOps`]. Bodies may
+/// be re-executed many times and must therefore be deterministic functions
+/// of what they `read` (plus captured immutable state such as adjacency).
+pub type TxnBody<'a> = dyn FnMut(&mut dyn TxnOps) -> Result<(), TxInterrupt> + 'a;
+
+/// What happened to one logical transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// Whether the transaction committed (false only after `user_abort`).
+    pub committed: bool,
+    /// Number of body executions (1 = first attempt succeeded).
+    pub attempts: u32,
+}
+
+/// Cross-scheduler statistics, owned per worker and merged by the harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Transactions abandoned by `user_abort`.
+    pub user_aborts: u64,
+    /// Body re-executions (attempts beyond the first).
+    pub restarts: u64,
+    /// Transactional reads (committed and wasted).
+    pub reads: u64,
+    /// Transactional writes (committed and wasted).
+    pub writes: u64,
+    /// Times this worker was chosen as a deadlock (or bounded-wait) victim.
+    pub deadlock_victims: u64,
+}
+
+impl SchedStats {
+    /// Fold another worker's counters into this one.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.commits += other.commits;
+        self.user_aborts += other.user_aborts;
+        self.restarts += other.restarts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.deadlock_victims += other.deadlock_victims;
+    }
+
+    /// Committed transactions per attempt — 1.0 means no wasted work.
+    pub fn efficiency(&self) -> f64 {
+        let attempts = self.commits + self.user_aborts + self.restarts;
+        if attempts == 0 {
+            1.0
+        } else {
+            self.commits as f64 / attempts as f64
+        }
+    }
+}
+
+/// A transaction scheduler over a shared [`TxnSystem`](crate::TxnSystem).
+pub trait GraphScheduler: Sync {
+    /// The per-thread execution handle.
+    type Worker: TxnWorker + Send;
+
+    /// Create a worker. Each thread gets exactly one.
+    fn worker(&self) -> Self::Worker;
+
+    /// Short name for benchmark tables ("2PL", "OCC", "TuFast", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-thread transaction execution.
+pub trait TxnWorker {
+    /// Run `body` as one transaction until it commits or user-aborts.
+    ///
+    /// `size_hint` is the paper's optional `BEGIN(SIZE)` argument — the
+    /// expected number of shared words touched (≈ 2·(degree+1) for
+    /// neighbourhood transactions). Non-binding; schedulers other than
+    /// TuFast ignore it.
+    fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &SchedStats;
+
+    /// Take and reset the statistics.
+    fn take_stats(&mut self) -> SchedStats;
+
+    /// Emulated-hardware-transaction operations performed so far (reads +
+    /// writes executed inside `XBEGIN`/`XEND`). On real TSX these cost a
+    /// cache hit; under emulation they pay software bookkeeping — the
+    /// benchmark harness uses this count to report hardware-calibrated
+    /// throughput next to raw wall time (EXPERIMENTS.md). Zero for
+    /// schedulers that never issue hardware transactions.
+    fn htm_ops(&self) -> u64 {
+        0
+    }
+}
+
+/// Exponential backoff with deterministic per-worker jitter, shared by all
+/// optimistic schedulers' retry loops (TuFast's router uses it too).
+#[inline]
+pub fn backoff(attempt: u32, salt: u32) {
+    if attempt == 0 {
+        return;
+    }
+    let exp = attempt.min(10);
+    let spins = (1u32 << exp) + (salt.wrapping_mul(2654435761) >> 27);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 6 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_counts_wasted_attempts() {
+        let s = SchedStats { commits: 3, restarts: 1, ..Default::default() };
+        assert!((s.efficiency() - 0.75).abs() < 1e-12);
+        assert_eq!(SchedStats::default().efficiency(), 1.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = SchedStats { commits: 1, reads: 10, ..Default::default() };
+        let b = SchedStats { commits: 2, writes: 5, deadlock_victims: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.reads, 10);
+        assert_eq!(a.writes, 5);
+        assert_eq!(a.deadlock_victims, 1);
+    }
+
+    #[test]
+    fn backoff_terminates_even_for_huge_attempts() {
+        backoff(0, 0);
+        backoff(50, 12345);
+    }
+}

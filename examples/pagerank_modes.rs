@@ -1,0 +1,78 @@
+//! Asynchronous in-place PageRank with a look inside TuFast's three-mode
+//! router: which mode committed how many transactions, and what the
+//! adaptive `period` settled on.
+//!
+//! ```text
+//! cargo run --release --example pagerank_modes
+//! ```
+
+use std::sync::Arc;
+
+use tufast_suite::algos::pagerank::{self, PageRankSpace};
+use tufast_suite::algos::setup;
+use tufast_suite::graph::{gen, stats::degree_stats, GraphBuilder};
+use tufast_suite::tufast::{ModeClass, TuFast, TuFastStats};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+
+    // A skewed graph with in-edges (PageRank pulls).
+    let base = gen::rmat(14, 16, 3);
+    let mut b = GraphBuilder::new(base.num_vertices());
+    for (s, d) in base.edges() {
+        b.add_edge(s, d);
+    }
+    let g = b.with_in_edges().build();
+    let ds = degree_stats(&g, 4096);
+    println!(
+        "graph: {} vertices, {} edges, max degree {}, {:.2}% of vertices fit HTM",
+        ds.num_vertices,
+        ds.num_edges,
+        ds.max_degree,
+        100.0 * ds.htm_fit_fraction
+    );
+
+    let built = setup(&g, |l, n| PageRankSpace::alloc(l, n));
+    let sched = TuFast::new(Arc::clone(&built.sys));
+
+    let t0 = std::time::Instant::now();
+    let mut workers =
+        pagerank::parallel_sweeps(&g, &sched, &built.sys, &built.space, threads, 0.85, 10);
+    println!("10 sweeps of in-place PageRank in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let mut stats = TuFastStats::default();
+    for w in &mut workers {
+        stats.merge(&w.take_tufast_stats());
+    }
+    println!("\nmode breakdown of the final sweep's transactions:");
+    for class in ModeClass::ALL {
+        let txns = stats.modes.txns(class);
+        let ops = stats.modes.ops(class);
+        if txns > 0 {
+            println!(
+                "  {:>4}: {:>8} txns ({:>5.2}%), {:>10} ops ({:>5.2}%)",
+                class.label(),
+                txns,
+                100.0 * txns as f64 / stats.modes.total_txns() as f64,
+                ops,
+                100.0 * ops as f64 / stats.modes.total_ops().max(1) as f64,
+            );
+        }
+    }
+    println!(
+        "\nHTM: {} commits, {} conflict aborts, {} capacity aborts, {} snapshot extensions",
+        stats.htm.commits, stats.htm.aborts_conflict, stats.htm.aborts_capacity, stats.htm.extensions
+    );
+    println!("adaptive period averaged {:.0} operations per HTM piece", stats.mean_period());
+
+    // Top-ranked vertices.
+    let ranks: Vec<f64> = (0..g.num_vertices() as u64)
+        .map(|v| f64::from_bits(built.sys.mem().load_direct(built.space.rank.addr(v))))
+        .collect();
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+    println!("\ntop 5 vertices by rank:");
+    for &v in order.iter().take(5) {
+        println!("  vertex {:>6}  rank {:.6}  in-degree {}", v, ranks[v], g.in_degree(v as u32));
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the TuFast workspace; see README.md.
+pub use tufast;
+pub use tufast_algos as algos;
+pub use tufast_engines as engines;
+pub use tufast_graph as graph;
+pub use tufast_htm as htm;
+pub use tufast_txn as txn;

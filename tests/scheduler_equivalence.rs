@@ -1,0 +1,143 @@
+//! Cross-crate integration: every scheduler must produce correct results
+//! for every deterministic algorithm — the property that makes the paper's
+//! throughput comparisons meaningful (Figures 7, 13, 14 run identical
+//! transaction bodies).
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use tufast_suite::algos::{bfs, coloring, matching, mis, setup, sssp, wcc, AlgoSystem};
+use tufast_suite::graph::{gen, Graph, GraphBuilder};
+use tufast_suite::htm::MemoryLayout;
+use tufast_suite::tufast::TuFast;
+use tufast_suite::txn::{
+    GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering,
+    TwoPhaseLocking, TxnSystem,
+};
+
+const THREADS: usize = 4;
+
+fn symmetric_rmat(scale: u32, ef: usize, seed: u64) -> Graph {
+    let base = gen::rmat(scale, ef, seed);
+    let mut b = GraphBuilder::new(base.num_vertices());
+    for (s, d) in base.edges() {
+        b.add_edge(s, d);
+    }
+    b.symmetric().build()
+}
+
+/// Run one algorithm under one scheduler and compare with the expected
+/// output.
+fn check_one<S, W, R>(
+    name: &str,
+    g: &Graph,
+    alloc: impl FnOnce(&mut MemoryLayout, usize) -> W,
+    ctor: impl FnOnce(Arc<TxnSystem>) -> S,
+    run: impl FnOnce(&Graph, &S, &AlgoSystem<W>) -> R,
+    expected: &R,
+) where
+    S: GraphScheduler,
+    R: PartialEq + Debug,
+{
+    let built = setup(g, alloc);
+    let sched = ctor(Arc::clone(&built.sys));
+    let got = run(g, &sched, &built);
+    assert_eq!(&got, expected, "scheduler {name} diverged");
+}
+
+macro_rules! for_all_schedulers {
+    ($g:expr, $alloc:expr, $run:expr, $expected:expr) => {{
+        let g = &$g;
+        let expected = $expected;
+        check_one("TuFast", g, $alloc, TuFast::new, $run, &expected);
+        check_one("2PL", g, $alloc, TwoPhaseLocking::new, $run, &expected);
+        check_one("2PL-ordered", g, $alloc, TwoPhaseLocking::new_ordered, $run, &expected);
+        check_one("OCC", g, $alloc, Occ::new, $run, &expected);
+        check_one("TO", g, $alloc, TimestampOrdering::new, $run, &expected);
+        check_one("STM", g, $alloc, |sys| SoftwareTm::with_penalty(sys, 0), $run, &expected);
+        check_one("HSync", g, $alloc, HSyncLike::new, $run, &expected);
+        check_one("H-TO", g, $alloc, HTimestampOrdering::new, $run, &expected);
+    }};
+}
+
+#[test]
+fn bfs_is_identical_across_schedulers() {
+    let g = gen::grid2d(15, 15);
+    let expected = bfs::sequential(&g, 0);
+    for_all_schedulers!(
+        g,
+        |l, n| bfs::BfsSpace::alloc(l, n),
+        |g, sched, built| bfs::parallel(g, sched, &built.sys, &built.space, 0, THREADS),
+        expected
+    );
+}
+
+#[test]
+fn wcc_is_identical_across_schedulers() {
+    let g = symmetric_rmat(9, 4, 17);
+    let expected = wcc::sequential(&g);
+    for_all_schedulers!(
+        g,
+        |l, n| wcc::WccSpace::alloc(l, n),
+        |g, sched, built| wcc::parallel(g, sched, &built.sys, &built.space, THREADS),
+        expected
+    );
+}
+
+#[test]
+fn sssp_is_identical_across_schedulers() {
+    let g = gen::with_random_weights(&gen::grid2d(11, 11), 40, 3);
+    let expected = sssp::sequential(&g, 0);
+    for_all_schedulers!(
+        g,
+        |l, n| sssp::SsspSpace::alloc(l, n),
+        |g, sched, built| {
+            sssp::parallel(g, sched, &built.sys, &built.space, 0, THREADS, sssp::QueueKind::Fifo)
+        },
+        expected
+    );
+}
+
+#[test]
+fn mis_is_identical_across_schedulers() {
+    let g = symmetric_rmat(9, 5, 23);
+    let expected = mis::sequential(&g);
+    for_all_schedulers!(
+        g,
+        |l, n| mis::MisSpace::alloc(l, n),
+        |g, sched, built| mis::parallel(g, sched, &built.sys, &built.space, THREADS),
+        expected
+    );
+}
+
+#[test]
+fn coloring_is_identical_across_schedulers() {
+    let g = symmetric_rmat(9, 5, 29);
+    let expected = coloring::sequential(&g);
+    for_all_schedulers!(
+        g,
+        |l, n| coloring::ColoringSpace::alloc(l, n),
+        |g, sched, built| coloring::parallel(g, sched, &built.sys, &built.space, THREADS),
+        expected
+    );
+}
+
+#[test]
+fn matching_is_valid_under_every_scheduler() {
+    // Matching is nondeterministic (any maximal matching is acceptable),
+    // so validate structure instead of comparing outputs.
+    fn check_matching<S: GraphScheduler>(name: &str, g: &Graph, ctor: impl FnOnce(Arc<TxnSystem>) -> S) {
+        let built = setup(g, |l, n| matching::MatchingSpace::alloc(l, n));
+        let sched = ctor(Arc::clone(&built.sys));
+        let m = matching::parallel(g, &sched, &built.sys, &built.space, THREADS);
+        matching::validate(g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    let g = symmetric_rmat(9, 6, 31);
+    check_matching("TuFast", &g, TuFast::new);
+    check_matching("2PL", &g, TwoPhaseLocking::new);
+    check_matching("OCC", &g, Occ::new);
+    check_matching("TO", &g, TimestampOrdering::new);
+    check_matching("STM", &g, |sys| SoftwareTm::with_penalty(sys, 0));
+    check_matching("HSync", &g, HSyncLike::new);
+    check_matching("H-TO", &g, HTimestampOrdering::new);
+}

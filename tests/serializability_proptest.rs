@@ -1,0 +1,142 @@
+//! Property-based serializability checks: random transactional workloads
+//! run concurrently under every scheduler must leave the shared state in a
+//! serially-explainable configuration.
+//!
+//! The oracle is an *invariant*, not a specific serial order: every
+//! transaction transfers value between cells, preserving the global sum —
+//! any serializable execution preserves it exactly; lost updates, dirty
+//! reads, or torn commits break it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tufast_suite::htm::MemoryLayout;
+use tufast_suite::tufast::TuFast;
+use tufast_suite::txn::{
+    GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering,
+    TwoPhaseLocking, TxnSystem, TxnWorker, VertexId,
+};
+
+/// One randomly generated transfer: move `amount` from each `src` to the
+/// matching `dst` (multi-hop transactions stress multi-vertex commits).
+#[derive(Clone, Debug)]
+struct Transfer {
+    hops: Vec<(VertexId, VertexId, u64)>,
+}
+
+fn transfer_strategy(cells: u32) -> impl Strategy<Value = Transfer> {
+    prop::collection::vec(
+        (0..cells, 0..cells, 1u64..5).prop_filter("distinct endpoints", |(a, b, _)| a != b),
+        1..4,
+    )
+    .prop_map(|hops| Transfer { hops })
+}
+
+const CELLS: u32 = 12;
+const INITIAL: u64 = 1_000;
+
+fn run_workload<S: GraphScheduler>(
+    make: impl FnOnce(Arc<TxnSystem>) -> S,
+    transfers: &[Transfer],
+    threads: usize,
+) -> Vec<u64> {
+    let mut layout = MemoryLayout::new();
+    let cells = layout.alloc("cells", u64::from(CELLS));
+    let sys = TxnSystem::with_defaults(CELLS as usize, layout);
+    sys.mem().fill_region(&cells, INITIAL);
+    let sched = make(Arc::clone(&sys));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let cells = &cells;
+            let transfers = &transfers;
+            let mut w = sched.worker();
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= transfers.len() {
+                    break;
+                }
+                let t = &transfers[i];
+                w.execute(2 * (t.hops.len() * 2 + 1), &mut |ops| {
+                    for &(src, dst, amount) in &t.hops {
+                        let a = ops.read(src, cells.addr(u64::from(src)))?;
+                        let b = ops.read(dst, cells.addr(u64::from(dst)))?;
+                        ops.write(src, cells.addr(u64::from(src)), a.wrapping_sub(amount))?;
+                        ops.write(dst, cells.addr(u64::from(dst)), b.wrapping_add(amount))?;
+                    }
+                    Ok(())
+                });
+            });
+        }
+    });
+    sys.mem().snapshot_region(&cells)
+}
+
+fn total(cells: &[u64]) -> u64 {
+    cells.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tufast_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let cells = run_workload(TuFast::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn occ_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let cells = run_workload(Occ::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn tpl_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let cells = run_workload(TwoPhaseLocking::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn to_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let cells = run_workload(TimestampOrdering::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn stm_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let cells = run_workload(|sys| SoftwareTm::with_penalty(sys, 0), &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn hsync_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let cells = run_workload(HSyncLike::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+
+    #[test]
+    fn hto_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let cells = run_workload(HTimestampOrdering::new, &transfers, 4);
+        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    }
+}
+
+/// Deterministic single-thread sanity path: with one thread the result
+/// must equal the sequential application of all transfers in order.
+#[test]
+fn single_threaded_matches_sequential_application() {
+    let transfers: Vec<Transfer> = (0..50)
+        .map(|i| Transfer { hops: vec![((i % CELLS), ((i + 3) % CELLS), u64::from(i % 7 + 1))] })
+        .collect();
+    let got = run_workload(TuFast::new, &transfers, 1);
+    let mut expected = vec![INITIAL; CELLS as usize];
+    for t in &transfers {
+        for &(src, dst, amount) in &t.hops {
+            expected[src as usize] = expected[src as usize].wrapping_sub(amount);
+            expected[dst as usize] = expected[dst as usize].wrapping_add(amount);
+        }
+    }
+    assert_eq!(got, expected);
+}

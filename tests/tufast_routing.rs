@@ -1,0 +1,153 @@
+//! End-to-end checks of TuFast's degree-adaptive routing on power-law
+//! graphs: leaves commit in H mode, hubs in L mode, the middle in O —
+//! the paper's central design claim, observed through real workloads.
+
+use std::sync::Arc;
+
+use tufast_suite::graph::{gen, stats::footprint_words, GraphBuilder};
+use tufast_suite::htm::MemoryLayout;
+use tufast_suite::tufast::{ModeClass, TuFast, TuFastStats};
+use tufast_suite::txn::{GraphScheduler, TxnOps, TxnSystem, TxnWorker};
+
+/// A graph with three deliberate degree bands: many leaves (degree ≤ 8),
+/// a mid band (~degree 3000, beyond the 4096-word H hint), and one giant
+/// hub beyond the O-mode bound.
+fn three_band_graph() -> tufast_suite::graph::Graph {
+    let leaves = 3000usize;
+    let mid_deg = 2500usize;
+    let hub_deg = 200_000usize;
+    let n = leaves + mid_deg + hub_deg + 2;
+    let mut b = GraphBuilder::new(n);
+    // Leaves: a long chain.
+    for v in 1..leaves as u32 {
+        b.add_edge(v - 1, v);
+    }
+    // Mid vertex: index `leaves`, pointing at the next mid_deg vertices.
+    let mid = leaves as u32;
+    for i in 0..mid_deg as u32 {
+        b.add_edge(mid, mid + 1 + i);
+    }
+    // Hub: index leaves+mid_deg+1, degree hub_deg.
+    let hub = (leaves + mid_deg + 1) as u32;
+    for i in 0..hub_deg as u32 {
+        b.add_edge(hub, (i % (n as u32 - 1)).min(n as u32 - 1));
+    }
+    b.build()
+}
+
+#[test]
+fn degree_bands_route_to_the_intended_modes() {
+    let g = three_band_graph();
+    let mut layout = MemoryLayout::new();
+    let values = layout.alloc("values", g.num_vertices() as u64);
+    let sys = TxnSystem::with_defaults(g.num_vertices(), layout);
+    let tufast = TuFast::new(Arc::clone(&sys));
+    let mut worker = tufast.worker();
+
+    let mut run_neighborhood = |v: u32| {
+        let hint = TxnSystem::neighborhood_hint(g.degree(v));
+        worker.execute(hint, &mut |ops| {
+            let mut acc = ops.read(v, values.addr(u64::from(v)))?;
+            for &u in g.neighbors(v) {
+                acc = acc.wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
+            }
+            ops.write(v, values.addr(u64::from(v)), acc)
+        });
+    };
+
+    // Leaves → H.
+    for v in 0..64u32 {
+        run_neighborhood(v);
+    }
+    // Mid vertex (footprint > 4096 words but modest) → O.
+    run_neighborhood(3000);
+    // Hub (hint beyond o_max) → L.
+    let hub = (3000 + 2500 + 1) as u32;
+    assert!(footprint_words(g.degree(hub)) > 64 * 4096);
+    run_neighborhood(hub);
+
+    let stats = worker.take_tufast_stats();
+    assert_eq!(stats.modes.txns(ModeClass::H), 64, "leaves must commit in H mode");
+    assert_eq!(
+        stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus),
+        1,
+        "the mid-degree vertex must commit in O mode"
+    );
+    assert_eq!(stats.modes.txns(ModeClass::L), 1, "the hub must go straight to L mode");
+    assert_eq!(stats.modes.txns(ModeClass::O2L), 0);
+}
+
+#[test]
+fn power_law_workload_is_dominated_by_h_mode_transactions() {
+    // The paper's Figure 15 shape: on a power-law graph, the vast majority
+    // of *transactions* are H; O covers a meaningful share of *operations*.
+    let g = gen::rmat(12, 16, 77);
+    let mut layout = MemoryLayout::new();
+    let values = layout.alloc("values", g.num_vertices() as u64);
+    let sys = TxnSystem::with_defaults(g.num_vertices(), layout);
+    let tufast = TuFast::new(Arc::clone(&sys));
+
+    let workers = tufast_suite::tufast::par::parallel_for(&tufast, 4, g.num_vertices(), |worker, v| {
+        let hint = TxnSystem::neighborhood_hint(g.degree(v));
+        worker.execute(hint, &mut |ops| {
+            let mut acc = ops.read(v, values.addr(u64::from(v)))?;
+            for &u in g.neighbors(v) {
+                acc = acc.wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
+            }
+            ops.write(v, values.addr(u64::from(v)), acc)
+        });
+    });
+    let mut stats = TuFastStats::default();
+    let mut workers = workers;
+    for w in &mut workers {
+        stats.merge(&w.take_tufast_stats());
+    }
+    let total = stats.modes.total_txns();
+    assert_eq!(total as usize, g.num_vertices());
+    // R-MAT at edge-factor 16 has a heavy tail: besides genuinely large
+    // vertices, some small ones land in O after conflict-retry exhaustion
+    // under 4 threads. "Dominates" = clear majority, not near-unanimity.
+    let h_share = stats.modes.txns(ModeClass::H) as f64 / total as f64;
+    assert!(h_share > 0.75, "H-mode txn share {h_share} should dominate on power-law graphs");
+    // And the sum of classes accounts for everything.
+    let sum: u64 = ModeClass::ALL.iter().map(|&c| stats.modes.txns(c)).sum();
+    assert_eq!(sum, total);
+}
+
+#[test]
+fn adaptive_period_reacts_to_contention() {
+    // Hammer one cache line from many threads: the per-op abort probability
+    // rises and the suggested period must fall well below the maximum.
+    let mut layout = MemoryLayout::new();
+    let values = layout.alloc("hot", 8);
+    let sys = TxnSystem::with_defaults(8, layout);
+    let tufast = TuFast::new(Arc::clone(&sys));
+    let periods: Vec<u32> = std::thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                let tufast = &tufast;
+                let values = &values;
+                s.spawn(move || {
+                    let mut w = tufast.worker();
+                    for _ in 0..2000 {
+                        // Oversized hint forces O mode, where the monitor
+                        // observes HTM-piece behaviour.
+                        w.execute(10_000, &mut |ops| {
+                            let x = ops.read(0, values.addr(0))?;
+                            ops.write(0, values.addr(0), x + 1)
+                        });
+                    }
+                    w.current_period()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    // All workers committed; the counter is exact.
+    assert_eq!(sys.mem().load_direct(values.addr(0)), 4 * 2000);
+    for p in periods {
+        assert!(p <= 4096, "period must stay clamped");
+    }
+}

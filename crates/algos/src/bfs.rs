@@ -9,9 +9,9 @@
 use std::collections::VecDeque;
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -27,7 +27,9 @@ pub struct BfsSpace {
 impl BfsSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        BfsSpace { dist: layout.alloc("bfs-dist", n as u64) }
+        BfsSpace {
+            dist: layout.alloc("bfs-dist", n as u64),
+        }
     }
 }
 
@@ -97,12 +99,12 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use tufast::TuFast;
-    use tufast_txn::TwoPhaseLocking;
     use tufast_graph::gen;
+    use tufast_txn::TwoPhaseLocking;
 
     fn check_parallel_matches_sequential(g: &Graph, source: VertexId) {
         let expected = sequential(g, source);
-        let built = crate::setup(g, |l, n| BfsSpace::alloc(l, n));
+        let built = crate::setup(g, BfsSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let got = parallel(g, &tufast, &built.sys, &built.space, source, 4);
         assert_eq!(got, expected);
@@ -142,7 +144,7 @@ mod tests {
     fn works_on_2pl_baseline_too() {
         let g = gen::grid2d(9, 9);
         let expected = sequential(&g, 40);
-        let built = crate::setup(&g, |l, n| BfsSpace::alloc(l, n));
+        let built = crate::setup(&g, BfsSpace::alloc);
         let sched = TwoPhaseLocking::new(Arc::clone(&built.sys));
         let got = parallel(&g, &sched, &built.sys, &built.space, 40, 4);
         assert_eq!(got, expected);

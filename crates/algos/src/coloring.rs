@@ -9,9 +9,9 @@
 //! Run on a symmetric (undirected) graph.
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -27,7 +27,9 @@ pub struct ColoringSpace {
 impl ColoringSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        ColoringSpace { color: layout.alloc("coloring", n as u64) }
+        ColoringSpace {
+            color: layout.alloc("coloring", n as u64),
+        }
     }
 }
 
@@ -53,7 +55,12 @@ pub fn sequential(g: &Graph) -> Vec<u64> {
     let mut used = Vec::new();
     for v in 0..n as VertexId {
         used.clear();
-        used.extend(g.neighbors(v).iter().filter(|&&u| u < v).map(|&u| color[u as usize]));
+        used.extend(
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| u < v)
+                .map(|&u| color[u as usize]),
+        );
         color[v as usize] = smallest_free(&mut used);
     }
     color
@@ -147,7 +154,11 @@ mod tests {
     fn grid_is_two_colorable_by_greedy() {
         let g = gen::grid2d(8, 8);
         let c = sequential(&g);
-        assert_eq!(validate(&g, &c).unwrap(), 2, "greedy 2-colors a bipartite grid in id order");
+        assert_eq!(
+            validate(&g, &c).unwrap(),
+            2,
+            "greedy 2-colors a bipartite grid in id order"
+        );
     }
 
     #[test]
@@ -167,7 +178,7 @@ mod tests {
         }
         let g = b.symmetric().build();
         let expected = sequential(&g);
-        let built = crate::setup(&g, |l, n| ColoringSpace::alloc(l, n));
+        let built = crate::setup(&g, ColoringSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let got = parallel(&g, &tufast, &built.sys, &built.space, 4);
         assert_eq!(got, expected);

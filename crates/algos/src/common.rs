@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
+use tufast_graph::Graph;
 use tufast_htm::{MemRegion, MemoryLayout, TxMemory};
 use tufast_txn::{SystemConfig, TxnSystem};
-use tufast_graph::Graph;
 
 /// A built [`TxnSystem`] plus the algorithm's value regions.
 ///
@@ -44,7 +44,10 @@ pub(crate) fn read_u64_region(mem: &TxMemory, region: &MemRegion) -> Vec<u64> {
 
 /// Snapshot a region as `f64`s (bit-cast).
 pub(crate) fn read_f64_region(mem: &TxMemory, region: &MemRegion) -> Vec<f64> {
-    region.iter().map(|a| f64::from_bits(mem.load_direct(a))).collect()
+    region
+        .iter()
+        .map(|a| f64::from_bits(mem.load_direct(a)))
+        .collect()
 }
 
 #[cfg(test)]

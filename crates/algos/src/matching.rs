@@ -10,9 +10,9 @@
 //! Run on a symmetric (undirected) graph.
 
 use tufast::par::parallel_for;
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -28,7 +28,9 @@ pub struct MatchingSpace {
 impl MatchingSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        MatchingSpace { matched: layout.alloc("matching", n as u64) }
+        MatchingSpace {
+            matched: layout.alloc("matching", n as u64),
+        }
     }
 }
 
@@ -105,7 +107,9 @@ pub fn validate(g: &Graph, matched: &[u64]) -> Result<(), String> {
     }
     for (a, b) in g.edges() {
         if a != b && matched[a as usize] == UNMATCHED && matched[b as usize] == UNMATCHED {
-            return Err(format!("edge ({a}, {b}) has both endpoints unmatched (not maximal)"));
+            return Err(format!(
+                "edge ({a}, {b}) has both endpoints unmatched (not maximal)"
+            ));
         }
     }
     Ok(())
@@ -121,8 +125,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use tufast::TuFast;
-    use tufast_txn::{Occ, TwoPhaseLocking};
     use tufast_graph::{gen, GraphBuilder};
+    use tufast_txn::{Occ, TwoPhaseLocking};
 
     fn undirected_rmat(scale: u32, ef: usize, seed: u64) -> Graph {
         let base = gen::rmat(scale, ef, seed);
@@ -152,16 +156,34 @@ mod tests {
     fn parallel_is_valid_and_maximal_under_every_scheduler() {
         let g = undirected_rmat(9, 8, 5);
         // TuFast.
-        let built = crate::setup(&g, |l, n| MatchingSpace::alloc(l, n));
-        let m = parallel(&g, &TuFast::new(Arc::clone(&built.sys)), &built.sys, &built.space, 4);
+        let built = crate::setup(&g, MatchingSpace::alloc);
+        let m = parallel(
+            &g,
+            &TuFast::new(Arc::clone(&built.sys)),
+            &built.sys,
+            &built.space,
+            4,
+        );
         validate(&g, &m).unwrap();
         // 2PL.
-        let built = crate::setup(&g, |l, n| MatchingSpace::alloc(l, n));
-        let m = parallel(&g, &TwoPhaseLocking::new(Arc::clone(&built.sys)), &built.sys, &built.space, 4);
+        let built = crate::setup(&g, MatchingSpace::alloc);
+        let m = parallel(
+            &g,
+            &TwoPhaseLocking::new(Arc::clone(&built.sys)),
+            &built.sys,
+            &built.space,
+            4,
+        );
         validate(&g, &m).unwrap();
         // OCC.
-        let built = crate::setup(&g, |l, n| MatchingSpace::alloc(l, n));
-        let m = parallel(&g, &Occ::new(Arc::clone(&built.sys)), &built.sys, &built.space, 4);
+        let built = crate::setup(&g, MatchingSpace::alloc);
+        let m = parallel(
+            &g,
+            &Occ::new(Arc::clone(&built.sys)),
+            &built.sys,
+            &built.space,
+            4,
+        );
         validate(&g, &m).unwrap();
     }
 
@@ -171,18 +193,33 @@ mod tests {
         // maximal matchings differ by at most 2× in size.
         let g = undirected_rmat(10, 10, 9);
         let seq_size = matching_size(&sequential(&g));
-        let built = crate::setup(&g, |l, n| MatchingSpace::alloc(l, n));
-        let m = parallel(&g, &TuFast::new(Arc::clone(&built.sys)), &built.sys, &built.space, 4);
+        let built = crate::setup(&g, MatchingSpace::alloc);
+        let m = parallel(
+            &g,
+            &TuFast::new(Arc::clone(&built.sys)),
+            &built.sys,
+            &built.space,
+            4,
+        );
         let par_size = matching_size(&m);
-        assert!(par_size * 2 >= seq_size, "parallel {par_size} vs sequential {seq_size}");
+        assert!(
+            par_size * 2 >= seq_size,
+            "parallel {par_size} vs sequential {seq_size}"
+        );
         assert!(seq_size * 2 >= par_size);
     }
 
     #[test]
     fn empty_graph_matches_nothing() {
         let g = GraphBuilder::new(3).build();
-        let built = crate::setup(&g, |l, n| MatchingSpace::alloc(l, n));
-        let m = parallel(&g, &TuFast::new(Arc::clone(&built.sys)), &built.sys, &built.space, 2);
+        let built = crate::setup(&g, MatchingSpace::alloc);
+        let m = parallel(
+            &g,
+            &TuFast::new(Arc::clone(&built.sys)),
+            &built.sys,
+            &built.space,
+            2,
+        );
         assert!(m.iter().all(|&x| x == UNMATCHED));
         validate(&g, &m).unwrap();
     }

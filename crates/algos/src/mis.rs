@@ -11,9 +11,9 @@
 //! our graphs into undirected ones").
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -33,7 +33,9 @@ pub struct MisSpace {
 impl MisSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        MisSpace { state: layout.alloc("mis-state", n as u64) }
+        MisSpace {
+            state: layout.alloc("mis-state", n as u64),
+        }
     }
 }
 
@@ -42,7 +44,10 @@ pub fn sequential(g: &Graph) -> Vec<u64> {
     let n = g.num_vertices();
     let mut state = vec![UNDECIDED; n];
     for v in 0..n as VertexId {
-        let blocked = g.neighbors(v).iter().any(|&u| u < v && state[u as usize] == IN_SET);
+        let blocked = g
+            .neighbors(v)
+            .iter()
+            .any(|&u| u < v && state[u as usize] == IN_SET);
         state[v as usize] = if blocked { OUT } else { IN_SET };
     }
     state
@@ -83,7 +88,11 @@ pub fn parallel<S: GraphScheduler>(
                     }
                 }
             }
-            ops.write(v, state.addr(u64::from(v)), if blocked { OUT } else { IN_SET })?;
+            ops.write(
+                v,
+                state.addr(u64::from(v)),
+                if blocked { OUT } else { IN_SET },
+            )?;
             decided = true;
             Ok(())
         });
@@ -105,14 +114,18 @@ pub fn validate(g: &Graph, state: &[u64]) -> Result<(), String> {
             IN_SET => {
                 for &u in g.neighbors(v) {
                     if state[u as usize] == IN_SET {
-                        return Err(format!("vertices {v} and {u} are adjacent and both in the set"));
+                        return Err(format!(
+                            "vertices {v} and {u} are adjacent and both in the set"
+                        ));
                     }
                 }
             }
             OUT => {
                 let has_in_neighbor = g.neighbors(v).iter().any(|&u| state[u as usize] == IN_SET);
                 if !has_in_neighbor {
-                    return Err(format!("vertex {v} is out but has no in-set neighbour (not maximal)"));
+                    return Err(format!(
+                        "vertex {v} is out but has no in-set neighbour (not maximal)"
+                    ));
                 }
             }
             UNDECIDED => return Err(format!("vertex {v} left undecided")),
@@ -160,7 +173,7 @@ mod tests {
         for seed in [1, 7, 23] {
             let g = undirected_rmat(9, 6, seed);
             let expected = sequential(&g);
-            let built = crate::setup(&g, |l, n| MisSpace::alloc(l, n));
+            let built = crate::setup(&g, MisSpace::alloc);
             let tufast = TuFast::new(Arc::clone(&built.sys));
             let got = parallel(&g, &tufast, &built.sys, &built.space, 4);
             assert_eq!(got, expected, "seed {seed}");
@@ -171,7 +184,10 @@ mod tests {
     #[test]
     fn validate_catches_violations() {
         let g = gen::grid2d(3, 1);
-        assert!(validate(&g, &[IN_SET, IN_SET, OUT]).is_err(), "adjacent in-set");
+        assert!(
+            validate(&g, &[IN_SET, IN_SET, OUT]).is_err(),
+            "adjacent in-set"
+        );
         assert!(validate(&g, &[OUT, IN_SET, OUT]).is_ok());
         assert!(validate(&g, &[OUT, OUT, OUT]).is_err(), "not maximal");
         assert!(validate(&g, &[UNDECIDED, IN_SET, OUT]).is_err());
@@ -182,7 +198,7 @@ mod tests {
         let g = GraphBuilder::new(5).build();
         let s = sequential(&g);
         assert!(s.iter().all(|&x| x == IN_SET));
-        let built = crate::setup(&g, |l, n| MisSpace::alloc(l, n));
+        let built = crate::setup(&g, MisSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         assert_eq!(parallel(&g, &tufast, &built.sys, &built.space, 2), s);
     }

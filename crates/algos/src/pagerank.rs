@@ -13,9 +13,9 @@
 //! redistributed, the common graph-system convention).
 
 use tufast::par::{parallel_drain, parallel_for, FifoPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::{f64_to_word, word_to_f64, MemRegion};
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_f64_region;
 
@@ -28,7 +28,9 @@ pub struct PageRankSpace {
 impl PageRankSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        PageRankSpace { rank: layout.alloc("pagerank", n as u64) }
+        PageRankSpace {
+            rank: layout.alloc("pagerank", n as u64),
+        }
     }
 }
 
@@ -39,7 +41,10 @@ pub fn sequential(g: &Graph, damping: f64, eps: f64, max_iters: usize) -> Vec<f6
     if n == 0 {
         return Vec::new();
     }
-    assert!(g.reverse().is_some(), "PageRank pulls over in-edges; build with_in_edges()");
+    assert!(
+        g.reverse().is_some(),
+        "PageRank pulls over in-edges; build with_in_edges()"
+    );
     let base = (1.0 - damping) / n as f64;
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
@@ -76,7 +81,10 @@ pub fn parallel<S: GraphScheduler>(
     if n == 0 {
         return Vec::new();
     }
-    assert!(g.reverse().is_some(), "PageRank pulls over in-edges; build with_in_edges()");
+    assert!(
+        g.reverse().is_some(),
+        "PageRank pulls over in-edges; build with_in_edges()"
+    );
     let mem = sys.mem();
     let init = f64_to_word(1.0 / n as f64);
     for v in 0..n as u64 {
@@ -128,7 +136,10 @@ pub fn parallel_sweeps<S: GraphScheduler>(
     sweeps: usize,
 ) -> Vec<S::Worker> {
     let n = g.num_vertices();
-    assert!(g.reverse().is_some(), "PageRank pulls over in-edges; build with_in_edges()");
+    assert!(
+        g.reverse().is_some(),
+        "PageRank pulls over in-edges; build with_in_edges()"
+    );
     let mem = sys.mem();
     let init = f64_to_word(1.0 / n.max(1) as f64);
     for v in 0..n as u64 {
@@ -146,7 +157,11 @@ pub fn parallel_sweeps<S: GraphScheduler>(
                     let ru = word_to_f64(ops.read(u, rank.addr(u64::from(u)))?);
                     sum += ru / g.degree(u) as f64;
                 }
-                ops.write(v, rank.addr(u64::from(v)), f64_to_word(base + damping * sum))
+                ops.write(
+                    v,
+                    rank.addr(u64::from(v)),
+                    f64_to_word(base + damping * sum),
+                )
             });
         });
     }
@@ -180,7 +195,10 @@ mod tests {
         for v in 1..4 {
             assert!((r[v] - r[0]).abs() < 1e-9);
         }
-        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6, "cycle has no dangling mass");
+        assert!(
+            (r.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "cycle has no dangling mass"
+        );
     }
 
     #[test]
@@ -194,7 +212,7 @@ mod tests {
     fn parallel_converges_to_sequential_fixpoint() {
         let g = with_in_edges(&gen::rmat(9, 8, 21));
         let expected = sequential(&g, 0.85, 1e-13, 2000);
-        let built = crate::setup(&g, |l, n| PageRankSpace::alloc(l, n));
+        let built = crate::setup(&g, PageRankSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let got = parallel(&g, &tufast, &built.sys, &built.space, 4, 0.85, 1e-11);
         for v in 0..g.num_vertices() {
@@ -211,7 +229,7 @@ mod tests {
     fn parallel_sweeps_runs_and_converges_roughly() {
         let g = with_in_edges(&gen::grid2d(8, 8));
         let expected = sequential(&g, 0.85, 1e-13, 2000);
-        let built = crate::setup(&g, |l, n| PageRankSpace::alloc(l, n));
+        let built = crate::setup(&g, PageRankSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         parallel_sweeps(&g, &tufast, &built.sys, &built.space, 4, 0.85, 60);
         let got = read_f64_region(built.sys.mem(), &built.space.rank);

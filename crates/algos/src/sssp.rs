@@ -8,9 +8,9 @@
 //! implements them.
 
 use tufast::par::{parallel_drain, FifoPool, PriorityPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -35,7 +35,9 @@ pub struct SsspSpace {
 impl SsspSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        SsspSpace { dist: layout.alloc("sssp-dist", n as u64) }
+        SsspSpace {
+            dist: layout.alloc("sssp-dist", n as u64),
+        }
     }
 }
 
@@ -82,7 +84,10 @@ pub fn parallel<S: GraphScheduler>(
     threads: usize,
     kind: QueueKind,
 ) -> Vec<u64> {
-    assert!(g.has_weights(), "SSSP needs edge weights (gen::with_random_weights)");
+    assert!(
+        g.has_weights(),
+        "SSSP needs edge weights (gen::with_random_weights)"
+    );
     let mem = sys.mem();
     mem.fill_region(&space.dist, UNREACHED);
     mem.store_direct(space.dist.addr(u64::from(source)), 0);
@@ -91,12 +96,16 @@ pub fn parallel<S: GraphScheduler>(
         QueueKind::Fifo => {
             let pool = FifoPool::new();
             pool.push(source);
-            drive(g, sched, sys, space, threads, &pool, |pool, u, _| pool.push(u));
+            drive(g, sched, sys, space, threads, &pool, |pool, u, _| {
+                pool.push(u)
+            });
         }
         QueueKind::Priority => {
             let pool = PriorityPool::new();
             pool.push_with_key(source, 0);
-            drive(g, sched, sys, space, threads, &pool, |pool, u, key| pool.push_with_key(u, key));
+            drive(g, sched, sys, space, threads, &pool, |pool, u, key| {
+                pool.push_with_key(u, key)
+            });
         }
     }
     read_u64_region(mem, &space.dist)
@@ -163,7 +172,7 @@ mod tests {
     fn parallel_fifo_equals_sequential() {
         let g = weighted_grid(13, 11, 7);
         let expected = sequential(&g, 0);
-        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let built = crate::setup(&g, SsspSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let got = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Fifo);
         assert_eq!(got, expected);
@@ -173,19 +182,35 @@ mod tests {
     fn parallel_priority_equals_sequential() {
         let g = weighted_grid(11, 9, 3);
         let expected = sequential(&g, 5);
-        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let built = crate::setup(&g, SsspSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
-        let got = parallel(&g, &tufast, &built.sys, &built.space, 5, 4, QueueKind::Priority);
+        let got = parallel(
+            &g,
+            &tufast,
+            &built.sys,
+            &built.space,
+            5,
+            4,
+            QueueKind::Priority,
+        );
         assert_eq!(got, expected);
     }
 
     #[test]
     fn queue_disciplines_agree_on_power_law_graph() {
         let g = gen::with_random_weights(&gen::rmat(9, 8, 11), 100, 13);
-        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let built = crate::setup(&g, SsspSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let fifo = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Fifo);
-        let prio = parallel(&g, &tufast, &built.sys, &built.space, 0, 4, QueueKind::Priority);
+        let prio = parallel(
+            &g,
+            &tufast,
+            &built.sys,
+            &built.space,
+            0,
+            4,
+            QueueKind::Priority,
+        );
         assert_eq!(fifo, prio, "both disciplines must reach the same fixpoint");
         assert_eq!(fifo, sequential(&g, 0));
     }
@@ -194,7 +219,7 @@ mod tests {
     #[should_panic(expected = "edge weights")]
     fn unweighted_graph_is_rejected() {
         let g = gen::path(3);
-        let built = crate::setup(&g, |l, n| SsspSpace::alloc(l, n));
+        let built = crate::setup(&g, SsspSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         parallel(&g, &tufast, &built.sys, &built.space, 0, 2, QueueKind::Fifo);
     }

@@ -14,8 +14,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tufast::par::parallel_for;
-use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 use tufast_graph::{Graph, VertexId};
+use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 
 /// Count of common neighbours of two sorted adjacency lists, restricted to
 /// ids greater than `above`.

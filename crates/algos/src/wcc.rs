@@ -7,9 +7,9 @@
 //! component: a unique fixpoint, so parallel equals sequential exactly.
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::{Graph, VertexId};
 use tufast_htm::MemRegion;
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
-use tufast_graph::{Graph, VertexId};
 
 use crate::common::read_u64_region;
 
@@ -22,7 +22,9 @@ pub struct WccSpace {
 impl WccSpace {
     /// Allocate in `layout` for `n` vertices.
     pub fn alloc(layout: &mut tufast_htm::MemoryLayout, n: usize) -> Self {
-        WccSpace { label: layout.alloc("wcc-label", n as u64) }
+        WccSpace {
+            label: layout.alloc("wcc-label", n as u64),
+        }
     }
 }
 
@@ -39,7 +41,9 @@ pub fn sequential(g: &Graph) -> Vec<u64> {
         label[start as usize] = u64::from(start);
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
-            let push = |u: VertexId, label: &mut Vec<u64>, queue: &mut std::collections::VecDeque<VertexId>| {
+            let push = |u: VertexId,
+                        label: &mut Vec<u64>,
+                        queue: &mut std::collections::VecDeque<VertexId>| {
                 if label[u as usize] == u64::MAX {
                     label[u as usize] = u64::from(start);
                     queue.push_back(u);
@@ -84,8 +88,8 @@ pub fn parallel<S: GraphScheduler>(
             improved.clear();
             let lv = ops.read(v, label.addr(u64::from(v)))?;
             let relax = |ops: &mut dyn tufast_txn::TxnOps,
-                             u: VertexId,
-                             improved: &mut Vec<VertexId>|
+                         u: VertexId,
+                         improved: &mut Vec<VertexId>|
              -> Result<(), tufast_txn::TxInterrupt> {
                 let lu = ops.read(u, label.addr(u64::from(u)))?;
                 if lv < lu {
@@ -128,7 +132,7 @@ mod tests {
 
     fn check(g: &Graph) {
         let expected = sequential(g);
-        let built = crate::setup(g, |l, n| WccSpace::alloc(l, n));
+        let built = crate::setup(g, WccSpace::alloc);
         let tufast = TuFast::new(Arc::clone(&built.sys));
         let got = parallel(g, &tufast, &built.sys, &built.space, 4);
         assert_eq!(got, expected);

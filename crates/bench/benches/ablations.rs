@@ -13,9 +13,9 @@ use std::sync::Arc;
 
 use tufast::{TuFast, TuFastConfig};
 use tufast_bench::workloads::{run_one, uniform_picker, MicroWorkload};
+use tufast_graph::gen;
 use tufast_htm::MemoryLayout;
 use tufast_txn::{GraphScheduler, SystemConfig, TxnSystem};
-use tufast_graph::gen;
 
 const THREADS: usize = 4;
 const TXNS_PER_ITER: usize = 2_000;
@@ -40,7 +40,14 @@ fn run_batch(g: &tufast_graph::Graph, sys_config: SystemConfig, tf_config: TuFas
                 if i >= TXNS_PER_ITER {
                     break;
                 }
-                run_one(g, sys, values, &mut worker, picker(i as u64), MicroWorkload::ReadMostly);
+                run_one(
+                    g,
+                    sys,
+                    values,
+                    &mut worker,
+                    picker(i as u64),
+                    MicroWorkload::ReadMostly,
+                );
             });
         }
     });
@@ -59,7 +66,10 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| {
             run_batch(
                 &g,
-                SystemConfig { padded_locks: true, ..SystemConfig::default() },
+                SystemConfig {
+                    padded_locks: true,
+                    ..SystemConfig::default()
+                },
                 TuFastConfig::default(),
             )
         });
@@ -73,7 +83,10 @@ fn bench_ablations(c: &mut Criterion) {
             run_batch(
                 &g,
                 SystemConfig::default(),
-                TuFastConfig { value_validation: true, ..TuFastConfig::default() },
+                TuFastConfig {
+                    value_validation: true,
+                    ..TuFastConfig::default()
+                },
             )
         });
     });
@@ -84,7 +97,10 @@ fn bench_ablations(c: &mut Criterion) {
                 run_batch(
                     &g,
                     SystemConfig::default(),
-                    TuFastConfig { h_retries: retries, ..TuFastConfig::default() },
+                    TuFastConfig {
+                        h_retries: retries,
+                        ..TuFastConfig::default()
+                    },
                 )
             });
         });
@@ -94,7 +110,13 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::default()));
     });
     group.bench_function("period_static_1000", |b| {
-        b.iter(|| run_batch(&g, SystemConfig::default(), TuFastConfig::static_config(1000)));
+        b.iter(|| {
+            run_batch(
+                &g,
+                SystemConfig::default(),
+                TuFastConfig::static_config(1000),
+            )
+        });
     });
 
     group.finish();

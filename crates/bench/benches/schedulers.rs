@@ -7,18 +7,20 @@ use std::sync::Arc;
 
 use tufast::TuFast;
 use tufast_bench::workloads::{run_one, setup_micro, MicroWorkload};
+use tufast_graph::gen;
 use tufast_txn::{
     GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering,
     TwoPhaseLocking,
 };
-use tufast_graph::gen;
 
 fn bench_schedulers(c: &mut Criterion) {
     // Star graphs give exact control over transaction size: the hub's
     // transaction touches the whole graph, so `degree` picks the size.
-    for (label, degree) in
-        [("small_txn_deg8", 8usize), ("medium_txn_deg1000", 1000), ("large_txn_deg20000", 20_000)]
-    {
+    for (label, degree) in [
+        ("small_txn_deg8", 8usize),
+        ("medium_txn_deg1000", 1000),
+        ("large_txn_deg20000", 20_000),
+    ] {
         let g = gen::star(degree + 1);
         let mut group = c.benchmark_group(label);
         group.sample_size(20);
@@ -29,7 +31,9 @@ fn bench_schedulers(c: &mut Criterion) {
                 let sched = $ctor(Arc::clone(&sys));
                 let mut worker = sched.worker();
                 group.bench_function($name, |b| {
-                    b.iter(|| run_one(&g, &sys, &values, &mut worker, 0, MicroWorkload::ReadMostly));
+                    b.iter(|| {
+                        run_one(&g, &sys, &values, &mut worker, 0, MicroWorkload::ReadMostly)
+                    });
                 });
             }};
         }

@@ -28,7 +28,14 @@ fn main() {
     let sizes_kb: Vec<u64> = vec![1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 30, 32, 36, 40];
 
     let lines_total = words / 8;
-    let mut table = Table::new(&["size (KB)", "lines", "trials", "aborts", "capacity", "P(abort)"]);
+    let mut table = Table::new(&[
+        "size (KB)",
+        "lines",
+        "trials",
+        "aborts",
+        "capacity",
+        "P(abort)",
+    ]);
     for &kb in &sizes_kb {
         // `size` counts distinct bytes touched: size/64 distinct cache
         // lines, placed at random (the paper's "transactions at random
@@ -96,5 +103,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\n(lines = distinct 64B cache lines touched; capacity = aborts from the L1 set model)");
+    println!(
+        "\n(lines = distinct 64B cache lines touched; capacity = aborts from the L1 set model)"
+    );
 }

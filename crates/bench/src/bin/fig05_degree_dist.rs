@@ -44,5 +44,10 @@ fn main() {
     let (hub, dmax) = d.graph.max_degree();
     println!("\nfitted log-log slope : {slope:.2}  (paper: clearly negative / straight line)");
     println!("max out-degree       : {dmax} at vertex {hub} (paper: 3,691,240 at full scale)");
-    println!("|V| = {}, |E| = {}, avg degree = {:.2}", d.graph.num_vertices(), d.graph.num_edges(), d.graph.avg_degree());
+    println!(
+        "|V| = {}, |E| = {}, avg degree = {:.2}",
+        d.graph.num_vertices(),
+        d.graph.num_edges(),
+        d.graph.avg_degree()
+    );
 }

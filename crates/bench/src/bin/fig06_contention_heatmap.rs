@@ -12,8 +12,14 @@ use tufast_bench::harness::{banner, parse_args};
 use tufast_graph::{Graph, VertexId};
 
 /// Degree buckets (log scale), the heat map's axes.
-const BUCKETS: [(usize, usize); 6] =
-    [(0, 2), (2, 8), (8, 32), (32, 128), (128, 512), (512, usize::MAX)];
+const BUCKETS: [(usize, usize); 6] = [
+    (0, 2),
+    (2, 8),
+    (8, 32),
+    (32, 128),
+    (128, 512),
+    (512, usize::MAX),
+];
 
 fn bucket_label(b: (usize, usize)) -> String {
     if b.1 == usize::MAX {
@@ -29,9 +35,7 @@ fn bucket_label(b: (usize, usize)) -> String {
 /// `a ∈ N⁺(b)` (a write into the other's read set), with `N⁺` the closed
 /// neighbourhood.
 fn contend(g: &Graph, a: VertexId, b: VertexId) -> bool {
-    a == b
-        || g.neighbors(a).binary_search(&b).is_ok()
-        || g.neighbors(b).binary_search(&a).is_ok()
+    a == b || g.neighbors(a).binary_search(&b).is_ok() || g.neighbors(b).binary_search(&a).is_ok()
 }
 
 fn main() {
@@ -48,7 +52,10 @@ fn main() {
     let mut by_bucket: Vec<Vec<VertexId>> = vec![Vec::new(); BUCKETS.len()];
     for v in g.vertices() {
         let deg = g.degree(v);
-        let idx = BUCKETS.iter().position(|&(lo, hi)| deg >= lo && deg < hi).unwrap();
+        let idx = BUCKETS
+            .iter()
+            .position(|&(lo, hi)| deg >= lo && deg < hi)
+            .unwrap();
         by_bucket[idx].push(v);
     }
 

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use tufast_bench::harness::{banner, fmt_rate, parse_args, Table};
 use tufast_bench::workloads::{run_micro_opts, setup_micro, uniform_picker, MicroWorkload};
-use tufast_txn::{Occ, TimestampOrdering, TwoPhaseLocking};
 use tufast_graph::gen;
+use tufast_txn::{Occ, TimestampOrdering, TwoPhaseLocking};
 
 fn main() {
     let args = parse_args();
@@ -25,7 +25,7 @@ fn main() {
     // enough that uniformly random degree-8 neighbourhoods essentially
     // never overlap — the "~0 contention" end of the sweep must be real.
     let n = 1usize << (17 + args.scale_delta.max(-6)).max(10);
-    let g = gen::erdos_renyi(n, n * 8, 0xF16_7);
+    let g = gen::erdos_renyi(n, n * 8, 0xF167);
 
     // Contention knob: the hot-pool size every transaction samples from
     // (descending pool = ascending contention).
@@ -34,7 +34,15 @@ fn main() {
     pools.dedup();
 
     let mut table = Table::new(&[
-        "hot pool", "contention", "2PL", "eff", "OCC", "eff", "TO", "eff", "winner",
+        "hot pool",
+        "contention",
+        "2PL",
+        "eff",
+        "OCC",
+        "eff",
+        "TO",
+        "eff",
+        "winner",
     ]);
     for &pool in &pools {
         let mut best = ("-", 0.0f64);
@@ -87,7 +95,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\n(throughput = committed RW neighbourhood transactions/second, {} threads;", args.threads);
+    println!(
+        "\n(throughput = committed RW neighbourhood transactions/second, {} threads;",
+        args.threads
+    );
     println!(" eff = commits / attempts — falling efficiency is the contention taking hold.");
     println!(" Single-core caveat: blocking degenerates under preemption, so which scheduler");
     println!(" wins the high-contention end differs from the paper's multicore result — the");

@@ -17,8 +17,8 @@ use tufast_algos as algos;
 use tufast_bench::datasets::{dataset, dataset_names, symmetric_view};
 use tufast_bench::harness::{banner, fmt_secs, parse_args, time, Table};
 use tufast_engines::{galois, ligra, polymer};
-use tufast_txn::SoftwareTm;
 use tufast_graph::{gen, Graph};
+use tufast_txn::SoftwareTm;
 
 const DAMPING: f64 = 0.85;
 const PR_EPS: f64 = 1e-6;
@@ -38,8 +38,21 @@ fn main() {
         let d = dataset(name, args.scale_delta);
         let sym = symmetric_view(&d.graph);
         let weighted = gen::with_random_weights(&d.graph, 100, 0x5EED);
-        println!("\n--- dataset {} (|V|={}, |E|={}) ---", name, d.graph.num_vertices(), d.graph.num_edges());
-        let mut table = Table::new(&["algorithm", "TuFast", "STM", "Ligra", "Galois", "Polymer", "best-other/TuFast"]);
+        println!(
+            "\n--- dataset {} (|V|={}, |E|={}) ---",
+            name,
+            d.graph.num_vertices(),
+            d.graph.num_edges()
+        );
+        let mut table = Table::new(&[
+            "algorithm",
+            "TuFast",
+            "STM",
+            "Ligra",
+            "Galois",
+            "Polymer",
+            "best-other/TuFast",
+        ]);
         for algo in algorithms {
             let row = run_algorithm(algo, &d.graph, &sym, &weighted, args.threads);
             let tufast = row[0];
@@ -51,31 +64,54 @@ fn main() {
         }
         table.print();
     }
-    println!("\n(best-other/TuFast > 1 means TuFast is fastest; {} threads)", args.threads);
+    println!(
+        "\n(best-other/TuFast > 1 means TuFast is fastest; {} threads)",
+        args.threads
+    );
 }
 
 fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: usize) -> Row {
     match algo {
         "PageRank" => {
             let (r_tufast, t_tufast) = time(|| {
-                let built = algos::setup(g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+                let built = algos::setup(g, algos::pagerank::PageRankSpace::alloc);
                 let sched = TuFast::new(Arc::clone(&built.sys));
-                algos::pagerank::parallel(g, &sched, &built.sys, &built.space, threads, DAMPING, PR_EPS)
+                algos::pagerank::parallel(
+                    g,
+                    &sched,
+                    &built.sys,
+                    &built.space,
+                    threads,
+                    DAMPING,
+                    PR_EPS,
+                )
             });
             let (r_stm, t_stm) = time(|| {
-                let built = algos::setup(g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+                let built = algos::setup(g, algos::pagerank::PageRankSpace::alloc);
                 let sched = SoftwareTm::new(Arc::clone(&built.sys));
-                algos::pagerank::parallel(g, &sched, &built.sys, &built.space, threads, DAMPING, PR_EPS)
+                algos::pagerank::parallel(
+                    g,
+                    &sched,
+                    &built.sys,
+                    &built.space,
+                    threads,
+                    DAMPING,
+                    PR_EPS,
+                )
             });
             let (r_ligra, t_ligra) = time(|| ligra::pagerank(g, DAMPING, PR_EPS, 500, threads));
             let (r_galois, t_galois) = time(|| galois::pagerank(g, DAMPING, PR_EPS, threads));
-            let (r_polymer, t_polymer) = time(|| polymer::pagerank(g, DAMPING, PR_EPS, 500, threads));
+            let (r_polymer, t_polymer) =
+                time(|| polymer::pagerank(g, DAMPING, PR_EPS, 500, threads));
             // Cross-check convergence to the same fixpoint (loose: each
             // stops at its own residual threshold).
             for v in (0..g.num_vertices()).step_by((g.num_vertices() / 64).max(1)) {
                 let reference = r_ligra[v];
                 for r in [r_tufast[v], r_stm[v], r_galois[v], r_polymer[v]] {
-                    assert!((r - reference).abs() < 1e-2, "PageRank fixpoint mismatch at {v}");
+                    assert!(
+                        (r - reference).abs() < 1e-2,
+                        "PageRank fixpoint mismatch at {v}"
+                    );
                 }
             }
             vec![t_tufast, t_stm, t_ligra, t_galois, t_polymer]
@@ -83,12 +119,12 @@ fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: 
         "BFS" => {
             let source = 0;
             let (d_tufast, t_tufast) = time(|| {
-                let built = algos::setup(g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+                let built = algos::setup(g, algos::bfs::BfsSpace::alloc);
                 let sched = TuFast::new(Arc::clone(&built.sys));
                 algos::bfs::parallel(g, &sched, &built.sys, &built.space, source, threads)
             });
             let (d_stm, t_stm) = time(|| {
-                let built = algos::setup(g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+                let built = algos::setup(g, algos::bfs::BfsSpace::alloc);
                 let sched = SoftwareTm::new(Arc::clone(&built.sys));
                 algos::bfs::parallel(g, &sched, &built.sys, &built.space, source, threads)
             });
@@ -103,12 +139,12 @@ fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: 
         }
         "Components" => {
             let (l_tufast, t_tufast) = time(|| {
-                let built = algos::setup(sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+                let built = algos::setup(sym, algos::wcc::WccSpace::alloc);
                 let sched = TuFast::new(Arc::clone(&built.sys));
                 algos::wcc::parallel(sym, &sched, &built.sys, &built.space, threads)
             });
             let (l_stm, t_stm) = time(|| {
-                let built = algos::setup(sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+                let built = algos::setup(sym, algos::wcc::WccSpace::alloc);
                 let sched = SoftwareTm::new(Arc::clone(&built.sys));
                 algos::wcc::parallel(sym, &sched, &built.sys, &built.space, threads)
             });
@@ -144,14 +180,30 @@ fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: 
         "SSSP" => {
             let source = 0;
             let (s_tufast, t_tufast) = time(|| {
-                let built = algos::setup(weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+                let built = algos::setup(weighted, algos::sssp::SsspSpace::alloc);
                 let sched = TuFast::new(Arc::clone(&built.sys));
-                algos::sssp::parallel(weighted, &sched, &built.sys, &built.space, source, threads, algos::sssp::QueueKind::Fifo)
+                algos::sssp::parallel(
+                    weighted,
+                    &sched,
+                    &built.sys,
+                    &built.space,
+                    source,
+                    threads,
+                    algos::sssp::QueueKind::Fifo,
+                )
             });
             let (s_stm, t_stm) = time(|| {
-                let built = algos::setup(weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+                let built = algos::setup(weighted, algos::sssp::SsspSpace::alloc);
                 let sched = SoftwareTm::new(Arc::clone(&built.sys));
-                algos::sssp::parallel(weighted, &sched, &built.sys, &built.space, source, threads, algos::sssp::QueueKind::Fifo)
+                algos::sssp::parallel(
+                    weighted,
+                    &sched,
+                    &built.sys,
+                    &built.space,
+                    source,
+                    threads,
+                    algos::sssp::QueueKind::Fifo,
+                )
             });
             let (s_ligra, t_ligra) = time(|| ligra::sssp(weighted, source, threads));
             let (s_galois, t_galois) = time(|| galois::sssp(weighted, source, threads));
@@ -164,12 +216,12 @@ fn run_algorithm(algo: &str, g: &Graph, sym: &Graph, weighted: &Graph, threads: 
         }
         "MIS" => {
             let (m_tufast, t_tufast) = time(|| {
-                let built = algos::setup(sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+                let built = algos::setup(sym, algos::mis::MisSpace::alloc);
                 let sched = TuFast::new(Arc::clone(&built.sys));
                 algos::mis::parallel(sym, &sched, &built.sys, &built.space, threads)
             });
             let (m_stm, t_stm) = time(|| {
-                let built = algos::setup(sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+                let built = algos::setup(sym, algos::mis::MisSpace::alloc);
                 let sched = SoftwareTm::new(Arc::clone(&built.sys));
                 algos::mis::parallel(sym, &sched, &built.sys, &built.space, threads)
             });

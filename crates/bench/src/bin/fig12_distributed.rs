@@ -32,11 +32,40 @@ fn main() {
         let d = dataset(name, args.scale_delta);
         let sym = symmetric_view(&d.graph);
         let weighted = gen::with_random_weights(&d.graph, 100, 0x5EED);
-        println!("\n--- dataset {} (|V|={}, |E|={}) ---", name, d.graph.num_vertices(), d.graph.num_edges());
-        let pg = GasCluster::new(&d.graph, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
-        let pl = GasCluster::new(&d.graph, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
-        let pg_sym = GasCluster::new(&sym, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
-        let pl_sym = GasCluster::new(&sym, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
+        println!(
+            "\n--- dataset {} (|V|={}, |E|={}) ---",
+            name,
+            d.graph.num_vertices(),
+            d.graph.num_edges()
+        );
+        let pg = GasCluster::new(
+            &d.graph,
+            ClusterConfig {
+                partition: PartitionKind::Hash,
+                ..Default::default()
+            },
+        );
+        let pl = GasCluster::new(
+            &d.graph,
+            ClusterConfig {
+                partition: PartitionKind::Hybrid(64),
+                ..Default::default()
+            },
+        );
+        let pg_sym = GasCluster::new(
+            &sym,
+            ClusterConfig {
+                partition: PartitionKind::Hash,
+                ..Default::default()
+            },
+        );
+        let pl_sym = GasCluster::new(
+            &sym,
+            ClusterConfig {
+                partition: PartitionKind::Hybrid(64),
+                ..Default::default()
+            },
+        );
         let chi = OocEngine::new(&d.graph, DiskConfig::default());
         let chi_sym = OocEngine::new(&sym, DiskConfig::default());
         println!(
@@ -45,42 +74,78 @@ fn main() {
             pl.replication_factor()
         );
 
-        let mut table = Table::new(&["algorithm", "TuFast", "PowerGraph", "PowerLyra", "GraphChi", "TuFast speedup (vs best)"]);
+        let mut table = Table::new(&[
+            "algorithm",
+            "TuFast",
+            "PowerGraph",
+            "PowerLyra",
+            "GraphChi",
+            "TuFast speedup (vs best)",
+        ]);
         let t = args.threads;
 
         // PageRank (fixed iterations so all four do identical work).
         let (_, tufast_s) = time(|| {
-            let built = algos::setup(&d.graph, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+            let built = algos::setup(&d.graph, algos::pagerank::PageRankSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
-            algos::pagerank::parallel_sweeps(&d.graph, &sched, &built.sys, &built.space, t, DAMPING, PR_ITERS);
+            algos::pagerank::parallel_sweeps(
+                &d.graph,
+                &sched,
+                &built.sys,
+                &built.space,
+                t,
+                DAMPING,
+                PR_ITERS,
+            );
         });
         let (_, pg_c) = pg.pagerank(DAMPING, PR_ITERS, t);
         let (_, pl_c) = pl.pagerank(DAMPING, PR_ITERS, t);
         let (_, chi_c) = chi.pagerank(DAMPING, PR_ITERS, t);
         let pagerank_projection = (pg_c, d.graph.num_edges());
-        push_row(&mut table, "PageRank", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "PageRank",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         // BFS.
         let (_, tufast_s) = time(|| {
-            let built = algos::setup(&d.graph, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+            let built = algos::setup(&d.graph, algos::bfs::BfsSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
             algos::bfs::parallel(&d.graph, &sched, &built.sys, &built.space, 0, t);
         });
         let (_, pg_c) = pg.bfs(0, t);
         let (_, pl_c) = pl.bfs(0, t);
         let (_, chi_c) = chi.bfs(0, t);
-        push_row(&mut table, "BFS", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "BFS",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         // Components (symmetric view everywhere).
         let (_, tufast_s) = time(|| {
-            let built = algos::setup(&sym, |l, n| algos::wcc::WccSpace::alloc(l, n));
+            let built = algos::setup(&sym, algos::wcc::WccSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
             algos::wcc::parallel(&sym, &sched, &built.sys, &built.space, t);
         });
         let (_, pg_c) = pg_sym.wcc(t);
         let (_, pl_c) = pl_sym.wcc(t);
         let (_, chi_c) = chi_sym.wcc(t);
-        push_row(&mut table, "Components", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "Components",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         // Triangle.
         let (_, tufast_s) = time(|| {
@@ -91,32 +156,73 @@ fn main() {
         let (_, pg_c) = pg_sym.triangle(t);
         let (_, pl_c) = pl_sym.triangle(t);
         let (_, chi_c) = chi_sym.triangle(t);
-        push_row(&mut table, "Triangle", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "Triangle",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         // SSSP.
-        let pg_w = GasCluster::new(&weighted, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
-        let pl_w = GasCluster::new(&weighted, ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() });
+        let pg_w = GasCluster::new(
+            &weighted,
+            ClusterConfig {
+                partition: PartitionKind::Hash,
+                ..Default::default()
+            },
+        );
+        let pl_w = GasCluster::new(
+            &weighted,
+            ClusterConfig {
+                partition: PartitionKind::Hybrid(64),
+                ..Default::default()
+            },
+        );
         let chi_w = OocEngine::new(&weighted, DiskConfig::default());
         let (_, tufast_s) = time(|| {
-            let built = algos::setup(&weighted, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+            let built = algos::setup(&weighted, algos::sssp::SsspSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
-            algos::sssp::parallel(&weighted, &sched, &built.sys, &built.space, 0, t, algos::sssp::QueueKind::Fifo);
+            algos::sssp::parallel(
+                &weighted,
+                &sched,
+                &built.sys,
+                &built.space,
+                0,
+                t,
+                algos::sssp::QueueKind::Fifo,
+            );
         });
         let (_, pg_c) = pg_w.sssp(0, t);
         let (_, pl_c) = pl_w.sssp(0, t);
         let (_, chi_c) = chi_w.sssp(0, t);
-        push_row(&mut table, "SSSP", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "SSSP",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         // MIS.
         let (_, tufast_s) = time(|| {
-            let built = algos::setup(&sym, |l, n| algos::mis::MisSpace::alloc(l, n));
+            let built = algos::setup(&sym, algos::mis::MisSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
             algos::mis::parallel(&sym, &sched, &built.sys, &built.space, t);
         });
         let (_, pg_c) = pg_sym.mis(t);
         let (_, pl_c) = pl_sym.mis(t);
         let (_, chi_c) = chi_sym.mis(t);
-        push_row(&mut table, "MIS", tufast_s, pg_c.total_s(), pl_c.total_s(), chi_c.total_s());
+        push_row(
+            &mut table,
+            "MIS",
+            tufast_s,
+            pg_c.total_s(),
+            pl_c.total_s(),
+            chi_c.total_s(),
+        );
 
         table.print();
 
@@ -127,8 +233,8 @@ fn main() {
         // ~2 ns/edge-op (a cache hit — real HTM) across 20 cores.
         let (pg_cost, edges) = pagerank_projection;
         let scale = 1000.0;
-        let projected_net = pg_cost.bytes_moved as f64 * scale / 1.25e9
-            + pg_cost.rounds as f64 * 2.0 * 500e-6;
+        let projected_net =
+            pg_cost.bytes_moved as f64 * scale / 1.25e9 + pg_cost.rounds as f64 * 2.0 * 500e-6;
         let projected_tufast = edges as f64 * scale * PR_ITERS as f64 * 2e-9 / 20.0;
         println!(
             "  full-scale projection (PageRank, x1000 edges, paper hardware): PowerGraph network ≈ {:.0}s vs TuFast in-memory ≈ {:.0}s  (≈{:.0}x)",

@@ -27,10 +27,21 @@ fn main() {
 /// Shared driver for Figures 13 and 14.
 pub fn run(args: &tufast_bench::BenchArgs, workload: MicroWorkload) {
     let tax = calibrate_htm_tax();
-    println!("\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n", tax * 1e9);
+    println!(
+        "\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n",
+        tax * 1e9
+    );
 
     let mut calibrated = Table::new(&[
-        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO", "TuFast/best-other",
+        "dataset",
+        "TuFast",
+        "2PL",
+        "OCC",
+        "TO",
+        "STM",
+        "HSync",
+        "H-TO",
+        "TuFast/best-other",
     ]);
     let mut raw = Table::new(&[
         "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO",
@@ -38,7 +49,10 @@ pub fn run(args: &tufast_bench::BenchArgs, workload: MicroWorkload) {
     for name in dataset_names() {
         let d = dataset(name, args.scale_delta);
         let results = run_scheduler_suite(&d.graph, args.threads, args.txns, workload);
-        let cal: Vec<f64> = results.iter().map(|(_, r)| r.calibrated_throughput(tax)).collect();
+        let cal: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.calibrated_throughput(tax))
+            .collect();
         let tufast = cal[0];
         let best_other = cal[1..].iter().copied().fold(0.0f64, f64::max);
         let mut row = vec![name.to_string()];

@@ -20,18 +20,33 @@ fn main() {
         "TuFast highest everywhere (paper: 2.0×–39.5× over the best alternative)",
     );
     let tax = calibrate_htm_tax();
-    println!("\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n", tax * 1e9);
+    println!(
+        "\nmeasured emulation tax: {:.1} ns per hardware-transactional op\n",
+        tax * 1e9
+    );
 
     let mut calibrated = Table::new(&[
-        "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO", "TuFast/best-other",
+        "dataset",
+        "TuFast",
+        "2PL",
+        "OCC",
+        "TO",
+        "STM",
+        "HSync",
+        "H-TO",
+        "TuFast/best-other",
     ]);
     let mut raw = Table::new(&[
         "dataset", "TuFast", "2PL", "OCC", "TO", "STM", "HSync", "H-TO",
     ]);
     for name in dataset_names() {
         let d = dataset(name, args.scale_delta);
-        let results = run_scheduler_suite(&d.graph, args.threads, args.txns, MicroWorkload::ReadWrite);
-        let cal: Vec<f64> = results.iter().map(|(_, r)| r.calibrated_throughput(tax)).collect();
+        let results =
+            run_scheduler_suite(&d.graph, args.threads, args.txns, MicroWorkload::ReadWrite);
+        let cal: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.calibrated_throughput(tax))
+            .collect();
         let tufast = cal[0];
         let best_other = cal[1..].iter().copied().fold(0.0f64, f64::max);
         let mut row = vec![name.to_string()];
@@ -46,5 +61,8 @@ fn main() {
     calibrated.print();
     println!("\nraw wall-clock throughput (emulation tax included):");
     raw.print();
-    println!("\n(RW workload; {} txns per scheduler per dataset; {} threads)", args.txns, args.threads);
+    println!(
+        "\n(RW workload; {} txns per scheduler per dataset; {} threads)",
+        args.txns, args.threads
+    );
 }

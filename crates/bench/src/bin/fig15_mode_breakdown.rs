@@ -38,7 +38,11 @@ fn main() {
         for w in &mut workers {
             stats.merge(&w.take_tufast_stats());
         }
-        println!("\n--- workload {} ({} committed txns) ---", workload.label(), result.stats.commits);
+        println!(
+            "\n--- workload {} ({} committed txns) ---",
+            workload.label(),
+            result.stats.commits
+        );
         let mut table = Table::new(&["class", "txns", "txn share", "ops", "op share"]);
         let total_txns = stats.modes.total_txns().max(1);
         let total_ops = stats.modes.total_ops().max(1);
@@ -46,9 +50,15 @@ fn main() {
             table.row(&[
                 class.label().to_string(),
                 stats.modes.txns(class).to_string(),
-                format!("{:.2}%", 100.0 * stats.modes.txns(class) as f64 / total_txns as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * stats.modes.txns(class) as f64 / total_txns as f64
+                ),
                 stats.modes.ops(class).to_string(),
-                format!("{:.2}%", 100.0 * stats.modes.ops(class) as f64 / total_ops as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * stats.modes.ops(class) as f64 / total_ops as f64
+                ),
             ]);
         }
         table.print();

@@ -48,7 +48,10 @@ fn main() {
     println!("\nH-mode retry budget sweep (adaptive period on):");
     let mut table = Table::new(&["h_retries", "throughput"]);
     for h_retries in [1u32, 2, 4, 8, 16] {
-        let t = measure(TuFastConfig { h_retries, ..TuFastConfig::default() });
+        let t = measure(TuFastConfig {
+            h_retries,
+            ..TuFastConfig::default()
+        });
         table.row(&[h_retries.to_string(), fmt_rate(t)]);
     }
     table.print();

@@ -45,17 +45,18 @@ fn main() {
         let mut series = Vec::new();
         for _ in 0..sweeps {
             let t0 = std::time::Instant::now();
-            let mut workers = tufast::par::parallel_for(&sched, args.threads, g.num_vertices(), |worker, v| {
-                let degree = g.in_degree(v) + 1;
-                worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
-                    let mut sum = 0.0;
-                    for &u in g.in_neighbors(v) {
-                        let ru = word_to_f64(ops.read(u, rank.addr(u64::from(u)))?);
-                        sum += ru / g.degree(u) as f64;
-                    }
-                    ops.write(v, rank.addr(u64::from(v)), f64_to_word(base + 0.85 * sum))
+            let mut workers =
+                tufast::par::parallel_for(&sched, args.threads, g.num_vertices(), |worker, v| {
+                    let degree = g.in_degree(v) + 1;
+                    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+                        let mut sum = 0.0;
+                        for &u in g.in_neighbors(v) {
+                            let ru = word_to_f64(ops.read(u, rank.addr(u64::from(u)))?);
+                            sum += ru / g.degree(u) as f64;
+                        }
+                        ops.write(v, rank.addr(u64::from(v)), f64_to_word(base + 0.85 * sum))
+                    });
                 });
-            });
             let secs = t0.elapsed().as_secs_f64();
             let mut stats = tufast::TuFastStats::default();
             for w in &mut workers {
@@ -69,7 +70,13 @@ fn main() {
     let adaptive = run(true);
     let static_ = run(false);
 
-    let mut table = Table::new(&["sweep", "adaptive tput", "static tput", "adaptive/static", "mean period (adaptive)"]);
+    let mut table = Table::new(&[
+        "sweep",
+        "adaptive tput",
+        "static tput",
+        "adaptive/static",
+        "mean period (adaptive)",
+    ]);
     for i in 0..sweeps {
         table.row(&[
             (i + 1).to_string(),

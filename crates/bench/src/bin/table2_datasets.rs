@@ -16,7 +16,14 @@ fn main() {
         "avg degree 27–39 matching the paper; power-law max degrees; HTM-fit fraction ≈1",
     );
     let mut table = Table::new(&[
-        "dataset", "stands for", "|V|", "|E|", "|E|/|V|", "max deg", "p99 deg", "HTM-fit",
+        "dataset",
+        "stands for",
+        "|V|",
+        "|E|",
+        "|E|/|V|",
+        "max deg",
+        "p99 deg",
+        "HTM-fit",
     ]);
     for name in dataset_names() {
         let d = dataset(name, args.scale_delta);

@@ -62,14 +62,24 @@ pub fn dataset(name: &str, scale_delta: i32) -> Dataset {
         "sk-s" => Dataset {
             name: "sk-s",
             paper_name: "sk-2005",
-            graph: rebuild_with_in_edges(&gen::rmat_with_params(adj(16), 38, 0.65, 0.15, 0.15, 0x5AAD)),
+            graph: rebuild_with_in_edges(&gen::rmat_with_params(
+                adj(16),
+                38,
+                0.65,
+                0.15,
+                0.15,
+                0x5AAD,
+            )),
         },
         "uk-s" => Dataset {
             name: "uk-s",
             paper_name: "uk-2007-05",
             graph: rebuild_with_in_edges(&gen::rmat(adj(17), 35, 0x0B2B)),
         },
-        other => panic!("unknown dataset {other:?}; expected one of {:?}", dataset_names()),
+        other => panic!(
+            "unknown dataset {other:?}; expected one of {:?}",
+            dataset_names()
+        ),
     }
 }
 

@@ -20,8 +20,14 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        let available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-        BenchArgs { scale_delta: -3, threads: available.clamp(4, 8), txns: 200_000 }
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        BenchArgs {
+            scale_delta: -3,
+            threads: available.clamp(4, 8),
+            txns: 200_000,
+        }
     }
 }
 
@@ -34,11 +40,16 @@ pub fn parse_args() -> BenchArgs {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| {
-            args.next().unwrap_or_else(|| panic!("{what} needs a value"))
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
         };
         match flag.as_str() {
-            "--scale" => out.scale_delta = take("--scale").parse().expect("--scale takes an integer"),
-            "--threads" => out.threads = take("--threads").parse().expect("--threads takes a count"),
+            "--scale" => {
+                out.scale_delta = take("--scale").parse().expect("--scale takes an integer")
+            }
+            "--threads" => {
+                out.threads = take("--threads").parse().expect("--threads takes a count")
+            }
             "--txns" => out.txns = take("--txns").parse().expect("--txns takes a count"),
             "--help" | "-h" => {
                 eprintln!("flags: --scale <int ≤ 0> --threads <n> --txns <n>");
@@ -66,7 +77,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).

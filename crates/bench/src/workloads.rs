@@ -11,9 +11,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use tufast_graph::Graph;
 use tufast_htm::{MemRegion, MemoryLayout};
 use tufast_txn::{GraphScheduler, SchedStats, TxnSystem, TxnWorker, VertexId};
-use tufast_graph::Graph;
 
 /// The two §VI-B access patterns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +148,7 @@ pub fn uniform_picker(pool: usize) -> impl Fn(u64) -> VertexId + Sync {
 /// Run `txns` transactions of `workload` through `sched` on `threads`
 /// threads. Returns the result plus the workers (for scheduler-specific
 /// statistics such as TuFast's mode breakdown).
+#[allow(clippy::too_many_arguments)]
 pub fn run_micro<S: GraphScheduler>(
     g: &Graph,
     sched: &S,
@@ -158,7 +159,9 @@ pub fn run_micro<S: GraphScheduler>(
     workload: MicroWorkload,
     picker: impl Fn(u64) -> VertexId + Sync,
 ) -> (MicroResult, Vec<S::Worker>) {
-    run_micro_opts(g, sched, sys, values, threads, txns, workload, picker, false)
+    run_micro_opts(
+        g, sched, sys, values, threads, txns, workload, picker, false,
+    )
 }
 
 /// [`run_micro`] with an optional *conflict window*: the body yields the
@@ -201,7 +204,10 @@ pub fn run_micro_opts<S: GraphScheduler>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("micro worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("micro worker panicked"))
+            .collect()
     });
     let secs = t0.elapsed().as_secs_f64();
     let mut stats = SchedStats::default();
@@ -211,7 +217,12 @@ pub fn run_micro_opts<S: GraphScheduler>(
         htm_ops += w.htm_ops();
     }
     (
-        MicroResult { secs, throughput: txns as f64 / secs.max(1e-12), stats, htm_ops },
+        MicroResult {
+            secs,
+            throughput: txns as f64 / secs.max(1e-12),
+            stats,
+            htm_ops,
+        },
         workers,
     )
 }
@@ -270,7 +281,9 @@ pub fn run_scheduler_suite(
     workload: MicroWorkload,
 ) -> Vec<(&'static str, MicroResult)> {
     use tufast::TuFast;
-    use tufast_txn::{HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering, TwoPhaseLocking};
+    use tufast_txn::{
+        HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering, TwoPhaseLocking,
+    };
 
     let picker = || uniform_picker(g.num_vertices());
     let mut out = Vec::new();
@@ -278,7 +291,8 @@ pub fn run_scheduler_suite(
         ($name:expr, $ctor:expr) => {{
             let (sys, values) = setup_micro(g);
             let sched = $ctor(Arc::clone(&sys));
-            let (result, _) = run_micro(g, &sched, &sys, &values, threads, txns, workload, picker());
+            let (result, _) =
+                run_micro(g, &sched, &sys, &values, threads, txns, workload, picker());
             out.push(($name, result));
         }};
     }
@@ -296,8 +310,8 @@ pub fn run_scheduler_suite(
 mod tests {
     use super::*;
     use tufast::TuFast;
-    use tufast_txn::TwoPhaseLocking;
     use tufast_graph::gen;
+    use tufast_txn::TwoPhaseLocking;
 
     #[test]
     fn picker_is_deterministic_and_bounded() {
@@ -322,11 +336,29 @@ mod tests {
         };
         let (sys, values) = setup_micro(&g);
         let sched = TuFast::new(Arc::clone(&sys));
-        let (result, _) = run_micro(&g, &sched, &sys, &values, 4, 2_000, MicroWorkload::ReadMostly, uniform_picker(g.num_vertices()));
+        let (result, _) = run_micro(
+            &g,
+            &sched,
+            &sys,
+            &values,
+            4,
+            2_000,
+            MicroWorkload::ReadMostly,
+            uniform_picker(g.num_vertices()),
+        );
         check(result);
         let (sys, values) = setup_micro(&g);
         let sched = TwoPhaseLocking::new(Arc::clone(&sys));
-        let (result, _) = run_micro(&g, &sched, &sys, &values, 4, 2_000, MicroWorkload::ReadMostly, uniform_picker(g.num_vertices()));
+        let (result, _) = run_micro(
+            &g,
+            &sched,
+            &sys,
+            &values,
+            4,
+            2_000,
+            MicroWorkload::ReadMostly,
+            uniform_picker(g.num_vertices()),
+        );
         check(result);
     }
 
@@ -335,9 +367,20 @@ mod tests {
         let g = gen::star(64);
         let (sys, values) = setup_micro(&g);
         let sched = TuFast::new(Arc::clone(&sys));
-        let (result, _) =
-            run_micro(&g, &sched, &sys, &values, 2, 500, MicroWorkload::ReadWrite, uniform_picker(64));
+        let (result, _) = run_micro(
+            &g,
+            &sched,
+            &sys,
+            &values,
+            2,
+            500,
+            MicroWorkload::ReadWrite,
+            uniform_picker(64),
+        );
         assert_eq!(result.stats.commits, 500);
-        assert!(result.stats.writes > result.stats.commits, "RW writes the neighbourhood");
+        assert!(
+            result.stats.writes > result.stats.commits,
+            "RW writes the neighbourhood"
+        );
     }
 }

@@ -1,0 +1,640 @@
+//! Direct-serialization-graph construction and cycle/anomaly detection.
+//!
+//! ## DSG construction
+//!
+//! Nodes are the committed transactions of a [`History`]. Edges:
+//!
+//! - **WR** (read dependency): reader `R` observed the value writer `W`
+//!   published. Attribution is by value: among committed writers whose
+//!   *published* (final) value for the address equals the value read,
+//!   those with ticket not exceeding `R`'s are candidate sources (`<=`,
+//!   because a read-only transaction's pseudo-ticket can equal its
+//!   source writer's; a true source always satisfies it, since sources
+//!   publish — and tick the shared clock — before the reader commits).
+//!   Reads flagged `own_write` are skipped. When exactly one candidate
+//!   exists and the value also differs from the initial memory value,
+//!   the source is *certain* and WR/RW edges are added; otherwise the
+//!   read is ambiguous (duplicate values) and contributes no edges —
+//!   soundness over completeness, so duplicate-value workloads can never
+//!   produce a false cycle. Explorer workloads write globally unique
+//!   values, keeping every read unambiguous there.
+//! - **WW** (write dependency): consecutive committed writers of an
+//!   address in ticket order. Every publishing path mints its ticket
+//!   inside its commit critical section, so per address, ticket order is
+//!   publication order and the consecutive chain implies the full order.
+//! - **RW** (anti-dependency): `R` read the version published by `W`
+//!   (or the initial state), so `R` must serialize before the next writer
+//!   of that address; one edge to that next writer suffices, the WW chain
+//!   implies the rest.
+//!
+//! A cycle in this graph means the execution is not conflict-serializable;
+//! [`check`] reports one of minimal length as the witness.
+//!
+//! ## Anomaly detectors
+//!
+//! Independent of the cycle search, [`check`] flags:
+//!
+//! - **lost update**: a writer of an address read that address but not
+//!   from its predecessor writer — the classic unvalidated
+//!   read-modify-write race;
+//! - **dirty/aborted read**: a committed transaction read a value that no
+//!   committed transaction published (it came from an aborted attempt or
+//!   an unpublished intermediate write);
+//! - **non-repeatable read**: two reads of one address inside one
+//!   transaction (neither satisfied by its own write) returned different
+//!   values.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tufast_htm::Addr;
+
+use crate::history::History;
+
+/// Dependency-edge kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Read dependency: `to` read what `from` wrote.
+    WriteRead,
+    /// Write dependency: `to` overwrote `from`'s version.
+    WriteWrite,
+    /// Anti-dependency: `from` read a version `to` later overwrote.
+    ReadWrite,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EdgeKind::WriteRead => "WR",
+            EdgeKind::WriteWrite => "WW",
+            EdgeKind::ReadWrite => "RW",
+        })
+    }
+}
+
+/// One dependency edge between committed transactions (indices into
+/// [`History::txns`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source transaction (must serialize first).
+    pub from: usize,
+    /// Target transaction (must serialize after `from`).
+    pub to: usize,
+    /// Dependency kind.
+    pub kind: EdgeKind,
+    /// The address the dependency is on.
+    pub addr: Addr,
+}
+
+impl std::fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T{} -{}@{}-> T{}",
+            self.from, self.kind, self.addr.0, self.to
+        )
+    }
+}
+
+/// A detected serializability anomaly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Anomaly {
+    /// `second` overwrote `first`'s version of `addr` without having read
+    /// it — `first`'s update is lost.
+    LostUpdate {
+        /// Overwritten committed writer.
+        first: usize,
+        /// Overwriting committed writer that read a stale version.
+        second: usize,
+        /// Contested address.
+        addr: Addr,
+    },
+    /// `reader` observed a value no committed transaction published.
+    DirtyRead {
+        /// The committed transaction that read the phantom value.
+        reader: usize,
+        /// Address read.
+        addr: Addr,
+        /// The value that matches no committed publication.
+        val: u64,
+    },
+    /// Two non-own-write reads of `addr` inside one transaction differed.
+    NonRepeatableRead {
+        /// The transaction with inconsistent reads.
+        reader: usize,
+        /// Address read twice.
+        addr: Addr,
+        /// First value observed.
+        first: u64,
+        /// Later, different value observed.
+        second: u64,
+    },
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anomaly::LostUpdate {
+                first,
+                second,
+                addr,
+            } => {
+                write!(
+                    f,
+                    "lost update @{}: T{second} overwrote T{first} without reading it",
+                    addr.0
+                )
+            }
+            Anomaly::DirtyRead { reader, addr, val } => {
+                write!(
+                    f,
+                    "dirty/aborted read @{}: T{reader} saw {val}, which no committed txn published",
+                    addr.0
+                )
+            }
+            Anomaly::NonRepeatableRead {
+                reader,
+                addr,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "non-repeatable read @{}: T{reader} saw {first} then {second}",
+                    addr.0
+                )
+            }
+        }
+    }
+}
+
+/// Result of checking one history.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Committed transactions considered.
+    pub committed: usize,
+    /// All dependency edges (deduplicated per `(from, to, kind)`).
+    pub edges: Vec<DepEdge>,
+    /// A minimal-length dependency cycle, if any exists.
+    pub cycle: Option<Vec<DepEdge>>,
+    /// Anomalies from the dedicated detectors.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl CheckReport {
+    /// The history is conflict-serializable (no dependency cycle).
+    pub fn serializable(&self) -> bool {
+        self.cycle.is_none()
+    }
+
+    /// Serializable and free of detector anomalies.
+    pub fn ok(&self) -> bool {
+        self.serializable() && self.anomalies.is_empty()
+    }
+
+    /// Panic with a readable report unless [`ok`](Self::ok).
+    pub fn assert_ok(&self) {
+        if self.ok() {
+            return;
+        }
+        let mut msg = format!(
+            "serializability check failed ({} committed txns)\n",
+            self.committed
+        );
+        if let Some(cycle) = &self.cycle {
+            msg.push_str("dependency cycle:\n");
+            for e in cycle {
+                msg.push_str(&format!("  {e}\n"));
+            }
+        }
+        for a in &self.anomalies {
+            msg.push_str(&format!("anomaly: {a}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// Per-address index of committed writers, sorted by ticket.
+struct WriterIndex {
+    /// `addr -> [(ticket, txn index)]`, ascending tickets.
+    by_addr: HashMap<Addr, Vec<(u64, usize)>>,
+}
+
+impl WriterIndex {
+    fn build(h: &History) -> Self {
+        let mut by_addr: HashMap<Addr, Vec<(u64, usize)>> = HashMap::new();
+        for (i, t) in h.txns.iter().enumerate() {
+            if !t.committed {
+                continue;
+            }
+            let ticket = t.ticket.expect("committed record carries a ticket");
+            let mut seen: HashSet<Addr> = HashSet::new();
+            for w in &t.writes {
+                if seen.insert(w.addr) {
+                    by_addr.entry(w.addr).or_default().push((ticket, i));
+                }
+            }
+        }
+        for writers in by_addr.values_mut() {
+            writers.sort_unstable();
+        }
+        WriterIndex { by_addr }
+    }
+
+    fn writers(&self, addr: Addr) -> &[(u64, usize)] {
+        self.by_addr.get(&addr).map_or(&[], Vec::as_slice)
+    }
+
+    /// The writer following `from` in the ticket order of `addr`, skipping
+    /// `skip` (the reader itself, which may also write the address).
+    fn next_writer_after(&self, addr: Addr, from_ticket: u64, skip: usize) -> Option<usize> {
+        self.writers(addr)
+            .iter()
+            .find(|&&(t, i)| t > from_ticket && i != skip)
+            .map(|&(_, i)| i)
+    }
+}
+
+/// Check `history` for conflict-serializability; see the module docs for
+/// the graph construction and the anomaly detectors.
+pub fn check(history: &History) -> CheckReport {
+    let idx = WriterIndex::build(history);
+    let mut report = CheckReport {
+        committed: history.committed_count(),
+        ..CheckReport::default()
+    };
+    let mut edge_seen: HashSet<(usize, usize, EdgeKind)> = HashSet::new();
+    let mut add_edge =
+        |edges: &mut Vec<DepEdge>, from: usize, to: usize, kind: EdgeKind, addr: Addr| {
+            if from != to && edge_seen.insert((from, to, kind)) {
+                edges.push(DepEdge {
+                    from,
+                    to,
+                    kind,
+                    addr,
+                });
+            }
+        };
+
+    // WW: consecutive committed writers per address.
+    for (&addr, writers) in &idx.by_addr {
+        for pair in writers.windows(2) {
+            add_edge(
+                &mut report.edges,
+                pair[0].1,
+                pair[1].1,
+                EdgeKind::WriteWrite,
+                addr,
+            );
+        }
+    }
+
+    // WR + RW from value attribution, plus the read-side detectors.
+    for (ri, reader) in history.txns.iter().enumerate() {
+        if !reader.committed {
+            continue;
+        }
+        let r_ticket = reader.ticket.expect("committed record carries a ticket");
+        // Non-repeatable reads: all non-own reads of an address must agree.
+        let mut first_seen: HashMap<Addr, u64> = HashMap::new();
+        for r in &reader.reads {
+            if r.own_write {
+                continue;
+            }
+            match first_seen.get(&r.addr) {
+                None => {
+                    first_seen.insert(r.addr, r.val);
+                }
+                Some(&v0) if v0 != r.val => {
+                    report.anomalies.push(Anomaly::NonRepeatableRead {
+                        reader: ri,
+                        addr: r.addr,
+                        first: v0,
+                        second: r.val,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        // Attribution per address (the first non-own read decides the
+        // version this transaction depends on).
+        for (&addr, &val) in &first_seen {
+            let writers = idx.writers(addr);
+            let matching: Vec<(u64, usize)> = writers
+                .iter()
+                .filter(|&&(_, i)| i != ri && history.txns[i].published(addr) == Some(val))
+                .copied()
+                .collect();
+            let candidates: Vec<(u64, usize)> = matching
+                .iter()
+                .filter(|&&(t, _)| t <= r_ticket)
+                .copied()
+                .collect();
+            let could_be_initial = val == history.initial;
+            if matching.is_empty() || (candidates.is_empty() && could_be_initial) {
+                // No committed publication can be the source: the value is
+                // the initial state (RW to the first overwriter), or —
+                // when it matches no initial state either — a dirty or
+                // aborted read.
+                if could_be_initial {
+                    if let Some(&(_, first)) = writers.iter().find(|&&(_, i)| i != ri) {
+                        add_edge(&mut report.edges, ri, first, EdgeKind::ReadWrite, addr);
+                    }
+                } else if matching.is_empty() {
+                    report.anomalies.push(Anomaly::DirtyRead {
+                        reader: ri,
+                        addr,
+                        val,
+                    });
+                }
+                continue;
+            }
+            if candidates.is_empty() {
+                // Future read: every matching publication has a ticket
+                // beyond the reader's, which the ticket discipline rules
+                // out for a genuine source. Keep the edge from the
+                // earliest such writer so the cycle search exposes the
+                // contradiction.
+                let (w_ticket, wi) = matching[0];
+                add_edge(&mut report.edges, wi, ri, EdgeKind::WriteRead, addr);
+                if let Some(next) = idx.next_writer_after(addr, w_ticket, ri) {
+                    add_edge(&mut report.edges, ri, next, EdgeKind::ReadWrite, addr);
+                }
+                continue;
+            }
+            if candidates.len() > 1 || could_be_initial {
+                // Ambiguous: several value-equal explanations exist, and a
+                // wrong pick could fabricate a backward edge. Contribute
+                // nothing (soundness over completeness).
+                continue;
+            }
+            let (w_ticket, wi) = candidates[0];
+            add_edge(&mut report.edges, wi, ri, EdgeKind::WriteRead, addr);
+            if let Some(next) = idx.next_writer_after(addr, w_ticket, ri) {
+                add_edge(&mut report.edges, ri, next, EdgeKind::ReadWrite, addr);
+            }
+        }
+        // Lost updates: this transaction wrote addresses it read; its read
+        // must attribute to its immediate predecessor writer.
+        for w in &reader.writes {
+            let Some(&seen_val) = first_seen.get(&w.addr) else {
+                continue; // blind write: no lost-update claim
+            };
+            let writers = idx.writers(w.addr);
+            let Some(pos) = writers.iter().position(|&(_, i)| i == ri) else {
+                continue;
+            };
+            if pos == 0 {
+                continue; // first writer: predecessor is the initial state
+            }
+            let (_, prev) = writers[pos - 1];
+            if history.txns[prev].published(w.addr) != Some(seen_val) {
+                report.anomalies.push(Anomaly::LostUpdate {
+                    first: prev,
+                    second: ri,
+                    addr: w.addr,
+                });
+            }
+        }
+    }
+
+    report.cycle = shortest_cycle(&report.edges);
+    report
+}
+
+/// Find a minimal-length cycle in the edge set, as the edge sequence that
+/// closes it. BFS from every edge target back to its source; histories
+/// are small, so the quadratic search is fine.
+fn shortest_cycle(edges: &[DepEdge]) -> Option<Vec<DepEdge>> {
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (ei, e) in edges.iter().enumerate() {
+        adj.entry(e.from).or_default().push(ei);
+    }
+    let mut best: Option<Vec<DepEdge>> = None;
+    for (ei, e) in edges.iter().enumerate() {
+        // Path e.to -> ... -> e.from, then edge e closes the cycle.
+        let mut parent: HashMap<usize, usize> = HashMap::new(); // node -> edge used to reach it
+        let mut queue = VecDeque::from([e.to]);
+        let mut visited: HashSet<usize> = HashSet::from([e.to]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &next_ei in adj.get(&u).map_or(&[][..], Vec::as_slice) {
+                let v = edges[next_ei].to;
+                if visited.insert(v) {
+                    parent.insert(v, next_ei);
+                    if v == e.from {
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if e.from != e.to && !parent.contains_key(&e.from) {
+            continue;
+        }
+        let mut path = vec![*e];
+        let mut node = e.from;
+        while node != e.to {
+            let back = parent[&node];
+            path.push(edges[back]);
+            node = edges[back].from;
+        }
+        path.reverse(); // cycle order: e.to's successors ... then e
+        if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+            best = Some(path);
+        }
+        let _ = ei;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{ReadEvent, TxnRecord, WriteEvent};
+
+    fn txn(
+        worker: u32,
+        ticket: Option<u64>,
+        reads: &[(u64, u64)],
+        writes: &[(u64, u64)],
+    ) -> TxnRecord {
+        TxnRecord {
+            worker,
+            committed: ticket.is_some(),
+            user_abort: false,
+            ticket,
+            reads: reads
+                .iter()
+                .map(|&(a, v)| ReadEvent {
+                    vertex: a as u32,
+                    addr: Addr(a),
+                    val: v,
+                    own_write: false,
+                })
+                .collect(),
+            writes: writes
+                .iter()
+                .map(|&(a, v)| WriteEvent {
+                    vertex: a as u32,
+                    addr: Addr(a),
+                    val: v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_clean() {
+        // T0 writes x=1; T1 reads x=1, writes x=2; T2 reads x=2.
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(10), &[], &[(1, 1)]),
+                txn(1, Some(20), &[(1, 1)], &[(1, 2)]),
+                txn(2, Some(30), &[(1, 2)], &[]),
+            ],
+        };
+        let r = check(&h);
+        assert!(
+            r.ok(),
+            "unexpected failure: cycle={:?} anomalies={:?}",
+            r.cycle,
+            r.anomalies
+        );
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::WriteRead));
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::WriteWrite));
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && e.kind == EdgeKind::WriteRead));
+    }
+
+    #[test]
+    fn lost_update_is_a_cycle_and_an_anomaly() {
+        // Both read x=0 (initial), both write: T1 then T0 in ticket order.
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(20), &[(1, 0)], &[(1, 100)]),
+                txn(1, Some(10), &[(1, 0)], &[(1, 200)]),
+            ],
+        };
+        let r = check(&h);
+        assert!(!r.ok());
+        // T0 read initial -> RW edge T0 -> T1 (first writer); WW T1 -> T0.
+        assert!(r.cycle.is_some(), "lost update must show as a cycle");
+        assert!(r.anomalies.iter().any(
+            |a| matches!(a, Anomaly::LostUpdate { first: 1, second: 0, addr } if addr.0 == 1)
+        ));
+    }
+
+    #[test]
+    fn write_skew_is_a_cycle_without_lost_update() {
+        // T0: reads y(init), writes x; T1: reads x(init), writes y.
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(10), &[(2, 0)], &[(1, 11)]),
+                txn(1, Some(20), &[(1, 0)], &[(2, 22)]),
+            ],
+        };
+        let r = check(&h);
+        assert!(!r.serializable(), "write skew must produce an RW-RW cycle");
+        let cycle = r.cycle.unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().all(|e| e.kind == EdgeKind::ReadWrite));
+        assert!(r
+            .anomalies
+            .iter()
+            .all(|a| !matches!(a, Anomaly::LostUpdate { .. })));
+    }
+
+    #[test]
+    fn aborted_read_is_detected() {
+        // T1 aborted after writing x=99; T0 committed having read 99.
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(10), &[(1, 99)], &[]),
+                txn(1, None, &[], &[(1, 99)]),
+            ],
+        };
+        let r = check(&h);
+        assert!(r.anomalies.iter().any(|a| matches!(
+            a,
+            Anomaly::DirtyRead {
+                reader: 0,
+                val: 99,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn non_repeatable_read_is_detected() {
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(20), &[(1, 0), (1, 5)], &[]),
+                txn(1, Some(10), &[], &[(1, 5)]),
+            ],
+        };
+        let r = check(&h);
+        assert!(r.anomalies.iter().any(|a| matches!(
+            a,
+            Anomaly::NonRepeatableRead {
+                reader: 0,
+                first: 0,
+                second: 5,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn own_write_reads_make_no_edges() {
+        let h = History {
+            initial: 0,
+            txns: vec![TxnRecord {
+                worker: 0,
+                committed: true,
+                user_abort: false,
+                ticket: Some(1),
+                reads: vec![ReadEvent {
+                    vertex: 1,
+                    addr: Addr(1),
+                    val: 7,
+                    own_write: true,
+                }],
+                writes: vec![WriteEvent {
+                    vertex: 1,
+                    addr: Addr(1),
+                    val: 7,
+                }],
+            }],
+        };
+        let r = check(&h);
+        assert!(r.ok());
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn minimal_witness_prefers_short_cycles() {
+        // A 2-cycle T0<->T1 plus a longer 3-cycle; witness must be length 2.
+        let h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(20), &[(1, 0)], &[(1, 100)]),
+                txn(1, Some(10), &[(1, 0)], &[(1, 200)]),
+                txn(2, Some(30), &[(1, 100)], &[(2, 1)]),
+            ],
+        };
+        let r = check(&h);
+        assert_eq!(r.cycle.map(|c| c.len()), Some(2));
+    }
+}

@@ -1,0 +1,28 @@
+//! Conflict-serializability oracle and deterministic schedule explorer
+//! for the TuFast hybrid transactional memory.
+//!
+//! Two layers (see DESIGN.md, "Correctness tooling"):
+//!
+//! 1. [`history`] + [`dsg`]: a [`Recorder`](history::Recorder) observes
+//!    every scheduler through the `observe` feature of `tufast-txn`,
+//!    logging each attempt's reads, writes, and commit ticket into a
+//!    [`History`](history::History); the checker rebuilds the direct
+//!    serialization graph (WR / WW / RW edges) and reports cycles with a
+//!    minimal witness, plus dedicated lost-update, dirty/aborted-read,
+//!    and non-repeatable-read detectors.
+//! 2. [`explore`]: a controlled stepper that serializes worker threads
+//!    at their transactional operations (round-robin, seeded-random, and
+//!    adversarial abort-injection schedules), runs small conflicting
+//!    workloads under every scheduler, and feeds each resulting history
+//!    to the checker.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dsg;
+pub mod explore;
+pub mod history;
+
+pub use dsg::{check, Anomaly, CheckReport, DepEdge, EdgeKind};
+pub use explore::{ExploreOutcome, Explorer, Schedule, SchedulerKind, WorkloadSpec};
+pub use history::{History, Recorder, TxnRecord};

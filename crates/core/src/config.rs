@@ -47,6 +47,13 @@ pub struct TuFastConfig {
     /// vertices in ascending id order — true for the iterate-my-neighbours
     /// pattern over sorted adjacency.
     pub ordered_l_mode: bool,
+    /// **Test-only**: skip O-mode commit-time read validation entirely.
+    ///
+    /// This deliberately breaks serializability (classic lost updates). It
+    /// exists so the `tufast-check` correctness tooling can seed a known
+    /// bug and demonstrate that its dependency-graph checker catches the
+    /// resulting cycle. Never set this outside checker tests.
+    pub test_skip_o_validation: bool,
 }
 
 impl Default for TuFastConfig {
@@ -63,6 +70,7 @@ impl Default for TuFastConfig {
             static_period: 1000,
             value_validation: false,
             ordered_l_mode: false,
+            test_skip_o_validation: false,
         }
     }
 }
@@ -70,12 +78,19 @@ impl Default for TuFastConfig {
 impl TuFastConfig {
     /// The paper's static-parameter configuration (Figure 16/17 baseline).
     pub fn static_config(period: u32) -> Self {
-        TuFastConfig { adaptive_period: false, static_period: period, ..Self::default() }
+        TuFastConfig {
+            adaptive_period: false,
+            static_period: period,
+            ..Self::default()
+        }
     }
 
     /// Sanity-check parameter relationships.
     pub(crate) fn validate(&self) {
-        assert!(self.h_retries >= 1, "at least one H attempt is required to enter H mode");
+        assert!(
+            self.h_retries >= 1,
+            "at least one H attempt is required to enter H mode"
+        );
         assert!(self.o_retries >= 1);
         assert!(self.min_period >= 1);
         assert!(self.max_period >= self.min_period);
@@ -107,6 +122,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "H attempt")]
     fn zero_h_retries_rejected() {
-        TuFastConfig { h_retries: 0, ..TuFastConfig::default() }.validate();
+        TuFastConfig {
+            h_retries: 0,
+            ..TuFastConfig::default()
+        }
+        .validate();
     }
 }

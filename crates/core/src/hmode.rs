@@ -13,7 +13,7 @@
 //! H-mode commits without H ever taking a lock.
 
 use tufast_htm::{AbortCode, Addr, HtmCtx, WordMap};
-use tufast_txn::{LockWord, TxInterrupt, TxnOps, TxnSystem};
+use tufast_txn::{LockWord, ObsHandle, TxInterrupt, TxnOps, TxnSystem};
 
 use crate::VertexId;
 
@@ -41,7 +41,10 @@ pub(crate) struct HScratch {
 
 impl HScratch {
     pub(crate) fn new() -> Self {
-        HScratch { subscribed: WordMap::with_capacity(16), bumped: WordMap::with_capacity(8) }
+        HScratch {
+            subscribed: WordMap::with_capacity(16),
+            bumped: WordMap::with_capacity(8),
+        }
     }
 }
 
@@ -64,7 +67,14 @@ impl<'a> HModeOps<'a> {
     ) -> Self {
         scratch.subscribed.clear();
         scratch.bumped.clear();
-        HModeOps { ctx, sys, sched, scratch, last_abort: None, ops: 0 }
+        HModeOps {
+            ctx,
+            sys,
+            sched,
+            scratch,
+            last_abort: None,
+            ops: 0,
+        }
     }
 
     #[inline]
@@ -80,7 +90,11 @@ impl<'a> HModeOps<'a> {
         {
             return Ok(());
         }
-        let lw = LockWord(self.ctx.read(self.sys.locks().addr(v)).map_err(|c| self.fail(c))?);
+        let lw = LockWord(
+            self.ctx
+                .read(self.sys.locks().addr(v))
+                .map_err(|c| self.fail(c))?,
+        );
         if lw.writer().is_some() {
             let code = self.ctx.abort_explicit(ABORT_LOCK_BUSY);
             return Err(self.fail(code));
@@ -101,7 +115,9 @@ impl<'a> HModeOps<'a> {
             let code = self.ctx.abort_explicit(ABORT_LOCK_BUSY);
             return Err(self.fail(code));
         }
-        self.ctx.write(addr, lw.bumped().0).map_err(|c| self.fail(c))?;
+        self.ctx
+            .write(addr, lw.bumped().0)
+            .map_err(|c| self.fail(c))?;
         self.scratch.bumped.insert(Addr(u64::from(v)), 1);
         Ok(())
     }
@@ -133,22 +149,30 @@ impl TxnOps for HModeOps<'_> {
 pub(crate) fn attempt(
     ctx: &mut HtmCtx,
     sys: &TxnSystem,
+    me: u32,
     sched: &mut tufast_txn::SchedStats,
     scratch: &mut HScratch,
     body: &mut tufast_txn::TxnBody<'_>,
+    obs: &ObsHandle,
 ) -> HAttempt {
     if ctx.begin().is_err() {
         return HAttempt::Aborted(AbortCode::Conflict);
     }
     let mut ops = HModeOps::new(ctx, sys, sched, scratch);
-    match body(&mut ops) {
+    match obs.run_body(&mut ops, me, body) {
         Ok(()) => {
             let (n, last) = (ops.ops, ops.last_abort);
             if !ctx.in_tx() {
                 return HAttempt::Aborted(last.unwrap_or(AbortCode::Conflict));
             }
+            obs.pre_commit(me);
             match ctx.commit() {
-                Ok(()) => HAttempt::Committed { ops: n },
+                Ok(()) => {
+                    // Ticket: the commit timestamp the HTM minted while the
+                    // written lines (incl. bumped lock words) were locked.
+                    obs.commit_ticketed(me, || ctx.last_commit_ts());
+                    HAttempt::Committed { ops: n }
+                }
                 Err(code) => HAttempt::Aborted(code),
             }
         }
@@ -189,7 +213,15 @@ mod tests {
     ) -> HAttempt {
         let mut sched = tufast_txn::SchedStats::default();
         let mut scratch = HScratch::new();
-        super::attempt(ctx, sys, &mut sched, &mut scratch, body)
+        super::attempt(
+            ctx,
+            sys,
+            0,
+            &mut sched,
+            &mut scratch,
+            body,
+            &ObsHandle::none(),
+        )
     }
 
     #[test]
@@ -202,8 +234,16 @@ mod tests {
         });
         assert!(matches!(out, HAttempt::Committed { ops: 2 }));
         assert_eq!(sys.mem().load_direct(data.addr(1)), 7);
-        assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 0, "read-only vertex unbumped");
-        assert_eq!(sys.locks().peek(sys.mem(), 1).version(), 1, "written vertex bumped");
+        assert_eq!(
+            sys.locks().peek(sys.mem(), 0).version(),
+            0,
+            "read-only vertex unbumped"
+        );
+        assert_eq!(
+            sys.locks().peek(sys.mem(), 1).version(),
+            1,
+            "written vertex bumped"
+        );
     }
 
     #[test]
@@ -217,7 +257,10 @@ mod tests {
         });
         match out {
             HAttempt::Aborted(AbortCode::Explicit(code)) => assert_eq!(code, ABORT_LOCK_BUSY),
-            other => panic!("expected lock-busy abort, got {:?}", matches!(other, HAttempt::Committed { .. })),
+            other => panic!(
+                "expected lock-busy abort, got {:?}",
+                matches!(other, HAttempt::Committed { .. })
+            ),
         }
     }
 
@@ -234,7 +277,10 @@ mod tests {
         assert!(matches!(out, HAttempt::Committed { .. }));
         // Writing it is not.
         let out = attempt(&mut ctx, &sys, &mut |ops| ops.write(0, data.addr(0), 1));
-        assert!(matches!(out, HAttempt::Aborted(AbortCode::Explicit(ABORT_LOCK_BUSY))));
+        assert!(matches!(
+            out,
+            HAttempt::Aborted(AbortCode::Explicit(ABORT_LOCK_BUSY))
+        ));
     }
 
     #[test]
@@ -255,7 +301,10 @@ mod tests {
             ops.read(1, data.addr(8))?;
             Ok(())
         });
-        assert!(matches!(out, HAttempt::Aborted(_)), "stale subscription must doom the commit");
+        assert!(
+            matches!(out, HAttempt::Aborted(_)),
+            "stale subscription must doom the commit"
+        );
     }
 
     #[test]

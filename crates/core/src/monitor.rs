@@ -120,7 +120,10 @@ mod tests {
             let e_at = |q: u32| expected_committed_work(m.p(), q);
             // The suggestion must beat periods 2× away on either side.
             assert!(e_at(suggested) >= e_at(suggested * 2) * 0.999, "p={p}");
-            assert!(e_at(suggested) >= e_at((suggested / 2).max(1)) * 0.999, "p={p}");
+            assert!(
+                e_at(suggested) >= e_at((suggested / 2).max(1)) * 0.999,
+                "p={p}"
+            );
         }
     }
 

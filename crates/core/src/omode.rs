@@ -13,7 +13,7 @@
 //! publish, and release with a version bump.
 
 use tufast_htm::{AbortCode, Addr, HtmCtx, WordMap};
-use tufast_txn::{LockWord, TxInterrupt, TxnOps, TxnSystem};
+use tufast_txn::{LockWord, ObsHandle, TxInterrupt, TxnOps, TxnSystem};
 
 use crate::hmode::ABORT_LOCK_BUSY;
 use crate::VertexId;
@@ -201,20 +201,32 @@ impl TxnOps for OModeOps<'_> {
 }
 
 /// Run one O-mode attempt of `body` with the given HTM `period`.
+///
+/// `skip_validation` disables commit-time read validation. It exists ONLY
+/// so the correctness tooling (`tufast-check`) can seed a known
+/// serializability bug and prove the checker catches it; production code
+/// must never set it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn attempt(
     ctx: &mut HtmCtx,
     sys: &TxnSystem,
     me: u32,
     period: u32,
     value_validation: bool,
+    skip_validation: bool,
     scratch: &mut OScratch,
     body: &mut tufast_txn::TxnBody<'_>,
+    obs: &ObsHandle,
 ) -> OAttempt {
     if ctx.begin().is_err() {
-        return OAttempt::Failed { code: OFailCode::Htm(AbortCode::Conflict), ops: 0, fit_period: None };
+        return OAttempt::Failed {
+            code: OFailCode::Htm(AbortCode::Conflict),
+            ops: 0,
+            fit_period: None,
+        };
     }
     let mut ops = OModeOps::new(ctx, sys, period, value_validation, scratch);
-    match body(&mut ops) {
+    match obs.run_body(&mut ops, me, body) {
         Ok(()) => {}
         Err(TxInterrupt::Restart) => {
             let (code, n) = (ops.failure.unwrap_or(OFailCode::Validation), ops.ops);
@@ -225,7 +237,11 @@ pub(crate) fn attempt(
             if ctx.in_tx() {
                 ctx.abort_explicit(0xC1);
             }
-            return OAttempt::Failed { code, ops: n, fit_period };
+            return OAttempt::Failed {
+                code,
+                ops: n,
+                fit_period,
+            };
         }
         Err(TxInterrupt::UserAbort) => {
             if ctx.in_tx() {
@@ -235,20 +251,40 @@ pub(crate) fn attempt(
         }
     }
 
-    let OModeOps { pieces, ops: n, value_validation, .. } = ops;
-    let OScratch { reads, read_values, writes, write_vertices, .. } = &mut *scratch;
+    let OModeOps {
+        pieces,
+        ops: n,
+        value_validation,
+        ..
+    } = ops;
+    let OScratch {
+        reads,
+        read_values,
+        writes,
+        write_vertices,
+        ..
+    } = &mut *scratch;
 
     // Close the final piece: its commit validates everything read inside it.
     if !ctx.in_tx() {
-        return OAttempt::Failed { code: OFailCode::Htm(AbortCode::Conflict), ops: n, fit_period: None };
+        return OAttempt::Failed {
+            code: OFailCode::Htm(AbortCode::Conflict),
+            ops: n,
+            fit_period: None,
+        };
     }
     if let Err(code) = ctx.commit() {
         let fit_period = (code == AbortCode::Capacity).then(|| 1.max(period * 3 / 4));
-        return OAttempt::Failed { code: OFailCode::Htm(code), ops: n, fit_period };
+        return OAttempt::Failed {
+            code: OFailCode::Htm(code),
+            ops: n,
+            fit_period,
+        };
     }
 
     // Optimistic commit (outside any HTM): lock write set, validate reads,
     // publish, release.
+    obs.pre_commit(me);
     let mem = sys.mem();
     let locks = sys.locks();
     write_vertices.sort_unstable();
@@ -269,31 +305,51 @@ pub(crate) fn attempt(
         for &u in &write_vertices[..acquired] {
             locks.unlock_exclusive(mem, u, me, false);
         }
-        return OAttempt::Failed { code: OFailCode::LockBusy, ops: n, fit_period: None };
+        return OAttempt::Failed {
+            code: OFailCode::LockBusy,
+            ops: n,
+            fit_period: None,
+        };
     }
 
-    let valid = if value_validation {
+    let valid = if skip_validation {
+        true
+    } else if value_validation {
         // Paper Algorithm 2 line 45: the values read must still be current,
         // and no read vertex may be locked by someone else.
         reads.iter().all(|&(v, _)| {
             let w = locks.peek(mem, v);
-            w.writer().map_or(true, |o| o == me)
-        }) && read_values.iter().all(|&(addr, val)| mem.load_direct(addr) == val)
+            w.writer().is_none_or(|o| o == me)
+        }) && read_values
+            .iter()
+            .all(|&(addr, val)| mem.load_direct(addr) == val)
     } else {
         reads.iter().all(|&(v, ver)| {
             let w = locks.peek(mem, v);
-            w.version() == ver && w.writer().map_or(true, |o| o == me)
+            w.version() == ver && w.writer().is_none_or(|o| o == me)
         })
     };
     if !valid {
         for &u in write_vertices {
             locks.unlock_exclusive(mem, u, me, false);
         }
-        return OAttempt::Failed { code: OFailCode::Validation, ops: n, fit_period: None };
+        return OAttempt::Failed {
+            code: OFailCode::Validation,
+            ops: n,
+            fit_period: None,
+        };
     }
 
     for (addr, val) in writes.iter() {
         mem.store_direct(addr, val);
+    }
+    // Ticket while the write locks are still held: conflicting writers to
+    // the same vertices publish strictly before or after this point.
+    // Read-only transactions report the current clock as an upper bound.
+    if write_vertices.is_empty() {
+        obs.commit_ticketed(me, || mem.clock_now_pub());
+    } else {
+        obs.commit_ticketed(me, || mem.clock_tick_pub());
     }
     for &v in write_vertices {
         locks.unlock_exclusive(mem, v, me, true);
@@ -324,7 +380,17 @@ mod tests {
         body: &mut tufast_txn::TxnBody<'_>,
     ) -> OAttempt {
         let mut scratch = OScratch::new();
-        super::attempt(ctx, sys, me, period, value_validation, &mut scratch, body)
+        super::attempt(
+            ctx,
+            sys,
+            me,
+            period,
+            value_validation,
+            false,
+            &mut scratch,
+            body,
+            &ObsHandle::none(),
+        )
     }
 
     #[test]
@@ -366,7 +432,10 @@ mod tests {
             }
             ops.write(0, big.addr(0), sum + 5)
         });
-        assert!(matches!(out, OAttempt::Committed { .. }), "10k-line txn must fit in 256-op pieces");
+        assert!(
+            matches!(out, OAttempt::Committed { .. }),
+            "10k-line txn must fit in 256-op pieces"
+        );
     }
 
     #[test]
@@ -383,7 +452,10 @@ mod tests {
             Ok(())
         });
         match out {
-            OAttempt::Failed { code: OFailCode::Htm(AbortCode::Capacity), .. } => {}
+            OAttempt::Failed {
+                code: OFailCode::Htm(AbortCode::Capacity),
+                ..
+            } => {}
             OAttempt::Failed { code, .. } => panic!("wrong failure {code:?}"),
             _ => panic!("expected capacity failure"),
         }
@@ -438,7 +510,13 @@ mod tests {
             ops.read(1, data.addr(1))?;
             Ok(())
         });
-        assert!(matches!(out, OAttempt::Failed { code: OFailCode::LockBusy, .. }));
+        assert!(matches!(
+            out,
+            OAttempt::Failed {
+                code: OFailCode::LockBusy,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -473,7 +551,10 @@ mod tests {
             ops.read(1, data.addr(8))?; // rollover
             ops.write(1, data.addr(8), x + 1)
         });
-        assert!(matches!(out, OAttempt::Committed { .. }), "ABA is invisible to value validation");
+        assert!(
+            matches!(out, OAttempt::Committed { .. }),
+            "ABA is invisible to value validation"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_for worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_for worker panicked"))
+            .collect()
     })
 }
 
@@ -69,7 +72,10 @@ pub struct FifoPool {
 impl FifoPool {
     /// An empty pool.
     pub fn new() -> Self {
-        FifoPool { queue: SegQueue::new(), pending: AtomicUsize::new(0) }
+        FifoPool {
+            queue: SegQueue::new(),
+            pending: AtomicUsize::new(0),
+        }
     }
 }
 
@@ -120,7 +126,9 @@ mod parking_lot_shim {
         }
 
         pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
         }
     }
 }
@@ -209,7 +217,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_drain worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_drain worker panicked"))
+            .collect()
     })
 }
 
@@ -218,7 +229,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use tufast_htm::MemoryLayout;
-    use tufast_txn::{TwoPhaseLocking, TxnOps, TxnSystem, TxnWorker};
+    use tufast_txn::{TwoPhaseLocking, TxnSystem, TxnWorker};
 
     fn system(words: u64, vertices: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
         let mut layout = MemoryLayout::new();

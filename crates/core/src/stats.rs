@@ -17,7 +17,13 @@ pub enum ModeClass {
 
 impl ModeClass {
     /// All classes in the paper's plotting order.
-    pub const ALL: [ModeClass; 5] = [ModeClass::H, ModeClass::O, ModeClass::OPlus, ModeClass::O2L, ModeClass::L];
+    pub const ALL: [ModeClass; 5] = [
+        ModeClass::H,
+        ModeClass::O,
+        ModeClass::OPlus,
+        ModeClass::O2L,
+        ModeClass::L,
+    ];
 
     /// The paper's legend label.
     pub fn label(self) -> &'static str {
@@ -157,7 +163,11 @@ mod tests {
     fn mean_period_handles_empty() {
         let s = TuFastStats::default();
         assert_eq!(s.mean_period(), 0.0);
-        let s = TuFastStats { period_sum: 3000, period_samples: 3, ..Default::default() };
+        let s = TuFastStats {
+            period_sum: 3000,
+            period_samples: 3,
+            ..Default::default()
+        };
         assert!((s.mean_period() - 1000.0).abs() < 1e-12);
     }
 }

@@ -121,14 +121,23 @@ impl TuFastWorker {
     /// paper's static baseline in Figure 17.
     pub fn current_period(&self) -> u32 {
         if self.config.adaptive_period {
-            self.monitor.suggest_period().min(self.period_cap).max(self.config.min_period)
+            self.monitor
+                .suggest_period()
+                .min(self.period_cap)
+                .max(self.config.min_period)
         } else {
             self.config.static_period
         }
     }
 
     /// Run in L mode, folding its per-transaction ops into `class`.
-    fn run_l(&mut self, hint: usize, class: ModeClass, attempts_so_far: u32, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn run_l(
+        &mut self,
+        hint: usize,
+        class: ModeClass,
+        attempts_so_far: u32,
+        body: &mut TxnBody<'_>,
+    ) -> TxnOutcome {
         let out = self.l_worker.execute(hint, body);
         // Drain the inner 2PL worker's counters into ours immediately, so
         // `stats()` is always complete and nothing is counted twice.
@@ -138,17 +147,22 @@ impl TuFastWorker {
         if out.committed {
             self.stats.modes.record(class, ops);
         }
-        TxnOutcome { committed: out.committed, attempts: attempts_so_far + out.attempts }
+        TxnOutcome {
+            committed: out.committed,
+            attempts: attempts_so_far + out.attempts,
+        }
     }
 }
 
 impl TxnWorker for TuFastWorker {
     fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
         let hint = size_hint.max(1);
         let mut attempts = 0u32;
 
         // Entry decision (Figure 10): size hints beyond O-mode reach go
-        // straight to L mode.
+        // straight to L mode. (The embedded 2PL worker carries its own
+        // observer hooks, so L-mode routing needs none here.)
         if hint > self.config.o_max_hint_words {
             return self.run_l(hint, ModeClass::L, attempts, body);
         }
@@ -160,23 +174,40 @@ impl TxnWorker for TuFastWorker {
             while tries < self.config.h_retries {
                 tries += 1;
                 attempts += 1;
-                match hmode::attempt(&mut self.ctx, &self.sys, &mut self.stats.sched, &mut self.h_scratch, body) {
+                obs.attempt_begin(self.me);
+                match hmode::attempt(
+                    &mut self.ctx,
+                    &self.sys,
+                    self.me,
+                    &mut self.stats.sched,
+                    &mut self.h_scratch,
+                    body,
+                    &obs,
+                ) {
                     HAttempt::Committed { ops } => {
                         self.stats.modes.record(ModeClass::H, ops);
                         self.stats.sched.commits += 1;
                         // Slow recovery of the learned H bound.
                         if hint * 2 > self.h_hint_cap {
-                            self.h_hint_cap =
-                                (self.h_hint_cap + self.h_hint_cap / 16).min(self.config.h_max_hint_words);
+                            self.h_hint_cap = (self.h_hint_cap + self.h_hint_cap / 16)
+                                .min(self.config.h_max_hint_words);
                         }
-                        return TxnOutcome { committed: true, attempts };
+                        return TxnOutcome {
+                            committed: true,
+                            attempts,
+                        };
                     }
                     HAttempt::UserAborted => {
                         self.stats.sched.user_aborts += 1;
-                        return TxnOutcome { committed: false, attempts };
+                        obs.abort(self.me, true);
+                        return TxnOutcome {
+                            committed: false,
+                            attempts,
+                        };
                     }
                     HAttempt::Aborted(code) => {
                         self.stats.sched.restarts += 1;
+                        obs.abort(self.me, false);
                         if code == AbortCode::Capacity {
                             // Deterministic on retry: proceed to O now, and
                             // skip H for future hints this large.
@@ -199,32 +230,52 @@ impl TxnWorker for TuFastWorker {
         while o_tries < self.config.o_retries && period >= self.config.min_period {
             o_tries += 1;
             attempts += 1;
+            obs.attempt_begin(self.me);
             match omode::attempt(
                 &mut self.ctx,
                 &self.sys,
                 self.me,
                 period,
                 self.config.value_validation,
+                self.config.test_skip_o_validation,
                 &mut self.o_scratch,
                 body,
+                &obs,
             ) {
                 OAttempt::Committed { ops, pieces } => {
                     self.monitor.observe(ops, 0);
                     // Slow recovery of the learned capacity cap.
-                    self.period_cap = (self.period_cap + self.period_cap / 16).min(self.config.max_period);
+                    self.period_cap =
+                        (self.period_cap + self.period_cap / 16).min(self.config.max_period);
                     self.stats.sched.reads += ops; // O-level op split is read-dominated; see DESIGN.md
-                    let class = if adjusted { ModeClass::OPlus } else { ModeClass::O };
+                    let class = if adjusted {
+                        ModeClass::OPlus
+                    } else {
+                        ModeClass::O
+                    };
                     self.stats.modes.record(class, ops);
                     self.stats.sched.commits += 1;
                     let _ = pieces;
-                    return TxnOutcome { committed: true, attempts };
+                    return TxnOutcome {
+                        committed: true,
+                        attempts,
+                    };
                 }
                 OAttempt::UserAborted => {
                     self.stats.sched.user_aborts += 1;
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(self.me, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
-                OAttempt::Failed { code, ops, fit_period } => {
+                OAttempt::Failed {
+                    code,
+                    ops,
+                    fit_period,
+                } => {
                     self.stats.sched.restarts += 1;
+                    obs.abort(self.me, false);
                     self.stats.sched.reads += ops;
                     // Capacity overflow is deterministic in the piece size,
                     // not evidence of contention: jump straight to a
@@ -244,7 +295,8 @@ impl TxnWorker for TuFastWorker {
                                 code,
                                 OFailCode::Htm(_) | OFailCode::LockBusy | OFailCode::Validation
                             );
-                            self.monitor.observe(ops.max(1), u64::from(contention_abort));
+                            self.monitor
+                                .observe(ops.max(1), u64::from(contention_abort));
                             period /= 2;
                         }
                     }
@@ -278,7 +330,6 @@ impl TxnWorker for TuFastWorker {
 mod tests {
     use super::*;
     use tufast_htm::MemoryLayout;
-    use tufast_txn::TxnOps;
 
     fn setup(n_vertices: usize, words: u64) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
         let mut layout = MemoryLayout::new();
@@ -320,7 +371,10 @@ mod tests {
         });
         assert!(out.committed);
         let stats = w.take_tufast_stats();
-        assert_eq!(stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus), 1);
+        assert_eq!(
+            stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus),
+            1
+        );
         assert_eq!(stats.modes.txns(ModeClass::H), 0);
     }
 
@@ -364,7 +418,10 @@ mod tests {
         // halves into range.
         assert!(stats.htm.aborts_capacity >= 1);
         assert!(stats.sched.restarts >= 1);
-        assert_eq!(stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus), 1);
+        assert_eq!(
+            stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus),
+            1
+        );
     }
 
     #[test]
@@ -451,7 +508,11 @@ mod tests {
         // A body that always invalidates its own O-mode read set commits
         // only via L; the breakdown must say O2L.
         let (sys, data) = setup(2, 16);
-        let config = TuFastConfig { h_retries: 1, o_retries: 2, ..TuFastConfig::default() };
+        let config = TuFastConfig {
+            h_retries: 1,
+            o_retries: 2,
+            ..TuFastConfig::default()
+        };
         let tufast = TuFast::with_config(Arc::clone(&sys), config);
         let mut w = tufast.worker();
         let sys2 = Arc::clone(&sys);

@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn sim_cost_totals() {
-        let c = SimCost { compute_s: 1.0, network_s: 2.0, disk_s: 3.0, ..Default::default() };
+        let c = SimCost {
+            compute_s: 1.0,
+            network_s: 2.0,
+            disk_s: 3.0,
+            ..Default::default()
+        };
         assert!((c.total_s() - 6.0).abs() < 1e-12);
     }
 }

@@ -27,7 +27,9 @@ const FREE: u32 = u32::MAX;
 impl Ownership {
     /// A table for `n` vertices.
     pub fn new(n: usize) -> Self {
-        Ownership { owner: (0..n).map(|_| AtomicU32::new(FREE)).collect() }
+        Ownership {
+            owner: (0..n).map(|_| AtomicU32::new(FREE)).collect(),
+        }
     }
 
     /// Try to acquire every vertex in `need` (sorted, deduped) for
@@ -207,7 +209,10 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, threads: usize) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    assert!(g.reverse().is_some(), "galois::pagerank pulls over in-edges");
+    assert!(
+        g.reverse().is_some(),
+        "galois::pagerank pulls over in-edges"
+    );
     let rank = atomic_vec(n, (1.0 / n as f64).to_bits());
     let base = (1.0 - damping) / n as f64;
     for_each(g, g.vertices(), threads, |v, push| {
@@ -224,7 +229,9 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, threads: usize) -> Vec<f64> {
             }
         }
     });
-    rank.into_iter().map(|r| f64::from_bits(r.into_inner())).collect()
+    rank.into_iter()
+        .map(|r| f64::from_bits(r.into_inner()))
+        .collect()
 }
 
 /// Triangle counting (lock-elided: read-only).
@@ -240,8 +247,10 @@ pub fn mis(g: &Graph, threads: usize) -> Vec<u64> {
     const OUT: u64 = 2;
     let n = g.num_vertices();
     let state = atomic_vec(n, UNDECIDED);
-    let roots: Vec<VertexId> =
-        g.vertices().filter(|&v| !g.neighbors(v).iter().any(|&u| u < v)).collect();
+    let roots: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| !g.neighbors(v).iter().any(|&u| u < v))
+        .collect();
     for_each(g, roots, threads, |v, push| {
         if state[v as usize].load(Ordering::Relaxed) != UNDECIDED {
             return;
@@ -284,8 +293,14 @@ mod tests {
     fn ownership_is_all_or_nothing() {
         let own = Ownership::new(4);
         assert!(own.try_acquire(1, &[0, 2]));
-        assert!(!own.try_acquire(2, &[1, 2, 3]), "clash on 2 must release 1 and 3");
-        assert!(own.try_acquire(2, &[1, 3]), "1 and 3 must have been released");
+        assert!(
+            !own.try_acquire(2, &[1, 2, 3]),
+            "clash on 2 must release 1 and 3"
+        );
+        assert!(
+            own.try_acquire(2, &[1, 3]),
+            "1 and 3 must have been released"
+        );
         own.release(&[0, 2]);
         own.release(&[1, 3]);
         assert!(own.try_acquire(3, &[0, 1, 2, 3]));
@@ -316,7 +331,10 @@ mod tests {
         // Sequential id-greedy reference.
         let mut expected = vec![0u64; g.num_vertices()];
         for v in g.vertices() {
-            let blocked = g.neighbors(v).iter().any(|&u| u < v && expected[u as usize] == 1);
+            let blocked = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| u < v && expected[u as usize] == 1);
             expected[v as usize] = if blocked { 2 } else { 1 };
         }
         assert_eq!(got, expected);

@@ -76,7 +76,11 @@ impl<'g> GasCluster<'g> {
             PartitionKind::Hash => hash_partition(g, config.machines),
             PartitionKind::Hybrid(theta) => hybrid_partition(g, config.machines, theta),
         };
-        GasCluster { g, partition, config }
+        GasCluster {
+            g,
+            partition,
+            config,
+        }
     }
 
     /// The replication factor of the active partition (PowerLyra's edge).
@@ -97,7 +101,8 @@ impl<'g> GasCluster<'g> {
         cost.messages += msgs;
         let bytes = msgs * self.config.msg_bytes;
         cost.bytes_moved += bytes;
-        cost.network_s += 2.0 * self.config.phase_latency_s + bytes as f64 / self.config.bandwidth_bps;
+        cost.network_s +=
+            2.0 * self.config.phase_latency_s + bytes as f64 / self.config.bandwidth_bps;
     }
 
     /// PageRank: `iters` synchronous rounds, every vertex active.
@@ -210,7 +215,8 @@ impl<'g> GasCluster<'g> {
         cost.messages = msgs;
         let bytes = msgs * self.config.msg_bytes;
         cost.bytes_moved = bytes;
-        cost.network_s = 2.0 * self.config.phase_latency_s + bytes as f64 / self.config.bandwidth_bps;
+        cost.network_s =
+            2.0 * self.config.phase_latency_s + bytes as f64 / self.config.bandwidth_bps;
         (count, cost)
     }
 
@@ -278,10 +284,19 @@ mod tests {
     #[test]
     fn hybrid_cut_moves_fewer_bytes_on_power_law() {
         let g = symmetric_rmat(11, 12, 5);
-        let pg = GasCluster::new(&g, ClusterConfig { partition: PartitionKind::Hash, ..Default::default() });
+        let pg = GasCluster::new(
+            &g,
+            ClusterConfig {
+                partition: PartitionKind::Hash,
+                ..Default::default()
+            },
+        );
         let pl = GasCluster::new(
             &g,
-            ClusterConfig { partition: PartitionKind::Hybrid(64), ..Default::default() },
+            ClusterConfig {
+                partition: PartitionKind::Hybrid(64),
+                ..Default::default()
+            },
         );
         assert!(pl.replication_factor() <= pg.replication_factor());
         let (_, cost_pg) = pg.pagerank(0.85, 5, 2);
@@ -312,7 +327,10 @@ mod tests {
         let cluster = GasCluster::new(&g, ClusterConfig::default());
         let (d, cost) = cluster.bfs(0, 2);
         assert_eq!(d, crate::ligra::bfs(&g, 0, 2));
-        assert_eq!(cost.rounds as usize, 15, "grid 8x8 has 14 BFS levels + source round");
+        assert_eq!(
+            cost.rounds as usize, 15,
+            "grid 8x8 has 14 BFS levels + source round"
+        );
     }
 
     #[test]
@@ -327,7 +345,10 @@ mod tests {
         };
         let cluster = GasCluster::new(
             &g,
-            ClusterConfig { machines: 1, ..Default::default() },
+            ClusterConfig {
+                machines: 1,
+                ..Default::default()
+            },
         );
         let (_, cost) = cluster.pagerank(0.85, 3, 2);
         assert_eq!(cost.bytes_moved, 0, "no mirrors on one machine");

@@ -32,7 +32,9 @@ impl Frontier {
 
     /// A frontier holding every vertex of `g`.
     pub fn all(g: &Graph) -> Self {
-        Frontier { members: g.vertices().collect() }
+        Frontier {
+            members: g.vertices().collect(),
+        }
     }
 
     /// From an explicit vertex list.
@@ -92,7 +94,9 @@ pub fn edge_map(
     } else {
         par_for_slice(threads, frontier.members(), body);
     }
-    let members = (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect();
+    let members = (0..n as VertexId)
+        .filter(|&v| activated[v as usize].load(Ordering::Relaxed))
+        .collect();
     Frontier { members }
 }
 
@@ -151,7 +155,12 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
             // pattern order matches numeric order).
             let mut cur = residual.load(Ordering::Relaxed);
             while delta > f64::from_bits(cur) {
-                match residual.compare_exchange_weak(cur, delta.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+                match residual.compare_exchange_weak(
+                    cur,
+                    delta.to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
                     Ok(_) => break,
                     Err(seen) => cur = seen,
                 }
@@ -164,7 +173,9 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
             break;
         }
     }
-    rank.into_iter().map(|r| f64::from_bits(r.into_inner())).collect()
+    rank.into_iter()
+        .map(|r| f64::from_bits(r.into_inner()))
+        .collect()
 }
 
 /// Weakly connected components by frontier label propagation. For directed
@@ -209,7 +220,9 @@ fn edge_map_reverse(
         }
     });
     Frontier::from_vec(
-        (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+        (0..n as VertexId)
+            .filter(|&v| activated[v as usize].load(Ordering::Relaxed))
+            .collect(),
     )
 }
 
@@ -227,7 +240,12 @@ pub fn sssp(g: &Graph, source: VertexId, threads: usize) -> Vec<u64> {
     dist.into_iter().map(|d| d.into_inner()).collect()
 }
 
-fn edge_map_weighted(g: &Graph, frontier: &Frontier, threads: usize, dist: &[AtomicU64]) -> Frontier {
+fn edge_map_weighted(
+    g: &Graph,
+    frontier: &Frontier,
+    threads: usize,
+    dist: &[AtomicU64],
+) -> Frontier {
     let n = g.num_vertices();
     let activated: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     par_for_slice(threads, frontier.members(), |&v| {
@@ -242,7 +260,9 @@ fn edge_map_weighted(g: &Graph, frontier: &Frontier, threads: usize, dist: &[Ato
         }
     });
     Frontier::from_vec(
-        (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+        (0..n as VertexId)
+            .filter(|&v| activated[v as usize].load(Ordering::Relaxed))
+            .collect(),
     )
 }
 
@@ -255,7 +275,10 @@ pub fn triangle(g: &Graph, threads: usize) -> u64 {
         let mut local = 0u64;
         for &u in nv.iter().filter(|&&u| u > v) {
             let nu = g.neighbors(u);
-            let (mut i, mut j) = (nv.partition_point(|&x| x <= u), nu.partition_point(|&x| x <= u));
+            let (mut i, mut j) = (
+                nv.partition_point(|&x| x <= u),
+                nu.partition_point(|&x| x <= u),
+            );
             while i < nv.len() && j < nu.len() {
                 match nv[i].cmp(&nu[j]) {
                     std::cmp::Ordering::Less => i += 1,
@@ -328,7 +351,9 @@ pub fn pagerank_push(g: &Graph, damping: f64, iters: usize, threads: usize) -> V
     let next: Vec<AtomicU64> = atomic_vec(n, 0);
     let base = (1.0 - damping) / n as f64;
     for _ in 0..iters {
-        par_for(threads, n, |v| next[v].store(base.to_bits(), Ordering::Relaxed));
+        par_for(threads, n, |v| {
+            next[v].store(base.to_bits(), Ordering::Relaxed)
+        });
         par_for(threads, n, |v| {
             let rv = f64::from_bits(rank[v].load(Ordering::Relaxed));
             let d = g.degree(v as VertexId);
@@ -339,9 +364,13 @@ pub fn pagerank_push(g: &Graph, damping: f64, iters: usize, threads: usize) -> V
                 }
             }
         });
-        par_for(threads, n, |v| rank[v].store(next[v].load(Ordering::Relaxed), Ordering::Relaxed));
+        par_for(threads, n, |v| {
+            rank[v].store(next[v].load(Ordering::Relaxed), Ordering::Relaxed)
+        });
     }
-    rank.into_iter().map(|r| f64::from_bits(r.into_inner())).collect()
+    rank.into_iter()
+        .map(|r| f64::from_bits(r.into_inner()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -447,7 +476,12 @@ mod tests {
         let pull = pagerank(&g, 0.85, 1e-14, 100, 4);
         let push = pagerank_push(&g, 0.85, 100, 4);
         for v in 0..g.num_vertices() {
-            assert!((pull[v] - push[v]).abs() < 1e-8, "vertex {v}: {} vs {}", pull[v], push[v]);
+            assert!(
+                (pull[v] - push[v]).abs() < 1e-8,
+                "vertex {v}: {} vs {}",
+                pull[v],
+                push[v]
+            );
         }
     }
 }

@@ -87,7 +87,13 @@ impl<'g> OocEngine<'g> {
         let t0 = Instant::now();
         let dist = crate::ligra::bfs(self.g, source, threads);
         cost.compute_s = t0.elapsed().as_secs_f64();
-        let levels = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0) + 1;
+        let levels = dist
+            .iter()
+            .filter(|&&d| d != u64::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0)
+            + 1;
         for _ in 0..levels {
             self.charge_pass(&mut cost);
         }

@@ -20,7 +20,12 @@ use crate::ligra::Frontier;
 
 /// Run `f(v)` for every member of `frontier`, with members statically
 /// assigned to threads by owner range (owner-computes).
-pub fn static_vertex_map(n: usize, frontier: &Frontier, threads: usize, f: impl Fn(VertexId) + Sync) {
+pub fn static_vertex_map(
+    n: usize,
+    frontier: &Frontier,
+    threads: usize,
+    f: impl Fn(VertexId) + Sync,
+) {
     let threads = threads.max(1);
     let per = n.div_ceil(threads).max(1);
     std::thread::scope(|s| {
@@ -57,7 +62,9 @@ pub fn edge_map(
         }
     });
     Frontier::from_vec(
-        (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+        (0..n as VertexId)
+            .filter(|&v| activated[v as usize].load(Ordering::Relaxed))
+            .collect(),
     )
 }
 
@@ -88,7 +95,10 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
     if n == 0 {
         return Vec::new();
     }
-    assert!(g.reverse().is_some(), "polymer::pagerank pulls over in-edges");
+    assert!(
+        g.reverse().is_some(),
+        "polymer::pagerank pulls over in-edges"
+    );
     let rank: Vec<AtomicU64> = atomic_vec(n, (1.0 / n as f64).to_bits());
     let next: Vec<AtomicU64> = atomic_vec(n, 0);
     let base = (1.0 - damping) / n as f64;
@@ -98,7 +108,8 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
         static_vertex_map(n, &all, threads, |v| {
             let mut sum = 0.0;
             for &u in g.in_neighbors(v) {
-                sum += f64::from_bits(rank[u as usize].load(Ordering::Relaxed)) / g.degree(u) as f64;
+                sum +=
+                    f64::from_bits(rank[u as usize].load(Ordering::Relaxed)) / g.degree(u) as f64;
             }
             let new = base + damping * sum;
             let old = f64::from_bits(rank[v as usize].load(Ordering::Relaxed));
@@ -106,7 +117,12 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
             let delta = (new - old).abs();
             let mut cur = residual.load(Ordering::Relaxed);
             while delta > f64::from_bits(cur) {
-                match residual.compare_exchange_weak(cur, delta.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+                match residual.compare_exchange_weak(
+                    cur,
+                    delta.to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
                     Ok(_) => break,
                     Err(seen) => cur = seen,
                 }
@@ -119,7 +135,9 @@ pub fn pagerank(g: &Graph, damping: f64, eps: f64, max_iters: usize, threads: us
             break;
         }
     }
-    rank.into_iter().map(|r| f64::from_bits(r.into_inner())).collect()
+    rank.into_iter()
+        .map(|r| f64::from_bits(r.into_inner()))
+        .collect()
 }
 
 /// WCC with static partitioning (symmetric graphs).
@@ -157,7 +175,9 @@ pub fn sssp(g: &Graph, source: VertexId, threads: usize) -> Vec<u64> {
             }
         });
         frontier = Frontier::from_vec(
-            (0..n as VertexId).filter(|&v| activated[v as usize].load(Ordering::Relaxed)).collect(),
+            (0..n as VertexId)
+                .filter(|&v| activated[v as usize].load(Ordering::Relaxed))
+                .collect(),
         );
     }
     dist.into_iter().map(|d| d.into_inner()).collect()
@@ -172,7 +192,10 @@ pub fn triangle(g: &Graph, threads: usize) -> u64 {
         let mut local = 0u64;
         for &u in nv.iter().filter(|&&u| u > v) {
             let nu = g.neighbors(u);
-            let (mut i, mut j) = (nv.partition_point(|&x| x <= u), nu.partition_point(|&x| x <= u));
+            let (mut i, mut j) = (
+                nv.partition_point(|&x| x <= u),
+                nu.partition_point(|&x| x <= u),
+            );
             while i < nv.len() && j < nu.len() {
                 match nv[i].cmp(&nu[j]) {
                     std::cmp::Ordering::Less => i += 1,

@@ -36,6 +36,11 @@ pub struct PregelStats {
     pub messages: u64,
 }
 
+/// Per-thread superstep output: `(vertex, new value, halted)` updates for
+/// the thread's slice, plus its buffered outgoing `(destination, message)`
+/// pairs.
+type SliceResult<M> = (Vec<(VertexId, u64, bool)>, Vec<(VertexId, M)>);
+
 /// Run `program` on `g` until every vertex halts with no messages in
 /// flight (or `max_supersteps`). Returns final values and stats.
 pub fn run<P: Program>(
@@ -66,36 +71,38 @@ pub fn run<P: Program>(
         // round).
         let threads_used = threads.max(1).min(active.len());
         let chunk = active.len().div_ceil(threads_used);
-        let results: Vec<(Vec<(VertexId, u64, bool)>, Vec<(VertexId, P::Msg)>)> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = active
-                    .chunks(chunk)
-                    .map(|slice| {
-                        let values = &values;
-                        let inbox = &inbox;
-                        s.spawn(move || {
-                            let mut updates = Vec::with_capacity(slice.len());
-                            let mut outgoing: Vec<(VertexId, P::Msg)> = Vec::new();
-                            for &v in slice {
-                                let mut value = values[v as usize];
-                                let mut halt = false;
-                                let mut send = |dst: VertexId, msg: P::Msg| outgoing.push((dst, msg));
-                                program.compute(
-                                    superstep,
-                                    v,
-                                    &mut value,
-                                    &inbox[v as usize],
-                                    &mut send,
-                                    &mut halt,
-                                );
-                                updates.push((v, value, halt));
-                            }
-                            (updates, outgoing)
-                        })
+        let results: Vec<SliceResult<P::Msg>> = std::thread::scope(|s| {
+            let handles: Vec<_> = active
+                .chunks(chunk)
+                .map(|slice| {
+                    let values = &values;
+                    let inbox = &inbox;
+                    s.spawn(move || {
+                        let mut updates = Vec::with_capacity(slice.len());
+                        let mut outgoing: Vec<(VertexId, P::Msg)> = Vec::new();
+                        for &v in slice {
+                            let mut value = values[v as usize];
+                            let mut halt = false;
+                            let mut send = |dst: VertexId, msg: P::Msg| outgoing.push((dst, msg));
+                            program.compute(
+                                superstep,
+                                v,
+                                &mut value,
+                                &inbox[v as usize],
+                                &mut send,
+                                &mut halt,
+                            );
+                            updates.push((v, value, halt));
+                        }
+                        (updates, outgoing)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("pregel worker panicked")).collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pregel worker panicked"))
+                .collect()
+        });
 
         for slot in inbox.iter_mut() {
             slot.clear();

@@ -74,13 +74,19 @@ fn write_u64s<W: Write>(out: &mut W, values: impl Iterator<Item = u64>) -> io::R
 fn read_u32s<R: Read>(input: &mut R, n: usize) -> io::Result<Vec<u32>> {
     let mut buf = vec![0u8; n * 4];
     input.read_exact(&mut buf)?;
-    Ok(buf.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 fn read_u64s<R: Read>(input: &mut R, n: usize) -> io::Result<Vec<u64>> {
     let mut buf = vec![0u8; n * 8];
     input.read_exact(&mut buf)?;
-    Ok(buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(buf
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 /// Write `g` in TFG1 format.
@@ -100,27 +106,39 @@ pub fn write_graph<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
 
     let n = g.num_vertices() as VertexId;
     let mut offset = 0u64;
-    write_u64s(&mut out, (0..=n).map(|v| {
-        if v == 0 {
-            return 0;
-        }
-        offset += g.degree(v - 1) as u64;
-        offset
-    }))?;
-    write_u32s(&mut out, (0..n).flat_map(|v| g.neighbors(v).iter().copied()))?;
+    write_u64s(
+        &mut out,
+        (0..=n).map(|v| {
+            if v == 0 {
+                return 0;
+            }
+            offset += g.degree(v - 1) as u64;
+            offset
+        }),
+    )?;
+    write_u32s(
+        &mut out,
+        (0..n).flat_map(|v| g.neighbors(v).iter().copied()),
+    )?;
     if let Some(w) = g.weights() {
         write_u32s(&mut out, w.iter().copied())?;
     }
     if g.reverse().is_some() {
         let mut offset = 0u64;
-        write_u64s(&mut out, (0..=n).map(|v| {
-            if v == 0 {
-                return 0;
-            }
-            offset += g.in_degree(v - 1) as u64;
-            offset
-        }))?;
-        write_u32s(&mut out, (0..n).flat_map(|v| g.in_neighbors(v).iter().copied()))?;
+        write_u64s(
+            &mut out,
+            (0..=n).map(|v| {
+                if v == 0 {
+                    return 0;
+                }
+                offset += g.in_degree(v - 1) as u64;
+                offset
+            }),
+        )?;
+        write_u32s(
+            &mut out,
+            (0..n).flat_map(|v| g.in_neighbors(v).iter().copied()),
+        )?;
     }
     out.flush()
 }
@@ -216,7 +234,10 @@ mod tests {
         let g2 = roundtrip(&g);
         assert_eq!(g2.num_vertices(), g.num_vertices());
         assert_eq!(g2.num_edges(), g.num_edges());
-        assert_eq!(g2.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g2.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -285,7 +306,10 @@ mod tests {
         let path = dir.join("g.tfg");
         save(&g, &path).unwrap();
         let g2 = load(&path).unwrap();
-        assert_eq!(g2.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g2.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

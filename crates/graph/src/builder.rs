@@ -23,7 +23,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph with `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        assert!(num_vertices <= u32::MAX as usize - 1, "vertex id overflow");
+        assert!(num_vertices < u32::MAX as usize, "vertex id overflow");
         GraphBuilder {
             num_vertices,
             edges: Vec::new(),
@@ -55,7 +55,10 @@ impl GraphBuilder {
 
     /// Add a directed edge with a weight.
     pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, weight: u32) {
-        assert!(self.weights.len() == self.edges.len(), "cannot mix weighted and unweighted edges");
+        assert!(
+            self.weights.len() == self.edges.len(),
+            "cannot mix weighted and unweighted edges"
+        );
         self.weighted = true;
         self.check(src, dst);
         self.edges.push((src, dst));
@@ -141,10 +144,8 @@ impl GraphBuilder {
         );
 
         let rev = in_edges.then(|| {
-            let mut rev_edges: Vec<(VertexId, VertexId)> = out
-                .new_edges_iter()
-                .map(|(s, d)| (d, s))
-                .collect();
+            let mut rev_edges: Vec<(VertexId, VertexId)> =
+                out.new_edges_iter().map(|(s, d)| (d, s)).collect();
             // Already deduped/cleaned in the forward pass.
             let (csr, _) = build_csr(num_vertices, &mut rev_edges, None, true, true);
             csr
@@ -172,7 +173,7 @@ fn build_csr(
     // travel with their edges (smallest weight wins among duplicates, making
     // dedup deterministic).
     let (sorted_edges, sorted_weights): (Vec<(VertexId, VertexId)>, Option<Vec<u32>>) =
-        if let Some(w) = weights.as_deref_mut() {
+        if let Some(w) = &mut weights {
             let mut perm: Vec<usize> = (0..edges.len()).collect();
             perm.sort_unstable_by_key(|&i| (edges[i], w[i]));
             (
@@ -186,7 +187,9 @@ fn build_csr(
 
     let mut offsets = vec![0u64; num_vertices + 1];
     let mut targets = Vec::with_capacity(sorted_edges.len());
-    let mut out_weights = sorted_weights.as_ref().map(|_| Vec::with_capacity(sorted_edges.len()));
+    let mut out_weights = sorted_weights
+        .as_ref()
+        .map(|_| Vec::with_capacity(sorted_edges.len()));
     let mut prev: Option<(VertexId, VertexId)> = None;
     for (i, &(s, d)) in sorted_edges.iter().enumerate() {
         if !keep_self_loops && s == d {
@@ -265,7 +268,10 @@ mod tests {
         b.add_weighted_edge(0, 2, 7);
         b.add_weighted_edge(0, 1, 5);
         let g = b.build();
-        assert_eq!(g.weighted_neighbors(0).collect::<Vec<_>>(), vec![(1, 5), (2, 7)]);
+        assert_eq!(
+            g.weighted_neighbors(0).collect::<Vec<_>>(),
+            vec![(1, 5), (2, 7)]
+        );
         assert_eq!(g.weighted_neighbors(2).collect::<Vec<_>>(), vec![(0, 99)]);
     }
 

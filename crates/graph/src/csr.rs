@@ -18,7 +18,10 @@ impl Csr {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        Csr { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+        Csr {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+        }
     }
 
     /// Number of vertices.
@@ -71,7 +74,11 @@ impl Graph {
         if let Some(w) = &weights {
             assert_eq!(w.len() as u64, out.num_edges(), "one weight per out-edge");
         }
-        Graph { out, rev, weights: weights.map(Vec::into_boxed_slice) }
+        Graph {
+            out,
+            rev,
+            weights: weights.map(Vec::into_boxed_slice),
+        }
     }
 
     /// Number of vertices.
@@ -117,7 +124,11 @@ impl Graph {
     pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
         let range = self.out.edge_range(v);
         let w = self.weights.as_ref().expect("graph has no edge weights");
-        self.out.neighbors(v).iter().copied().zip(w[range].iter().copied())
+        self.out
+            .neighbors(v)
+            .iter()
+            .copied()
+            .zip(w[range].iter().copied())
     }
 
     /// In-degree of `v`.
@@ -170,7 +181,8 @@ impl Graph {
 
     /// Iterate all directed edges as `(src, dst)`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices().flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+        self.vertices()
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
     }
 
     /// Maximum out-degree and the vertex attaining it.
@@ -182,7 +194,9 @@ impl Graph {
     }
 
     fn rev(&self) -> &Csr {
-        self.rev.as_ref().expect("graph built without in-edges; use GraphBuilder::with_in_edges")
+        self.rev
+            .as_ref()
+            .expect("graph built without in-edges; use GraphBuilder::with_in_edges")
     }
 }
 

@@ -26,9 +26,19 @@ pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
 /// # Panics
 /// If the probabilities are not a sub-distribution (`a+b+c > 1`) or scale
 /// exceeds 31.
-pub fn rmat_with_params(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+pub fn rmat_with_params(
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+) -> Graph {
     assert!(scale <= 31, "scale {scale} too large for u32 vertex ids");
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT quadrants");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+        "invalid R-MAT quadrants"
+    );
     let n = 1usize << scale;
     let m = n * edge_factor;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -180,7 +190,8 @@ pub fn with_random_weights(g: &Graph, max_weight: u32, seed: u64) -> Graph {
     let pair_seed = seed ^ 0x9E37_79B9;
     for (s, d) in g.edges() {
         let (lo, hi) = if s < d { (s, d) } else { (d, s) };
-        let h = (u64::from(lo) << 32 | u64::from(hi)).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ pair_seed;
+        let h =
+            (u64::from(lo) << 32 | u64::from(hi)).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ pair_seed;
         let w = (h % u64::from(max_weight)) as u32 + 1;
         builder.add_weighted_edge(s, d, w);
     }
@@ -200,7 +211,11 @@ mod tests {
         assert_eq!(g1.num_vertices(), 1024);
         // Power-law skew: the max degree should dwarf the average.
         let (_, dmax) = g1.max_degree();
-        assert!(dmax as f64 > 5.0 * g1.avg_degree(), "max {dmax} avg {}", g1.avg_degree());
+        assert!(
+            dmax as f64 > 5.0 * g1.avg_degree(),
+            "max {dmax} avg {}",
+            g1.avg_degree()
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "I/O error: {e}"),
-            LoadError::Parse { line, content } => write!(f, "parse error at line {line}: {content:?}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
         }
     }
 }
@@ -76,7 +78,12 @@ pub fn read_edge_list<R: BufRead>(reader: R, opts: LoadOptions) -> Result<Graph,
         let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
         let (src, dst) = match (parse(it.next()), parse(it.next())) {
             (Some(s), Some(d)) => (s, d),
-            _ => return Err(LoadError::Parse { line: idx + 1, content: trimmed.to_string() }),
+            _ => {
+                return Err(LoadError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
         };
         let weight = match it.next() {
             Some(tok) => match tok.parse::<u32>() {
@@ -84,7 +91,12 @@ pub fn read_edge_list<R: BufRead>(reader: R, opts: LoadOptions) -> Result<Graph,
                     any_weight = true;
                     Some(w)
                 }
-                Err(_) => return Err(LoadError::Parse { line: idx + 1, content: trimmed.to_string() }),
+                Err(_) => {
+                    return Err(LoadError::Parse {
+                        line: idx + 1,
+                        content: trimmed.to_string(),
+                    })
+                }
             },
             None => None,
         };
@@ -134,7 +146,12 @@ pub fn load_edge_list(path: &Path, opts: LoadOptions) -> Result<Graph, LoadError
 /// Write a graph as a SNAP edge list (with weights if present).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# Directed edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# Directed edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     match g.weights() {
         Some(_) => {
             for v in g.vertices() {
@@ -203,8 +220,16 @@ mod tests {
         assert_eq!(g2.num_edges(), g.num_edges());
         // Ids are re-compacted in appearance order, so compare degree
         // multisets instead of adjacency.
-        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
-        let mut d2: Vec<usize> = g2.vertices().map(|v| g2.degree(v)).filter(|&d| d > 0).collect();
+        let mut d1: Vec<usize> = g
+            .vertices()
+            .map(|v| g.degree(v))
+            .filter(|&d| d > 0)
+            .collect();
+        let mut d2: Vec<usize> = g2
+            .vertices()
+            .map(|v| g2.degree(v))
+            .filter(|&d| d > 0)
+            .collect();
         d1.sort_unstable();
         d2.sort_unstable();
         assert_eq!(d1, d2);
@@ -213,7 +238,14 @@ mod tests {
     #[test]
     fn symmetric_option_doubles_edges() {
         let data = "0 1\n";
-        let g = read_edge_list(data.as_bytes(), LoadOptions { symmetric: true, in_edges: false }).unwrap();
+        let g = read_edge_list(
+            data.as_bytes(),
+            LoadOptions {
+                symmetric: true,
+                in_edges: false,
+            },
+        )
+        .unwrap();
         assert_eq!(g.num_edges(), 2);
     }
 }

@@ -54,7 +54,10 @@ fn owner_of(v: VertexId, machines: usize) -> u32 {
 fn mirrors_for(g: &Graph, owner: &[u32], machines: usize) -> Vec<u32> {
     let mut mirrors = vec![0u32; g.num_vertices()];
     let mut seen = vec![u64::MAX; g.num_vertices()]; // bitmap per vertex would be big; use u64 as machine set (machines ≤ 64)
-    assert!(machines <= 64, "cost model supports up to 64 simulated machines");
+    assert!(
+        machines <= 64,
+        "cost model supports up to 64 simulated machines"
+    );
     for v in g.vertices() {
         seen[v as usize] = 0;
     }
@@ -79,7 +82,11 @@ pub fn hash_partition(g: &Graph, machines: usize) -> Partition {
     assert!(machines >= 1);
     let owner: Vec<u32> = g.vertices().map(|v| owner_of(v, machines)).collect();
     let mirrors = mirrors_for(g, &owner, machines);
-    Partition { machines, owner, mirrors }
+    Partition {
+        machines,
+        owner,
+        mirrors,
+    }
 }
 
 /// Hybrid-cut (PowerLyra-like): low-degree vertices are hash-placed with
@@ -89,7 +96,7 @@ pub fn hash_partition(g: &Graph, machines: usize) -> Partition {
 /// hub. `threshold` is the in/out-degree above which a vertex counts as
 /// "high" (PowerLyra's θ).
 pub fn hybrid_partition(g: &Graph, machines: usize, threshold: usize) -> Partition {
-    assert!(machines >= 1 && machines <= 64);
+    assert!((1..=64).contains(&machines));
     let owner: Vec<u32> = g.vertices().map(|v| owner_of(v, machines)).collect();
     let mut mirrors = vec![0u32; g.num_vertices()];
     let mut seen = vec![0u64; g.num_vertices()];
@@ -111,17 +118,28 @@ pub fn hybrid_partition(g: &Graph, machines: usize, threshold: usize) -> Partiti
             }
         }
     }
-    Partition { machines, owner, mirrors }
+    Partition {
+        machines,
+        owner,
+        mirrors,
+    }
 }
 
 /// Contiguous range partition (used by the out-of-core shard model).
 pub fn range_partition(g: &Graph, machines: usize) -> Partition {
-    assert!(machines >= 1 && machines <= 64);
+    assert!((1..=64).contains(&machines));
     let n = g.num_vertices();
     let per = n.div_ceil(machines);
-    let owner: Vec<u32> = g.vertices().map(|v| (v as usize / per.max(1)) as u32).collect();
+    let owner: Vec<u32> = g
+        .vertices()
+        .map(|v| (v as usize / per.max(1)) as u32)
+        .collect();
     let mirrors = mirrors_for(g, &owner, machines);
-    Partition { machines, owner, mirrors }
+    Partition {
+        machines,
+        owner,
+        mirrors,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +153,10 @@ mod tests {
         let p = hash_partition(&g, 8);
         let counts = p.owned_per_machine();
         assert_eq!(counts.iter().sum::<usize>(), g.num_vertices());
-        assert!(counts.iter().all(|&c| c > 0), "some machine owns nothing: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "some machine owns nothing: {counts:?}"
+        );
     }
 
     #[test]

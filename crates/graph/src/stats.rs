@@ -71,7 +71,10 @@ pub fn degree_histogram(g: &Graph) -> Vec<DegreePoint> {
     for v in g.vertices() {
         *counts.entry(g.degree(v)).or_insert(0) += 1;
     }
-    counts.into_iter().map(|(degree, count)| DegreePoint { degree, count }).collect()
+    counts
+        .into_iter()
+        .map(|(degree, count)| DegreePoint { degree, count })
+        .collect()
 }
 
 /// Least-squares slope of `log10(count)` against `log10(degree)` over the

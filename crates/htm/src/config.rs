@@ -1,5 +1,46 @@
 //! Configuration of the emulated HTM.
 
+use std::sync::Arc;
+
+/// Deterministic abort-injection hook, consulted once per transactional
+/// operation (read or write).
+///
+/// The closure receives the context id and that context's global
+/// operation sequence number and returns `true` to force a
+/// [`Spurious`](crate::AbortCode::Spurious) abort at exactly that point.
+/// Unlike [`HtmConfig::spurious_abort_rate`] (a per-op coin flip), an
+/// injector makes abort placement a pure function of (context, op) — the
+/// schedule explorer in `tufast-check` uses it to enumerate adversarial
+/// "abort at every Nth op" schedules reproducibly.
+#[derive(Clone)]
+pub struct AbortInjector(Arc<dyn Fn(u32, u64) -> bool + Send + Sync>);
+
+impl AbortInjector {
+    /// Wrap a decision function `f(ctx_id, op_seq) -> abort?`.
+    pub fn new(f: impl Fn(u32, u64) -> bool + Send + Sync + 'static) -> Self {
+        AbortInjector(Arc::new(f))
+    }
+
+    /// Abort every `n`-th transactional operation (1-based) of every
+    /// context. `n = 0` never fires.
+    pub fn every_nth(n: u64) -> Self {
+        Self::new(move |_, seq| n != 0 && seq % n == 0)
+    }
+
+    /// Whether to abort the operation numbered `op_seq` on context
+    /// `ctx_id`.
+    #[inline]
+    pub fn fires(&self, ctx_id: u32, op_seq: u64) -> bool {
+        (self.0)(ctx_id, op_seq)
+    }
+}
+
+impl std::fmt::Debug for AbortInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AbortInjector(..)")
+    }
+}
+
 /// Parameters of the emulated RTM implementation.
 ///
 /// The defaults model the Haswell-class L1D the paper describes: 32 KB,
@@ -30,6 +71,10 @@ pub struct HtmConfig {
     pub max_nesting: u32,
     /// Seed used to derive per-context RNGs for spurious-abort injection.
     pub seed: u64,
+    /// Optional deterministic abort injector, consulted on every
+    /// transactional operation *in addition to* the random
+    /// `spurious_abort_rate`. `None` (the default) disables it.
+    pub abort_injector: Option<AbortInjector>,
 }
 
 impl HtmConfig {
@@ -55,15 +100,28 @@ impl HtmConfig {
 
     /// Validate the geometry; called by the runtime at construction.
     pub(crate) fn validate(&self) {
-        assert!(self.line_bytes >= 8 && self.line_bytes % 8 == 0, "line size must be a multiple of 8 bytes");
-        assert!(self.associativity >= 1, "associativity must be at least 1");
-        assert!(self.reserved_ways < self.associativity, "reserved ways must leave at least one usable way");
         assert!(
-            self.l1_bytes % (self.associativity * self.line_bytes) == 0,
+            self.line_bytes >= 8 && self.line_bytes.is_multiple_of(8),
+            "line size must be a multiple of 8 bytes"
+        );
+        assert!(self.associativity >= 1, "associativity must be at least 1");
+        assert!(
+            self.reserved_ways < self.associativity,
+            "reserved ways must leave at least one usable way"
+        );
+        assert!(
+            self.l1_bytes
+                .is_multiple_of(self.associativity * self.line_bytes),
             "L1 size must be a whole number of sets"
         );
-        assert!(self.num_sets().is_power_of_two(), "number of sets must be a power of two");
-        assert!((0.0..1.0).contains(&self.spurious_abort_rate), "spurious rate must be in [0,1)");
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.spurious_abort_rate),
+            "spurious rate must be in [0,1)"
+        );
     }
 
     /// A tiny cache geometry (1 KB, 2-way) that makes capacity aborts easy to
@@ -77,6 +135,7 @@ impl HtmConfig {
             spurious_abort_rate: 0.0,
             max_nesting: 7,
             seed: 0xDEAD_BEEF,
+            abort_injector: None,
         }
     }
 }
@@ -91,6 +150,7 @@ impl Default for HtmConfig {
             spurious_abort_rate: 0.0,
             max_nesting: 7,
             seed: 0x7A5F_2019, // "TuFast 2019"
+            abort_injector: None,
         }
     }
 }
@@ -119,7 +179,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "associativity")]
     fn zero_associativity_rejected() {
-        let c = HtmConfig { associativity: 0, ..HtmConfig::default() };
+        let c = HtmConfig {
+            associativity: 0,
+            ..HtmConfig::default()
+        };
         c.validate();
     }
 }

@@ -23,7 +23,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::abort::{AbortCode, HtmStateError};
-use crate::config::HtmConfig;
+use crate::config::{AbortInjector, HtmConfig};
 use crate::l1::L1Model;
 use crate::lineset::LineSet;
 use crate::memory::{Addr, TxMemory};
@@ -52,11 +52,19 @@ pub struct HtmCtx {
     mem: Arc<TxMemory>,
     id: u32,
     spurious_rate: f64,
+    injector: Option<AbortInjector>,
+    /// Monotone count of transactional reads+writes on this context,
+    /// fed to the abort injector (never reset, so injection points are a
+    /// pure function of the context's lifetime op stream).
+    op_seq: u64,
     max_nesting: u32,
     rng: SmallRng,
 
     depth: u32,
     start_ts: u64,
+    /// Clock value at which the last successful commit published (the
+    /// commit's serialization ticket); see [`last_commit_ts`](Self::last_commit_ts).
+    last_commit_ts: u64,
     /// `(line, observed version)` in first-read order.
     read_set: Vec<(u64, u64)>,
     read_lines: LineSet,
@@ -68,16 +76,23 @@ pub struct HtmCtx {
 
 impl HtmCtx {
     pub(crate) fn new(mem: Arc<TxMemory>, config: &HtmConfig, id: u32) -> Self {
-        assert!(id < meta::MAX_OWNER, "too many HTM contexts (max {})", meta::MAX_OWNER);
+        assert!(
+            id < meta::MAX_OWNER,
+            "too many HTM contexts (max {})",
+            meta::MAX_OWNER
+        );
         HtmCtx {
             l1: L1Model::new(config),
             mem,
             id,
             spurious_rate: config.spurious_abort_rate,
+            injector: config.abort_injector.clone(),
+            op_seq: 0,
             max_nesting: config.max_nesting,
             rng: SmallRng::seed_from_u64(config.seed ^ (u64::from(id) << 32) ^ 0x5EED),
             depth: 0,
             start_ts: 0,
+            last_commit_ts: 0,
             read_set: Vec::with_capacity(64),
             read_lines: LineSet::with_capacity(64),
             write_buf: WordMap::with_capacity(64),
@@ -156,7 +171,10 @@ impl HtmCtx {
         let line = addr.line();
         let mut races = 0;
         loop {
-            let m1 = self.mem.line(line).load(std::sync::atomic::Ordering::Acquire);
+            let m1 = self
+                .mem
+                .line(line)
+                .load(std::sync::atomic::Ordering::Acquire);
             if meta::is_locked(m1) {
                 // A committer or direct accessor holds the line: on hardware
                 // this is a coherence conflict. (We never hold line locks
@@ -172,8 +190,14 @@ impl HtmCtx {
                 }
                 continue;
             }
-            let val = self.mem.word(addr).load(std::sync::atomic::Ordering::Acquire);
-            let m2 = self.mem.line(line).load(std::sync::atomic::Ordering::Acquire);
+            let val = self
+                .mem
+                .word(addr)
+                .load(std::sync::atomic::Ordering::Acquire);
+            let m2 = self
+                .mem
+                .line(line)
+                .load(std::sync::atomic::Ordering::Acquire);
             if m1 != m2 {
                 races += 1;
                 if races > READ_RACE_RETRIES {
@@ -216,7 +240,10 @@ impl HtmCtx {
             return Err(self.abort_with(AbortCode::Spurious));
         }
         let line = addr.line();
-        let m = self.mem.line(line).load(std::sync::atomic::Ordering::Acquire);
+        let m = self
+            .mem
+            .line(line)
+            .load(std::sync::atomic::Ordering::Acquire);
         if meta::is_locked(m) {
             // Eager write-write conflict: another transaction is committing
             // this line right now.
@@ -248,7 +275,10 @@ impl HtmCtx {
         }
         if self.write_buf.is_empty() {
             // Read-only: per-read validation + extension already guarantee
-            // the read set is a consistent snapshot at `start_ts`.
+            // the read set is a consistent snapshot at `start_ts`. The
+            // current clock bounds every source writer's ticket from above
+            // (each observed value was published at or before this point).
+            self.last_commit_ts = self.mem.clock_now();
             self.stats.commits += 1;
             self.reset();
             return Ok(());
@@ -287,7 +317,10 @@ impl HtmCtx {
         // Validate the read set: every line we read must still carry the
         // version we observed, and may be locked only by us.
         for &(line, ver) in &self.read_set {
-            let m = self.mem.line(line).load(std::sync::atomic::Ordering::Acquire);
+            let m = self
+                .mem
+                .line(line)
+                .load(std::sync::atomic::Ordering::Acquire);
             let ok = meta::version(m) == ver && (!meta::is_locked(m) || meta::owner(m) == self.id);
             if !ok {
                 self.release(&locked);
@@ -297,14 +330,31 @@ impl HtmCtx {
 
         // Publish, then release at the commit timestamp.
         for (addr, val) in self.write_buf.iter() {
-            self.mem.word(addr).store(val, std::sync::atomic::Ordering::Release);
+            self.mem
+                .word(addr)
+                .store(val, std::sync::atomic::Ordering::Release);
         }
         for &(line, _) in &locked {
             self.mem.unlock_line(line, commit_ts);
         }
+        self.last_commit_ts = commit_ts;
         self.stats.commits += 1;
         self.reset();
         Ok(())
+    }
+
+    /// Serialization ticket of the most recent successful [`commit`](Self::commit).
+    ///
+    /// For a writing transaction this is the unique clock value minted
+    /// *while the write lines were locked* — conflicting commits hold
+    /// disjoint critical sections, so tickets order conflicting writers
+    /// correctly. For a read-only transaction it is the clock observed at
+    /// the commit point, an upper bound usable with `<=` ordering against
+    /// writer tickets. The history recorder in `tufast-check` uses these
+    /// tickets to seed the direct-serialization-graph checker.
+    #[inline]
+    pub fn last_commit_ts(&self) -> u64 {
+        self.last_commit_ts
     }
 
     /// Abort the transaction with an 8-bit user code (`XABORT imm8`).
@@ -317,9 +367,16 @@ impl HtmCtx {
         self.abort_with(AbortCode::Explicit(code))
     }
 
-    /// Sample the environmental-abort injector.
+    /// Sample the environmental-abort injectors: the deterministic hook
+    /// first (pure in `(id, op_seq)`), then the random rate.
     #[inline]
     fn roll_spurious(&mut self) -> bool {
+        self.op_seq += 1;
+        if let Some(inj) = &self.injector {
+            if inj.fires(self.id, self.op_seq) {
+                return true;
+            }
+        }
         self.spurious_rate > 0.0 && self.rng.random::<f64>() < self.spurious_rate
     }
 
@@ -363,7 +420,10 @@ impl HtmCtx {
     fn extend_snapshot(&mut self) -> bool {
         let new_ts = self.mem.clock_now();
         for &(line, ver) in &self.read_set {
-            let m = self.mem.line(line).load(std::sync::atomic::Ordering::Acquire);
+            let m = self
+                .mem
+                .line(line)
+                .load(std::sync::atomic::Ordering::Acquire);
             if meta::is_locked(m) || meta::version(m) != ver {
                 return false;
             }
@@ -443,7 +503,7 @@ mod tests {
         ctx.begin().unwrap();
         ctx.write(Addr(0), 1).unwrap();
         ctx.write(Addr(8), 1).unwrap(); // different line
-        // Nothing visible before commit.
+                                        // Nothing visible before commit.
         assert_eq!(rt.memory().load_direct(Addr(0)), 0);
         assert_eq!(rt.memory().load_direct(Addr(8)), 0);
         ctx.commit().unwrap();
@@ -561,7 +621,10 @@ mod tests {
     fn spurious_aborts_are_injected_at_configured_rate() {
         let mut layout = MemoryLayout::new();
         layout.alloc("w", 64);
-        let config = HtmConfig { spurious_abort_rate: 0.5, ..HtmConfig::default() };
+        let config = HtmConfig {
+            spurious_abort_rate: 0.5,
+            ..HtmConfig::default()
+        };
         let rt = HtmRuntime::new(layout, config);
         let mut ctx = rt.ctx();
         let mut spurious = 0;
@@ -575,7 +638,10 @@ mod tests {
                 Err(other) => panic!("unexpected abort {other}"),
             }
         }
-        assert!((50..150).contains(&spurious), "rate 0.5 gave {spurious}/200");
+        assert!(
+            (50..150).contains(&spurious),
+            "rate 0.5 gave {spurious}/200"
+        );
     }
 
     #[test]

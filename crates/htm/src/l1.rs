@@ -152,7 +152,10 @@ mod tests {
         };
         let p10kb = abort_rate(160, &mut rng); // 10 KB
         let p30kb = abort_rate(480, &mut rng); // 30 KB
-        assert!((0.10..0.45).contains(&p10kb), "10KB abort rate {p10kb} outside paper band");
+        assert!(
+            (0.10..0.45).contains(&p10kb),
+            "10KB abort rate {p10kb} outside paper band"
+        );
         assert!(p30kb > 0.95, "30KB abort rate {p30kb} should be ~1");
     }
 }

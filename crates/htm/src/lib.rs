@@ -76,11 +76,13 @@ mod stats;
 mod wordmap;
 
 pub use abort::{AbortCode, HtmStateError};
-pub use config::HtmConfig;
+pub use config::{AbortInjector, HtmConfig};
 pub use ctx::HtmCtx;
 pub use l1::L1Model;
 pub use lineset::LineSet;
-pub use memory::{Addr, LineState, MemRegion, MemoryLayout, PaddedRegion, TxMemory, WORDS_PER_LINE};
+pub use memory::{
+    Addr, LineState, MemRegion, MemoryLayout, PaddedRegion, TxMemory, WORDS_PER_LINE,
+};
 pub use runtime::HtmRuntime;
 pub use stats::HtmStats;
 pub use wordmap::WordMap;
@@ -115,7 +117,14 @@ mod pack_tests {
 
     #[test]
     fn f64_roundtrip() {
-        for v in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::NEG_INFINITY] {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::NEG_INFINITY,
+        ] {
             assert_eq!(word_to_f64(f64_to_word(v)).to_bits(), v.to_bits());
         }
     }

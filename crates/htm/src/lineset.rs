@@ -26,7 +26,11 @@ impl LineSet {
     /// Create a set with capacity for at least `cap` entries before rehash.
     pub fn with_capacity(cap: usize) -> Self {
         let slots = (cap.max(8) * 2).next_power_of_two();
-        LineSet { slots: vec![EMPTY; slots], mask: slots - 1, len: 0 }
+        LineSet {
+            slots: vec![EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
     }
 
     /// Number of distinct keys inserted since the last [`clear`](Self::clear).

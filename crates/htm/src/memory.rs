@@ -93,7 +93,10 @@ impl MemoryLayout {
 
     /// Allocate `len` words under `name`, returning the region handle.
     pub fn alloc(&mut self, name: &str, len: u64) -> MemRegion {
-        let region = MemRegion { base: self.cursor, len };
+        let region = MemRegion {
+            base: self.cursor,
+            len,
+        };
         self.regions.push((name.to_string(), region));
         // Advance to the next line boundary.
         let lpw = WORDS_PER_LINE as u64;
@@ -195,7 +198,9 @@ impl TxMemory {
         let lines = words.div_ceil(WORDS_PER_LINE);
         TxMemory {
             words: (0..words).map(|_| AtomicU64::new(0)).collect(),
-            line_meta: (0..lines).map(|_| AtomicU64::new(meta::unlocked(0))).collect(),
+            line_meta: (0..lines)
+                .map(|_| AtomicU64::new(meta::unlocked(0)))
+                .collect(),
             clock: AtomicU64::new(0),
         }
     }
@@ -243,21 +248,25 @@ impl TxMemory {
     pub fn line_state(&self, line: u64) -> LineState {
         let m = self.line(line).load(Ordering::Acquire);
         if meta::is_locked(m) {
-            LineState::Locked { owner: meta::owner(m) }
+            LineState::Locked {
+                owner: meta::owner(m),
+            }
         } else {
-            LineState::Unlocked { version: meta::version(m) }
+            LineState::Unlocked {
+                version: meta::version(m),
+            }
         }
     }
 
     /// Try to write-lock `line` for context `owner`; returns the pre-lock
-    /// version on success and the observed metadata word on failure.
+    /// version on success, `None` when the line is locked by another owner.
     ///
     /// Advanced API (see [`line_state`](Self::line_state)): callers must
     /// pair every successful lock with [`unlock_line_pub`](Self::unlock_line_pub)
     /// and must not hold line locks across blocking operations.
     #[inline]
-    pub fn try_lock_line_pub(&self, line: u64, owner: u32) -> Result<u64, ()> {
-        self.try_lock_line(line, owner).map_err(|_| ())
+    pub fn try_lock_line_pub(&self, line: u64, owner: u32) -> Option<u64> {
+        self.try_lock_line(line, owner).ok()
     }
 
     /// Unlock a line previously locked via
@@ -294,7 +303,7 @@ impl TxMemory {
     }
 
     /// Try to write-lock `line` for context `owner`; returns the pre-lock
-    /// version on success and the observed metadata word on failure.
+    /// version on success, `None` when the line is locked by another owner.
     #[inline]
     pub(crate) fn try_lock_line(&self, line: u64, owner: u32) -> Result<u64, u64> {
         let m = self.line(line);
@@ -303,7 +312,12 @@ impl TxMemory {
             return Err(cur);
         }
         let ver = meta::version(cur);
-        match m.compare_exchange(cur, meta::locked(ver, owner), Ordering::AcqRel, Ordering::Acquire) {
+        match m.compare_exchange(
+            cur,
+            meta::locked(ver, owner),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
             Ok(_) => Ok(ver),
             Err(observed) => Err(observed),
         }
@@ -312,7 +326,8 @@ impl TxMemory {
     /// Unlock `line`, publishing `new_version`.
     #[inline]
     pub(crate) fn unlock_line(&self, line: u64, new_version: u64) {
-        self.line(line).store(meta::unlocked(new_version), Ordering::Release);
+        self.line(line)
+            .store(meta::unlocked(new_version), Ordering::Release);
     }
 
     /// Spin until `line` is locked by `owner`. Used by the direct path,

@@ -30,7 +30,11 @@ impl HtmRuntime {
     /// schedulers against the same heap).
     pub fn from_memory(mem: Arc<TxMemory>, config: HtmConfig) -> Self {
         config.validate();
-        HtmRuntime { mem, config, next_ctx: AtomicU32::new(0) }
+        HtmRuntime {
+            mem,
+            config,
+            next_ctx: AtomicU32::new(0),
+        }
     }
 
     /// Create a new per-thread transaction context.

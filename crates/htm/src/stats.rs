@@ -91,14 +91,28 @@ mod tests {
     #[test]
     fn abort_rate_handles_zero_begins() {
         assert_eq!(HtmStats::default().abort_rate(), 0.0);
-        let s = HtmStats { begins: 4, aborts_conflict: 1, ..Default::default() };
+        let s = HtmStats {
+            begins: 4,
+            aborts_conflict: 1,
+            ..Default::default()
+        };
         assert!((s.abort_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn merge_sums_and_maxes() {
-        let a = HtmStats { begins: 1, commits: 1, max_lines: 10, ..Default::default() };
-        let b = HtmStats { begins: 2, reads: 5, max_lines: 3, ..Default::default() };
+        let a = HtmStats {
+            begins: 1,
+            commits: 1,
+            max_lines: 10,
+            ..Default::default()
+        };
+        let b = HtmStats {
+            begins: 2,
+            reads: 5,
+            max_lines: 3,
+            ..Default::default()
+        };
         let mut m = a.clone();
         m.merge(&b);
         assert_eq!(m.begins, 3);

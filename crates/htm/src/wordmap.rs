@@ -27,7 +27,11 @@ impl WordMap {
     /// Create a map with room for `cap` entries before rehash.
     pub fn with_capacity(cap: usize) -> Self {
         let slots = (cap.max(8) * 2).next_power_of_two();
-        WordMap { slots: vec![EMPTY; slots], mask: slots - 1, entries: Vec::with_capacity(cap) }
+        WordMap {
+            slots: vec![EMPTY; slots],
+            mask: slots - 1,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of distinct addresses buffered.

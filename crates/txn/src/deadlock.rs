@@ -43,7 +43,9 @@ const ANON_WAIT_SPINS: u32 = 10_000;
 impl WaitForTable {
     /// A table for up to `max_workers` workers.
     pub fn new(max_workers: usize) -> Self {
-        WaitForTable { waits: (0..max_workers).map(|_| AtomicU32::new(0)).collect() }
+        WaitForTable {
+            waits: (0..max_workers).map(|_| AtomicU32::new(0)).collect(),
+        }
     }
 
     /// Number of workers the table covers.
@@ -111,7 +113,9 @@ impl std::fmt::Debug for WaitForTable {
                 (v != 0).then(|| (i, v - 1))
             })
             .collect();
-        f.debug_struct("WaitForTable").field("edges", &edges).finish()
+        f.debug_struct("WaitForTable")
+            .field("edges", &edges)
+            .finish()
     }
 }
 
@@ -157,7 +161,10 @@ mod tests {
     fn bounded_wait_eventually_victimises() {
         let t = WaitForTable::new(2);
         assert_eq!(t.bounded_anonymous_wait(0), WaitOutcome::Retry);
-        assert_eq!(t.bounded_anonymous_wait(ANON_WAIT_SPINS), WaitOutcome::Victim);
+        assert_eq!(
+            t.bounded_anonymous_wait(ANON_WAIT_SPINS),
+            WaitOutcome::Victim
+        );
     }
 
     #[test]

@@ -17,8 +17,11 @@ use std::sync::Arc;
 
 use tufast_htm::{AbortCode, Addr, HtmCtx};
 
+use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 /// Default HTM retries before falling back.
@@ -33,12 +36,18 @@ pub struct HSyncLike {
 impl HSyncLike {
     /// Create with [`DEFAULT_HTM_RETRIES`].
     pub fn new(sys: Arc<TxnSystem>) -> Self {
-        HSyncLike { sys, retries: DEFAULT_HTM_RETRIES }
+        HSyncLike {
+            sys,
+            retries: DEFAULT_HTM_RETRIES,
+        }
     }
 
     /// Create with an explicit HTM retry budget.
     pub fn with_retries(sys: Arc<TxnSystem>, retries: u32) -> Self {
-        HSyncLike { sys, retries: retries.max(1) }
+        HSyncLike {
+            sys,
+            retries: retries.max(1),
+        }
     }
 }
 
@@ -128,8 +137,9 @@ impl TxnOps for FallbackOps<'_> {
 impl HSyncWorker {
     /// One speculative attempt. `Ok(true)` = committed, `Ok(false)` = user
     /// abort, `Err(code)` = HTM abort.
-    fn htm_attempt(&mut self, body: &mut TxnBody<'_>) -> Result<bool, AbortCode> {
+    fn htm_attempt(&mut self, body: &mut TxnBody<'_>, obs: &ObsHandle) -> Result<bool, AbortCode> {
         let fallback = self.sys.fallback_word();
+        let id = self.ctx.id();
         self.ctx.begin().expect("no nesting here");
         // Subscribe the fallback lock; busy means a fallback transaction is
         // running — abort and let the caller wait it out.
@@ -141,16 +151,26 @@ impl HSyncWorker {
             }
             Err(code) => return Err(code),
         }
-        let mut ops = HtmOps { ctx: &mut self.ctx, stats: &mut self.stats, last_abort: None };
-        match body(&mut ops) {
+        let mut ops = HtmOps {
+            ctx: &mut self.ctx,
+            stats: &mut self.stats,
+            last_abort: None,
+        };
+        match obs.run_body(&mut ops, id, body) {
             Ok(()) => {
                 let ops_abort = ops.last_abort;
                 if !self.ctx.in_tx() {
                     // Aborted mid-body but the body returned Ok anyway.
                     return Err(ops_abort.unwrap_or(AbortCode::Conflict));
                 }
+                obs.pre_commit(id);
                 match self.ctx.commit() {
-                    Ok(()) => Ok(true),
+                    Ok(()) => {
+                        // HTM-path ticket: the commit timestamp the context
+                        // minted while its write lines were locked.
+                        obs.commit_ticketed(id, || self.ctx.last_commit_ts());
+                        Ok(true)
+                    }
                     Err(code) => Err(ops_abort.unwrap_or(code)),
                 }
             }
@@ -171,23 +191,32 @@ impl HSyncWorker {
     }
 
     /// Serialise under the global fallback lock.
-    fn fallback_attempt(&mut self, body: &mut TxnBody<'_>) -> bool {
+    fn fallback_attempt(&mut self, body: &mut TxnBody<'_>, obs: &ObsHandle) -> bool {
         let mem = self.sys.mem();
         let fallback = self.sys.fallback_word();
+        let id = self.ctx.id();
         let mut spins = 0u32;
         while mem.cas_direct(fallback, 0, 1).is_err() {
             spins += 1;
-            if spins % 256 == 0 {
+            if spins.is_multiple_of(256) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
             }
         }
         self.undo.clear();
-        let mut ops = FallbackOps { sys: &self.sys, undo: &mut self.undo, stats: &mut self.stats };
-        let result = body(&mut ops);
+        let mut ops = FallbackOps {
+            sys: &self.sys,
+            undo: &mut self.undo,
+            stats: &mut self.stats,
+        };
+        let result = obs.run_body(&mut ops, id, body);
         match result {
             Ok(()) => {
+                obs.pre_commit(id);
+                // Ticket before releasing the global lock: no other writer
+                // can publish while we still hold it.
+                obs.commit_ticketed(id, || mem.clock_tick_pub());
                 mem.store_direct(fallback, 0);
                 true
             }
@@ -205,23 +234,34 @@ impl HSyncWorker {
 
 impl TxnWorker for HSyncWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.ctx.id();
         let mut attempts = 0u32;
         let mut htm_tries = 0u32;
         loop {
             attempts += 1;
             if htm_tries < self.retries {
                 htm_tries += 1;
-                match self.htm_attempt(body) {
+                obs.attempt_begin(id);
+                match self.htm_attempt(body, &obs) {
                     Ok(true) => {
                         self.stats.commits += 1;
-                        return TxnOutcome { committed: true, attempts };
+                        return TxnOutcome {
+                            committed: true,
+                            attempts,
+                        };
                     }
                     Ok(false) => {
                         self.stats.user_aborts += 1;
-                        return TxnOutcome { committed: false, attempts };
+                        obs.abort(id, true);
+                        return TxnOutcome {
+                            committed: false,
+                            attempts,
+                        };
                     }
                     Err(code) => {
                         self.stats.restarts += 1;
+                        obs.abort(id, false);
                         if code == AbortCode::Capacity {
                             // Deterministic: skip the remaining retries.
                             htm_tries = self.retries;
@@ -232,13 +272,18 @@ impl TxnWorker for HSyncWorker {
             } else {
                 // Fallback path. A `false` here is a user abort (the global
                 // lock admits no conflicts).
-                let committed = self.fallback_attempt(body);
+                obs.attempt_begin(id);
+                let committed = self.fallback_attempt(body, &obs);
                 if committed {
                     self.stats.commits += 1;
                 } else {
                     self.stats.user_aborts += 1;
+                    obs.abort(id, true);
                 }
-                return TxnOutcome { committed, attempts };
+                return TxnOutcome {
+                    committed,
+                    attempts,
+                };
             }
         }
     }
@@ -304,7 +349,11 @@ mod tests {
         });
         assert!(out.committed);
         assert_eq!(sys.mem().load_direct(big.addr(9_999)), 9_999);
-        assert_eq!(sys.mem().load_direct(sys.fallback_word()), 0, "fallback lock released");
+        assert_eq!(
+            sys.mem().load_direct(sys.fallback_word()),
+            0,
+            "fallback lock released"
+        );
         assert!(w.stats().restarts >= 1, "capacity abort should be recorded");
     }
 
@@ -323,7 +372,11 @@ mod tests {
         });
         assert!(!out.committed);
         for i in (0..8000).step_by(997) {
-            assert_eq!(sys.mem().load_direct(big.addr(i)), 0, "write {i} not rolled back");
+            assert_eq!(
+                sys.mem().load_direct(big.addr(i)),
+                0,
+                "write {i} not rolled back"
+            );
         }
         assert_eq!(sys.mem().load_direct(sys.fallback_word()), 0);
     }

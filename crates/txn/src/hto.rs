@@ -18,9 +18,12 @@ use std::sync::Arc;
 use tufast_htm::{Addr, HtmCtx, WordMap};
 
 use crate::locks::LockWord;
+use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::to::{pack, to_commit_locked, to_read_fallback, unpack};
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 /// HTM attempts per accelerated operation before falling back.
@@ -174,18 +177,33 @@ impl HtoWorker {
         }
     }
 
-    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+    fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
         if self.writes.is_empty() {
+            // Read-only: the current clock is an upper bound on every
+            // writer this transaction observed.
+            obs.commit_ticketed(self.id, || self.sys.mem().clock_now_pub());
             return Ok(());
         }
         for _ in 0..HTM_OP_RETRIES {
             match self.htm_commit() {
-                HtmTry::Done(()) => return Ok(()),
+                HtmTry::Done(()) => {
+                    // HTM-path ticket: the commit timestamp minted while the
+                    // written lines were still locked inside the HTM commit.
+                    obs.commit_ticketed(self.id, || self.ctx.last_commit_ts());
+                    return Ok(());
+                }
                 HtmTry::TsViolation => return Err(TxInterrupt::Restart),
                 HtmTry::Fallback => {}
             }
         }
-        to_commit_locked(&self.sys, self.id, self.ts, &self.writes, &self.write_vertices)
+        to_commit_locked(
+            &self.sys,
+            self.id,
+            self.ts,
+            &self.writes,
+            &self.write_vertices,
+            obs,
+        )
     }
 }
 
@@ -221,28 +239,43 @@ impl TxnOps for HtoWorker {
 
 impl TxnWorker for HtoWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.id;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             self.reset();
-            match body(self) {
-                Ok(()) => match self.try_commit() {
-                    Ok(()) => {
-                        self.stats.commits += 1;
-                        return TxnOutcome { committed: true, attempts };
+            obs.attempt_begin(id);
+            match obs.run_body(self, id, body) {
+                Ok(()) => {
+                    obs.pre_commit(id);
+                    match self.try_commit(&obs) {
+                        Ok(()) => {
+                            self.stats.commits += 1;
+                            return TxnOutcome {
+                                committed: true,
+                                attempts,
+                            };
+                        }
+                        Err(_) => {
+                            self.stats.restarts += 1;
+                            obs.abort(id, false);
+                            backoff(attempts, self.id);
+                        }
                     }
-                    Err(_) => {
-                        self.stats.restarts += 1;
-                        backoff(attempts, self.id);
-                    }
-                },
+                }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
                 Err(TxInterrupt::UserAbort) => {
                     self.stats.user_aborts += 1;
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(id, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
             }
         }
@@ -360,7 +393,9 @@ mod tests {
                 });
             }
         });
-        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        let total: u64 = (0..n as u64)
+            .map(|i| sys.mem().load_direct(acc.addr(i)))
+            .sum();
         assert_eq!(total, 100 * n as u64);
     }
 }

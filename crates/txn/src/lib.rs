@@ -28,22 +28,26 @@ pub mod deadlock;
 mod hsync;
 mod hto;
 mod locks;
+pub mod obs;
 mod occ;
 mod stm;
 mod system;
-mod tpl;
 mod to;
+mod tpl;
 mod traits;
 
 pub use hsync::HSyncLike;
 pub use hto::HTimestampOrdering;
 pub use locks::{LockWord, VertexLocks};
+pub use obs::{ObsHandle, TxnObserver};
 pub use occ::Occ;
 pub use stm::SoftwareTm;
 pub use system::{SystemConfig, TxnSystem};
 pub use to::TimestampOrdering;
 pub use tpl::TwoPhaseLocking;
-pub use traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+pub use traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 
 /// Vertex identifier, re-exported for convenience (same as `tufast-graph`).
 pub type VertexId = u32;

@@ -109,12 +109,16 @@ enum Storage {
 impl VertexLocks {
     /// Allocate a packed lock array for `n` vertices in `layout`.
     pub fn alloc(layout: &mut MemoryLayout, n: usize) -> Self {
-        VertexLocks { storage: Storage::Packed(layout.alloc("vertex-locks", n as u64)) }
+        VertexLocks {
+            storage: Storage::Packed(layout.alloc("vertex-locks", n as u64)),
+        }
     }
 
     /// Allocate a padded (one line per vertex) lock array.
     pub fn alloc_padded(layout: &mut MemoryLayout, n: usize) -> Self {
-        VertexLocks { storage: Storage::Padded(layout.alloc_padded("vertex-locks", n as u64)) }
+        VertexLocks {
+            storage: Storage::Padded(layout.alloc_padded("vertex-locks", n as u64)),
+        }
     }
 
     /// Address of vertex `v`'s lock word.
@@ -151,7 +155,8 @@ impl VertexLocks {
     pub fn try_shared(&self, mem: &TxMemory, v: VertexId) -> Result<LockWord, LockWord> {
         let pre = LockWord(mem.rmw_direct(self.addr(v), |w| {
             let lw = LockWord(w);
-            lw.shared_compatible().then(|| lw.with_readers(lw.readers() + 1).0)
+            lw.shared_compatible()
+                .then(|| lw.with_readers(lw.readers() + 1).0)
         }));
         if pre.shared_compatible() {
             Ok(pre)
@@ -163,7 +168,12 @@ impl VertexLocks {
     /// Try to acquire `v` exclusively for `owner`. Success iff the lock was
     /// completely free.
     #[inline]
-    pub fn try_exclusive(&self, mem: &TxMemory, v: VertexId, owner: u32) -> Result<LockWord, LockWord> {
+    pub fn try_exclusive(
+        &self,
+        mem: &TxMemory,
+        v: VertexId,
+        owner: u32,
+    ) -> Result<LockWord, LockWord> {
         let pre = LockWord(mem.rmw_direct(self.addr(v), |w| {
             let lw = LockWord(w);
             lw.is_free().then(|| lw.with_writer(Some(owner)).0)
@@ -193,7 +203,10 @@ impl VertexLocks {
     pub fn unlock_shared(&self, mem: &TxMemory, v: VertexId) {
         mem.rmw_direct(self.addr(v), |w| {
             let lw = LockWord(w);
-            debug_assert!(lw.readers() > 0, "unlock_shared without a shared hold on {v}");
+            debug_assert!(
+                lw.readers() > 0,
+                "unlock_shared without a shared hold on {v}"
+            );
             Some(lw.with_readers(lw.readers().saturating_sub(1)).0)
         });
     }
@@ -204,9 +217,17 @@ impl VertexLocks {
     pub fn unlock_exclusive(&self, mem: &TxMemory, v: VertexId, owner: u32, wrote: bool) {
         mem.rmw_direct(self.addr(v), |w| {
             let lw = LockWord(w);
-            debug_assert_eq!(lw.writer(), Some(owner), "unlock_exclusive by non-owner on {v}");
+            debug_assert_eq!(
+                lw.writer(),
+                Some(owner),
+                "unlock_exclusive by non-owner on {v}"
+            );
             let released = lw.with_writer(None);
-            Some(if wrote { released.bumped().0 } else { released.0 })
+            Some(if wrote {
+                released.bumped().0
+            } else {
+                released.0
+            })
         });
     }
 }

@@ -1,0 +1,205 @@
+//! Scheduler observability hooks (feature `observe`).
+//!
+//! Every scheduler notifies a process-wide-free, per-[`TxnSystem`]
+//! [`TxnObserver`] of its transactional lifecycle: attempt starts, each
+//! read/write with the value seen/installed, the commit with a
+//! *serialization ticket*, and aborts. `tufast-check` builds its history
+//! recorder and deterministic schedule explorer on these hooks.
+//!
+//! With the feature disabled (the default) the observer slot does not
+//! exist: [`ObsHandle`] is a zero-sized type and every hook is an empty
+//! inline function, so production builds pay nothing.
+//!
+//! ## Serialization tickets
+//!
+//! Every committing code path in this workspace publishes its writes
+//! inside a critical section (line locks, vertex write locks, or the
+//! global fallback word) and mints its ticket from the HTM clock *inside
+//! that critical section*. Conflicting writers hold disjoint critical
+//! sections, so ticket order equals publication order per address —
+//! which is what lets the checker derive WW edges from tickets alone.
+//! Read-only transactions report the clock value observed at their
+//! commit point instead; it upper-bounds their source writers' tickets.
+
+#[cfg(feature = "observe")]
+use std::sync::Arc;
+
+use tufast_htm::Addr;
+
+use crate::traits::{TxInterrupt, TxnBody, TxnOps};
+use crate::VertexId;
+
+/// Receiver of scheduler lifecycle events. All methods default to no-ops
+/// so implementors subscribe only to what they need.
+///
+/// Methods take `&self`: one observer is shared by every worker thread,
+/// so implementations synchronise internally.
+pub trait TxnObserver: Send + Sync {
+    /// A worker is about to (re-)execute a transaction body.
+    fn attempt_begin(&self, _worker: u32) {}
+
+    /// A worker is about to issue a transactional operation. This is the
+    /// explorer's scheduling point: blocking here delays the operation.
+    fn before_op(&self, _worker: u32) {}
+
+    /// A transactional read returned `val` (own-write read-backs
+    /// included; the recorder filters them).
+    fn op_read(&self, _worker: u32, _v: VertexId, _addr: Addr, _val: u64) {}
+
+    /// A transactional write of `val` was accepted into the attempt.
+    fn op_write(&self, _worker: u32, _v: VertexId, _addr: Addr, _val: u64) {}
+
+    /// The body finished and the worker is about to enter its commit
+    /// protocol (second scheduling point).
+    fn pre_commit(&self, _worker: u32) {}
+
+    /// The attempt committed with the given serialization ticket.
+    fn commit(&self, _worker: u32, _ticket: u64) {}
+
+    /// The attempt rolled back; `user` distinguishes `user_abort` from a
+    /// conflict/restart.
+    fn abort(&self, _worker: u32, _user: bool) {}
+}
+
+/// A cheap, always-present handle to the system's observer.
+///
+/// With feature `observe` this holds `Option<Arc<dyn TxnObserver>>`;
+/// without it, it is zero-sized and every method body is empty.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    #[cfg(feature = "observe")]
+    inner: Option<Arc<dyn TxnObserver>>,
+}
+
+impl ObsHandle {
+    /// A handle with no observer attached.
+    #[inline]
+    pub fn none() -> Self {
+        ObsHandle::default()
+    }
+
+    /// Wrap an installed observer (only exists with feature `observe`).
+    #[cfg(feature = "observe")]
+    #[inline]
+    pub fn attached(obs: Option<Arc<dyn TxnObserver>>) -> Self {
+        ObsHandle { inner: obs }
+    }
+
+    /// Whether an observer is attached (always `false` without the
+    /// `observe` feature).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "observe")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "observe"))]
+        {
+            false
+        }
+    }
+
+    /// Forward [`TxnObserver::attempt_begin`].
+    #[inline]
+    pub fn attempt_begin(&self, _worker: u32) {
+        #[cfg(feature = "observe")]
+        if let Some(o) = &self.inner {
+            o.attempt_begin(_worker);
+        }
+    }
+
+    /// Forward [`TxnObserver::pre_commit`].
+    #[inline]
+    pub fn pre_commit(&self, _worker: u32) {
+        #[cfg(feature = "observe")]
+        if let Some(o) = &self.inner {
+            o.pre_commit(_worker);
+        }
+    }
+
+    /// Forward [`TxnObserver::commit`], minting the ticket only when an
+    /// observer is attached (`mint` typically ticks the HTM clock inside
+    /// the caller's commit critical section).
+    #[inline]
+    pub fn commit_ticketed(&self, _worker: u32, _mint: impl FnOnce() -> u64) {
+        #[cfg(feature = "observe")]
+        if let Some(o) = &self.inner {
+            o.commit(_worker, _mint());
+        }
+    }
+
+    /// Forward [`TxnObserver::abort`].
+    #[inline]
+    pub fn abort(&self, _worker: u32, _user: bool) {
+        #[cfg(feature = "observe")]
+        if let Some(o) = &self.inner {
+            o.abort(_worker, _user);
+        }
+    }
+
+    /// Run `body` against `inner`, interposing the observer's per-op
+    /// hooks when one is attached. Without an observer (or without the
+    /// feature) this is exactly `body(inner)`.
+    #[inline]
+    pub fn run_body<T: TxnOps>(
+        &self,
+        inner: &mut T,
+        worker: u32,
+        body: &mut TxnBody<'_>,
+    ) -> Result<(), TxInterrupt> {
+        #[cfg(feature = "observe")]
+        if self.inner.is_some() {
+            let mut wrapped = ObservedOps {
+                inner,
+                obs: self,
+                worker,
+            };
+            return body(&mut wrapped);
+        }
+        let _ = worker;
+        body(inner)
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObsHandle(active: {})", self.is_active())
+    }
+}
+
+/// [`TxnOps`] decorator that reports every operation to the observer.
+#[cfg(feature = "observe")]
+struct ObservedOps<'a, T: TxnOps> {
+    inner: &'a mut T,
+    obs: &'a ObsHandle,
+    worker: u32,
+}
+
+#[cfg(feature = "observe")]
+impl<T: TxnOps> TxnOps for ObservedOps<'_, T> {
+    fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
+        if let Some(o) = &self.obs.inner {
+            o.before_op(self.worker);
+        }
+        let val = self.inner.read(v, addr)?;
+        if let Some(o) = &self.obs.inner {
+            o.op_read(self.worker, v, addr, val);
+        }
+        Ok(val)
+    }
+
+    fn write(&mut self, v: VertexId, addr: Addr, val: u64) -> Result<(), TxInterrupt> {
+        if let Some(o) = &self.obs.inner {
+            o.before_op(self.worker);
+        }
+        self.inner.write(v, addr, val)?;
+        if let Some(o) = &self.obs.inner {
+            o.op_write(self.worker, v, addr, val);
+        }
+        Ok(())
+    }
+
+    fn user_abort(&mut self) -> TxInterrupt {
+        self.inner.user_abort()
+    }
+}

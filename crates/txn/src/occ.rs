@@ -11,8 +11,11 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, WordMap};
 
+use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 /// Bounded spins per write-lock during commit.
@@ -102,7 +105,7 @@ impl OccWorker {
         Err(TxInterrupt::Restart)
     }
 
-    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+    fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
         let mem = self.sys.mem();
         let locks = self.sys.locks();
 
@@ -115,6 +118,9 @@ impl OccWorker {
                     return Err(TxInterrupt::Restart);
                 }
             }
+            // Every source writer released (and thus ticketed) before our
+            // reads, so the current clock upper-bounds their tickets.
+            obs.commit_ticketed(self.id, || mem.clock_now_pub());
             return Ok(());
         }
 
@@ -145,7 +151,7 @@ impl OccWorker {
         let mut ok = true;
         for &(v, ver) in &self.reads {
             let w = locks.peek(mem, v);
-            let valid = w.version() == ver && w.writer().map_or(true, |o| o == self.id);
+            let valid = w.version() == ver && w.writer().is_none_or(|o| o == self.id);
             if !valid {
                 ok = false;
                 break;
@@ -158,10 +164,13 @@ impl OccWorker {
             return Err(TxInterrupt::Restart);
         }
 
-        // Phase 3: publish and release with a version bump.
+        // Phase 3: publish and release with a version bump. The ticket is
+        // minted after publication but before any lock release, so
+        // conflicting committers are ticketed in publication order.
         for (addr, val) in self.writes.iter() {
             mem.store_direct(addr, val);
         }
+        obs.commit_ticketed(self.id, || mem.clock_tick_pub());
         for &u in &order {
             locks.unlock_exclusive(mem, u, self.id, true);
         }
@@ -194,29 +203,44 @@ impl TxnOps for OccWorker {
 
 impl TxnWorker for OccWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.id;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             self.reset();
-            match body(self) {
-                Ok(()) => match self.try_commit() {
-                    Ok(()) => {
-                        self.stats.commits += 1;
-                        return TxnOutcome { committed: true, attempts };
+            obs.attempt_begin(id);
+            match obs.run_body(self, id, body) {
+                Ok(()) => {
+                    obs.pre_commit(id);
+                    match self.try_commit(&obs) {
+                        Ok(()) => {
+                            self.stats.commits += 1;
+                            return TxnOutcome {
+                                committed: true,
+                                attempts,
+                            };
+                        }
+                        Err(_) => {
+                            self.stats.restarts += 1;
+                            obs.abort(id, false);
+                            backoff(attempts, self.id);
+                        }
                     }
-                    Err(_) => {
-                        self.stats.restarts += 1;
-                        backoff(attempts, self.id);
-                    }
-                },
+                }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
                 Err(TxInterrupt::UserAbort) => {
                     self.stats.user_aborts += 1;
                     self.reset();
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(id, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
             }
         }
@@ -347,7 +371,9 @@ mod tests {
                 });
             }
         });
-        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        let total: u64 = (0..n as u64)
+            .map(|i| sys.mem().load_direct(acc.addr(i)))
+            .sum();
         assert_eq!(total, 100 * n as u64);
     }
 

@@ -17,8 +17,11 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, LineSet, LineState, WordMap};
 
+use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 const COMMIT_LOCK_SPINS: u32 = 128;
@@ -36,7 +39,10 @@ pub struct SoftwareTm {
 impl SoftwareTm {
     /// Create with the default modelled instrumentation cost.
     pub fn new(sys: Arc<TxnSystem>) -> Self {
-        SoftwareTm { sys, penalty_spins: DEFAULT_PENALTY_SPINS }
+        SoftwareTm {
+            sys,
+            penalty_spins: DEFAULT_PENALTY_SPINS,
+        }
     }
 
     /// Override the modelled per-access instrumentation cost (0 disables —
@@ -108,9 +114,12 @@ impl StmWorker {
         })
     }
 
-    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
+    fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
         let mem = self.sys.mem();
         if self.write_buf.is_empty() {
+            // Read-only: per-read validation/extension already proved the
+            // snapshot; the current clock bounds source tickets from above.
+            obs.commit_ticketed(self.owner, || mem.clock_now_pub());
             return Ok(());
         }
         let mut lines: Vec<u64> = self.write_lines.iter().collect();
@@ -118,7 +127,7 @@ impl StmWorker {
         let mut locked: Vec<(u64, u64)> = Vec::with_capacity(lines.len());
         'locking: for &line in &lines {
             for spin in 0..COMMIT_LOCK_SPINS {
-                if let Ok(old_ver) = mem.try_lock_line_pub(line, self.owner) {
+                if let Some(old_ver) = mem.try_lock_line_pub(line, self.owner) {
                     locked.push((line, old_ver));
                     continue 'locking;
                 }
@@ -154,6 +163,9 @@ impl StmWorker {
         for (addr, val) in self.write_buf.iter() {
             mem.store_locked(addr, val);
         }
+        // The write-path ticket is the TL2 commit timestamp itself, minted
+        // above while the write lines were already locked.
+        obs.commit_ticketed(self.owner, || commit_ts);
         for &(l, _) in &locked {
             mem.unlock_line_pub(l, commit_ts);
         }
@@ -217,7 +229,8 @@ impl TxnOps for StmWorker {
         self.stats.writes += 1;
         self.instrument();
         let line = addr.line();
-        if matches!(self.sys.mem().line_state(line), LineState::Locked { owner } if owner != self.owner) {
+        if matches!(self.sys.mem().line_state(line), LineState::Locked { owner } if owner != self.owner)
+        {
             return Err(TxInterrupt::Restart);
         }
         self.write_buf.insert(addr, val);
@@ -228,28 +241,43 @@ impl TxnOps for StmWorker {
 
 impl TxnWorker for StmWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.owner;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             self.begin();
-            match body(self) {
-                Ok(()) => match self.try_commit() {
-                    Ok(()) => {
-                        self.stats.commits += 1;
-                        return TxnOutcome { committed: true, attempts };
+            obs.attempt_begin(id);
+            match obs.run_body(self, id, body) {
+                Ok(()) => {
+                    obs.pre_commit(id);
+                    match self.try_commit(&obs) {
+                        Ok(()) => {
+                            self.stats.commits += 1;
+                            return TxnOutcome {
+                                committed: true,
+                                attempts,
+                            };
+                        }
+                        Err(_) => {
+                            self.stats.restarts += 1;
+                            obs.abort(id, false);
+                            backoff(attempts, self.owner);
+                        }
                     }
-                    Err(_) => {
-                        self.stats.restarts += 1;
-                        backoff(attempts, self.owner);
-                    }
-                },
+                }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    obs.abort(id, false);
                     backoff(attempts, self.owner);
                 }
                 Err(TxInterrupt::UserAbort) => {
                     self.stats.user_aborts += 1;
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(id, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
             }
         }
@@ -384,6 +412,9 @@ mod tests {
         };
         let t_fast = time(&fast);
         let t_slow = time(&slow);
-        assert!(t_slow > t_fast, "penalty had no effect: {t_fast:?} vs {t_slow:?}");
+        assert!(
+            t_slow > t_fast,
+            "penalty had no effect: {t_fast:?} vs {t_slow:?}"
+        );
     }
 }

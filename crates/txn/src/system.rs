@@ -7,6 +7,7 @@ use tufast_htm::{Addr, HtmConfig, HtmCtx, HtmRuntime, MemRegion, MemoryLayout, T
 
 use crate::deadlock::WaitForTable;
 use crate::locks::VertexLocks;
+use crate::obs::ObsHandle;
 use crate::VertexId;
 
 /// System-wide configuration.
@@ -23,7 +24,11 @@ pub struct SystemConfig {
 
 impl Default for SystemConfig {
     fn default() -> Self {
-        SystemConfig { htm: HtmConfig::default(), padded_locks: false, max_workers: 512 }
+        SystemConfig {
+            htm: HtmConfig::default(),
+            padded_locks: false,
+            max_workers: 512,
+        }
     }
 }
 
@@ -48,6 +53,9 @@ pub struct TxnSystem {
     ts_counter: AtomicU64,
     next_worker: AtomicU32,
     num_vertices: usize,
+    /// Installed lifecycle observer (`tufast-check`'s recorder/stepper).
+    #[cfg(feature = "observe")]
+    observer: std::sync::RwLock<Option<Arc<dyn crate::obs::TxnObserver>>>,
 }
 
 impl TxnSystem {
@@ -70,7 +78,31 @@ impl TxnSystem {
             ts_counter: AtomicU64::new(1),
             next_worker: AtomicU32::new(0),
             num_vertices,
+            #[cfg(feature = "observe")]
+            observer: std::sync::RwLock::new(None),
         })
+    }
+
+    /// Install (or clear) the lifecycle observer notified by every
+    /// scheduler running on this system. Workers pick the change up at
+    /// their next `execute` call.
+    #[cfg(feature = "observe")]
+    pub fn set_observer(&self, observer: Option<Arc<dyn crate::obs::TxnObserver>>) {
+        *self.observer.write().unwrap() = observer;
+    }
+
+    /// Snapshot the observer into a cheap per-transaction handle. Without
+    /// the `observe` feature this returns the zero-sized no-op handle.
+    #[inline]
+    pub fn observer_handle(&self) -> ObsHandle {
+        #[cfg(feature = "observe")]
+        {
+            ObsHandle::attached(self.observer.read().unwrap().clone())
+        }
+        #[cfg(not(feature = "observe"))]
+        {
+            ObsHandle::none()
+        }
     }
 
     /// Convenience: a system with default config over `layout`.
@@ -187,7 +219,10 @@ mod tests {
         let sys = TxnSystem::build(
             1,
             layout,
-            SystemConfig { max_workers: 4, ..SystemConfig::default() },
+            SystemConfig {
+                max_workers: 4,
+                ..SystemConfig::default()
+            },
         );
         let ids: Vec<u32> = (0..4).map(|_| sys.new_worker_id()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
@@ -206,7 +241,10 @@ mod tests {
         let sys = TxnSystem::build(
             8,
             MemoryLayout::new(),
-            SystemConfig { padded_locks: true, ..SystemConfig::default() },
+            SystemConfig {
+                padded_locks: true,
+                ..SystemConfig::default()
+            },
         );
         assert_ne!(sys.locks().addr(0).line(), sys.locks().addr(1).line());
     }

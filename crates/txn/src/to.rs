@@ -13,8 +13,11 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, WordMap};
 
+use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 const COMMIT_LOCK_SPINS: u32 = 128;
@@ -78,8 +81,12 @@ pub(crate) fn to_commit_locked(
     ts: u32,
     writes: &WordMap,
     write_vertices: &[VertexId],
+    obs: &ObsHandle,
 ) -> Result<(), TxInterrupt> {
     if writes.is_empty() {
+        // Read-only: every source writer released its locks (and was
+        // ticketed) before our consistent reads sampled its values.
+        obs.commit_ticketed(me, || sys.mem().clock_now_pub());
         return Ok(());
     }
     let mem = sys.mem();
@@ -119,6 +126,8 @@ pub(crate) fn to_commit_locked(
     for (addr, val) in writes.iter() {
         mem.store_direct(addr, val);
     }
+    // Ticket after publication, before any lock release (see obs module).
+    obs.commit_ticketed(me, || mem.clock_tick_pub());
     for &v in &order {
         mem.rmw_direct(sys.to_ts_addr(v), |w| {
             let (wts, rts) = unpack(w);
@@ -183,8 +192,15 @@ impl ToWorker {
         self.ts = ts as u32;
     }
 
-    fn try_commit(&mut self) -> Result<(), TxInterrupt> {
-        to_commit_locked(&self.sys, self.id, self.ts, &self.writes, &self.write_vertices)
+    fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
+        to_commit_locked(
+            &self.sys,
+            self.id,
+            self.ts,
+            &self.writes,
+            &self.write_vertices,
+            obs,
+        )
     }
 }
 
@@ -215,28 +231,43 @@ impl TxnOps for ToWorker {
 
 impl TxnWorker for ToWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.id;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             self.reset();
-            match body(self) {
-                Ok(()) => match self.try_commit() {
-                    Ok(()) => {
-                        self.stats.commits += 1;
-                        return TxnOutcome { committed: true, attempts };
+            obs.attempt_begin(id);
+            match obs.run_body(self, id, body) {
+                Ok(()) => {
+                    obs.pre_commit(id);
+                    match self.try_commit(&obs) {
+                        Ok(()) => {
+                            self.stats.commits += 1;
+                            return TxnOutcome {
+                                committed: true,
+                                attempts,
+                            };
+                        }
+                        Err(_) => {
+                            self.stats.restarts += 1;
+                            obs.abort(id, false);
+                            backoff(attempts, self.id);
+                        }
                     }
-                    Err(_) => {
-                        self.stats.restarts += 1;
-                        backoff(attempts, self.id);
-                    }
-                },
+                }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
                 Err(TxInterrupt::UserAbort) => {
                     self.stats.user_aborts += 1;
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(id, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
             }
         }
@@ -302,7 +333,10 @@ mod tests {
         // It must restart until its (fresh-per-attempt) timestamp passes
         // the blocking rts, then commit.
         assert!(out.committed);
-        assert!(out.attempts >= 2, "first attempt (ts ≤ 5) must have restarted");
+        assert!(
+            out.attempts >= 2,
+            "first attempt (ts ≤ 5) must have restarted"
+        );
         // Commits once its timestamp reaches the blocking rts (ts == rts is
         // legal: real timestamp spaces never collide across transactions).
         let (wts, _) = unpack(sys.mem().load_direct(sys.to_ts_addr(0)));
@@ -372,7 +406,9 @@ mod tests {
                 });
             }
         });
-        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        let total: u64 = (0..n as u64)
+            .map(|i| sys.mem().load_direct(acc.addr(i)))
+            .sum();
         assert_eq!(total, 100 * n as u64);
     }
 }

@@ -19,7 +19,9 @@ use tufast_htm::{Addr, WordMap};
 
 use crate::deadlock::WaitOutcome;
 use crate::system::TxnSystem;
-use crate::traits::{backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker};
+use crate::traits::{
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+};
 use crate::VertexId;
 
 /// Lock modes recorded in the worker's held-lock table.
@@ -36,7 +38,10 @@ pub struct TwoPhaseLocking {
 impl TwoPhaseLocking {
     /// 2PL with deadlock detection.
     pub fn new(sys: Arc<TxnSystem>) -> Self {
-        TwoPhaseLocking { sys, ordered: false }
+        TwoPhaseLocking {
+            sys,
+            ordered: false,
+        }
     }
 
     /// 2PL with ordered-acquisition deadlock *prevention*. Correct only for
@@ -104,7 +109,9 @@ impl TplWorker {
             match locks.try_shared(mem, v) {
                 Ok(_) => return Ok(()),
                 Err(pre) => {
-                    let holder = pre.writer().expect("shared acquisition fails only on a writer");
+                    let holder = pre
+                        .writer()
+                        .expect("shared acquisition fails only on a writer");
                     if holder == self.id {
                         unreachable!("lock table says we already hold {v} exclusively");
                     }
@@ -137,7 +144,9 @@ impl TplWorker {
                 Err(pre) => {
                     if let Some(holder) = pre.writer() {
                         debug_assert_ne!(holder, self.id, "double exclusive acquisition of {v}");
-                        if !self.ordered && self.sys.wait_table().register_and_check(self.id, holder) {
+                        if !self.ordered
+                            && self.sys.wait_table().register_and_check(self.id, holder)
+                        {
                             self.stats.deadlock_victims += 1;
                             return Err(TxInterrupt::Restart);
                         }
@@ -173,7 +182,11 @@ impl TplWorker {
         let mem = self.sys.mem();
         let locks = self.sys.locks();
         for &v in self.held_order.iter().rev() {
-            match self.held.get(Addr(u64::from(v))).expect("held table out of sync") {
+            match self
+                .held
+                .get(Addr(u64::from(v)))
+                .expect("held table out of sync")
+            {
                 HELD_SHARED => locks.unlock_shared(mem, v),
                 HELD_EXCL => locks.unlock_exclusive(mem, v, self.id, false),
                 HELD_EXCL_WROTE => locks.unlock_exclusive(mem, v, self.id, true),
@@ -227,27 +240,43 @@ impl TxnOps for TplWorker {
 
 impl TxnWorker for TplWorker {
     fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let obs = self.sys.observer_handle();
+        let id = self.id;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match body(self) {
+            obs.attempt_begin(id);
+            match obs.run_body(self, id, body) {
                 Ok(()) => {
                     // Strict 2PL commit: writes are already in place; drop
                     // the undo log and release everything.
+                    obs.pre_commit(id);
                     self.undo.clear();
+                    // Ticket while every touched lock is still held: no
+                    // conflicting writer can publish between the tick and
+                    // our (already in-place) writes becoming permanent.
+                    obs.commit_ticketed(id, || self.sys.mem().clock_tick_pub());
                     self.release_all(false);
                     self.stats.commits += 1;
-                    return TxnOutcome { committed: true, attempts };
+                    return TxnOutcome {
+                        committed: true,
+                        attempts,
+                    };
                 }
                 Err(TxInterrupt::Restart) => {
                     self.rollback();
                     self.stats.restarts += 1;
+                    obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
                 Err(TxInterrupt::UserAbort) => {
                     self.rollback();
                     self.stats.user_aborts += 1;
-                    return TxnOutcome { committed: false, attempts };
+                    obs.abort(id, true);
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
                 }
             }
         }
@@ -321,7 +350,6 @@ mod tests {
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let sched = Arc::clone(&sched);
-                let acc = acc;
                 s.spawn(move || {
                     let mut w = sched.worker();
                     for i in 0..300u64 {
@@ -341,7 +369,9 @@ mod tests {
                 });
             }
         });
-        let total: u64 = (0..n as u64).map(|i| sys.mem().load_direct(acc.addr(i))).sum();
+        let total: u64 = (0..n as u64)
+            .map(|i| sys.mem().load_direct(acc.addr(i)))
+            .sum();
         assert_eq!(total, 100 * n as u64);
         for v in 0..n as u32 {
             assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");

@@ -156,15 +156,28 @@ mod tests {
 
     #[test]
     fn efficiency_counts_wasted_attempts() {
-        let s = SchedStats { commits: 3, restarts: 1, ..Default::default() };
+        let s = SchedStats {
+            commits: 3,
+            restarts: 1,
+            ..Default::default()
+        };
         assert!((s.efficiency() - 0.75).abs() < 1e-12);
         assert_eq!(SchedStats::default().efficiency(), 1.0);
     }
 
     #[test]
     fn merge_is_additive() {
-        let mut a = SchedStats { commits: 1, reads: 10, ..Default::default() };
-        let b = SchedStats { commits: 2, writes: 5, deadlock_victims: 1, ..Default::default() };
+        let mut a = SchedStats {
+            commits: 1,
+            reads: 10,
+            ..Default::default()
+        };
+        let b = SchedStats {
+            commits: 2,
+            writes: 5,
+            deadlock_victims: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.commits, 3);
         assert_eq!(a.reads, 10);

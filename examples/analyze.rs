@@ -36,13 +36,18 @@ fn parse_args() -> Args {
         algo: "pagerank".into(),
         sched: "tufast".into(),
         graph: "rmat:12:16".into(),
-        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
         source: 0,
         save_bin: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
         match flag.as_str() {
             "--algo" => out.algo = val("--algo"),
             "--sched" => out.sched = val("--sched"),
@@ -145,22 +150,31 @@ where
     let t0 = std::time::Instant::now();
     match args.algo.as_str() {
         "pagerank" => {
-            let built = algos::setup(g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+            let built = algos::setup(g, algos::pagerank::PageRankSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
-            let ranks = algos::pagerank::parallel(g, &sched, &built.sys, &built.space, t, 0.85, 1e-9);
+            let ranks =
+                algos::pagerank::parallel(g, &sched, &built.sys, &built.space, t, 0.85, 1e-9);
             let mut order: Vec<usize> = (0..ranks.len()).collect();
             order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
-            println!("PageRank converged in {:.1} ms; top vertices:", t0.elapsed().as_secs_f64() * 1e3);
+            println!(
+                "PageRank converged in {:.1} ms; top vertices:",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
             for &v in order.iter().take(5) {
                 println!("  vertex {v:>8}  rank {:.6}", ranks[v]);
             }
         }
         "bfs" => {
-            let built = algos::setup(g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+            let built = algos::setup(g, algos::bfs::BfsSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let dist = algos::bfs::parallel(g, &sched, &built.sys, &built.space, args.source, t);
             let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
-            let ecc = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+            let ecc = dist
+                .iter()
+                .filter(|&&d| d != u64::MAX)
+                .max()
+                .copied()
+                .unwrap_or(0);
             println!(
                 "BFS from {} in {:.1} ms: reached {reached} vertices, eccentricity {ecc}",
                 args.source,
@@ -168,7 +182,7 @@ where
             );
         }
         "wcc" => {
-            let built = algos::setup(g, |l, n| algos::wcc::WccSpace::alloc(l, n));
+            let built = algos::setup(g, algos::wcc::WccSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let labels = algos::wcc::parallel(g, &sched, &built.sys, &built.space, t);
             println!(
@@ -181,13 +195,21 @@ where
             let built = algos::setup(g, |l, _| l.alloc("unused", 1));
             let sched = ctor(Arc::clone(&built.sys));
             let count = algos::triangle::parallel(g, &sched, &built.sys, t);
-            println!("Triangles in {:.1} ms: {count}", t0.elapsed().as_secs_f64() * 1e3);
+            println!(
+                "Triangles in {:.1} ms: {count}",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
         }
         "sssp" => {
-            let built = algos::setup(g, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+            let built = algos::setup(g, algos::sssp::SsspSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let dist = algos::sssp::parallel(
-                g, &sched, &built.sys, &built.space, args.source, t,
+                g,
+                &sched,
+                &built.sys,
+                &built.space,
+                args.source,
+                t,
                 algos::sssp::QueueKind::Priority,
             );
             let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
@@ -198,15 +220,18 @@ where
             );
         }
         "mis" => {
-            let built = algos::setup(g, |l, n| algos::mis::MisSpace::alloc(l, n));
+            let built = algos::setup(g, algos::mis::MisSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let state = algos::mis::parallel(g, &sched, &built.sys, &built.space, t);
             algos::mis::validate(g, &state).expect("MIS invalid");
             let size = state.iter().filter(|&&s| s == algos::mis::IN_SET).count();
-            println!("MIS in {:.1} ms: {size} vertices (validated)", t0.elapsed().as_secs_f64() * 1e3);
+            println!(
+                "MIS in {:.1} ms: {size} vertices (validated)",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
         }
         "matching" => {
-            let built = algos::setup(g, |l, n| algos::matching::MatchingSpace::alloc(l, n));
+            let built = algos::setup(g, algos::matching::MatchingSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let m = algos::matching::parallel(g, &sched, &built.sys, &built.space, t);
             algos::matching::validate(g, &m).expect("matching invalid");
@@ -217,11 +242,14 @@ where
             );
         }
         "coloring" => {
-            let built = algos::setup(g, |l, n| algos::coloring::ColoringSpace::alloc(l, n));
+            let built = algos::setup(g, algos::coloring::ColoringSpace::alloc);
             let sched = ctor(Arc::clone(&built.sys));
             let colors = algos::coloring::parallel(g, &sched, &built.sys, &built.space, t);
             let used = algos::coloring::validate(g, &colors).expect("coloring invalid");
-            println!("Coloring in {:.1} ms: {used} colors (validated)", t0.elapsed().as_secs_f64() * 1e3);
+            println!(
+                "Coloring in {:.1} ms: {used} colors (validated)",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
         }
         other => panic!("unknown algorithm {other:?} (try --help)"),
     }

@@ -14,7 +14,9 @@ use tufast_suite::graph::{gen, stats::degree_stats, GraphBuilder};
 use tufast_suite::tufast::{ModeClass, TuFast, TuFastStats};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
 
     // A skewed graph with in-edges (PageRank pulls).
     let base = gen::rmat(14, 16, 3);
@@ -32,13 +34,16 @@ fn main() {
         100.0 * ds.htm_fit_fraction
     );
 
-    let built = setup(&g, |l, n| PageRankSpace::alloc(l, n));
+    let built = setup(&g, PageRankSpace::alloc);
     let sched = TuFast::new(Arc::clone(&built.sys));
 
     let t0 = std::time::Instant::now();
     let mut workers =
         pagerank::parallel_sweeps(&g, &sched, &built.sys, &built.space, threads, 0.85, 10);
-    println!("10 sweeps of in-place PageRank in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "10 sweeps of in-place PageRank in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let mut stats = TuFastStats::default();
     for w in &mut workers {
@@ -61,9 +66,15 @@ fn main() {
     }
     println!(
         "\nHTM: {} commits, {} conflict aborts, {} capacity aborts, {} snapshot extensions",
-        stats.htm.commits, stats.htm.aborts_conflict, stats.htm.aborts_capacity, stats.htm.extensions
+        stats.htm.commits,
+        stats.htm.aborts_conflict,
+        stats.htm.aborts_capacity,
+        stats.htm.extensions
     );
-    println!("adaptive period averaged {:.0} operations per HTM piece", stats.mean_period());
+    println!(
+        "adaptive period averaged {:.0} operations per HTM piece",
+        stats.mean_period()
+    );
 
     // Top-ranked vertices.
     let ranks: Vec<f64> = (0..g.num_vertices() as u64)
@@ -73,6 +84,11 @@ fn main() {
     order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
     println!("\ntop 5 vertices by rank:");
     for &v in order.iter().take(5) {
-        println!("  vertex {:>6}  rank {:.6}  in-degree {}", v, ranks[v], g.in_degree(v as u32));
+        println!(
+            "  vertex {:>6}  rank {:.6}  in-degree {}",
+            v,
+            ranks[v],
+            g.in_degree(v as u32)
+        );
     }
 }

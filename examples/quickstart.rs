@@ -23,7 +23,11 @@ fn main() {
         builder.add_edge(s, d);
     }
     let g = builder.symmetric().build();
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // 2. Shared transactional memory: one `match` word per vertex, plus the
     //    scheduler metadata TuFast appends (per-vertex locks etc.).
@@ -37,7 +41,9 @@ fn main() {
     let tufast = TuFast::new(Arc::clone(&sys));
 
     // 4. The paper's Figure 1, almost line for line.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     parallel_for(&tufast, threads, g.num_vertices(), |worker, v| {
         // BEGIN(degree[v])  — the optional size hint
         worker.execute(TxnSystem::neighborhood_hint(g.degree(v)), &mut |ops| {
@@ -76,5 +82,9 @@ fn main() {
             "matching must be maximal"
         );
     }
-    println!("maximal matching found: {} pairs ({} vertices matched)", pairs / 2, pairs);
+    println!(
+        "maximal matching found: {} pairs ({} vertices matched)",
+        pairs / 2,
+        pairs
+    );
 }

@@ -19,7 +19,9 @@ use tufast_suite::txn::{
 const TXNS: usize = 30_000;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let g = gen::rmat(13, 16, 11);
     println!(
         "workload: {TXNS} read-neighbourhood/write-centre transactions on a {}-vertex power-law graph, {threads} threads\n",
@@ -51,7 +53,8 @@ fn main() {
                                 w.execute(2 * (g.degree(v) + 1), &mut |ops| {
                                     let mut acc = ops.read(v, values.addr(u64::from(v)))?;
                                     for &u in g.neighbors(v) {
-                                        acc = acc.wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
+                                        acc = acc
+                                            .wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
                                     }
                                     ops.write(v, values.addr(u64::from(v)), acc)
                                 });

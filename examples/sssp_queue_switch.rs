@@ -11,22 +11,34 @@
 
 use std::sync::Arc;
 
-use tufast_suite::algos::sssp::{self, QueueKind, SsspSpace};
 use tufast_suite::algos::setup;
+use tufast_suite::algos::sssp::{self, QueueKind, SsspSpace};
 use tufast_suite::graph::gen;
 use tufast_suite::tufast::TuFast;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
 
     for (name, graph) in [
-        ("road-like grid 120x120", gen::with_random_weights(&gen::grid2d(120, 120), 100, 7)),
-        ("power-law R-MAT", gen::with_random_weights(&gen::rmat(13, 8, 9), 100, 7)),
+        (
+            "road-like grid 120x120",
+            gen::with_random_weights(&gen::grid2d(120, 120), 100, 7),
+        ),
+        (
+            "power-law R-MAT",
+            gen::with_random_weights(&gen::rmat(13, 8, 9), 100, 7),
+        ),
     ] {
-        println!("\n=== {name}: {} vertices, {} edges ===", graph.num_vertices(), graph.num_edges());
+        println!(
+            "\n=== {name}: {} vertices, {} edges ===",
+            graph.num_vertices(),
+            graph.num_edges()
+        );
         let mut results = Vec::new();
         for kind in [QueueKind::Fifo, QueueKind::Priority] {
-            let built = setup(&graph, |l, n| SsspSpace::alloc(l, n));
+            let built = setup(&graph, SsspSpace::alloc);
             let sched = TuFast::new(Arc::clone(&built.sys));
             let t0 = std::time::Instant::now();
             let dist = sssp::parallel(&graph, &sched, &built.sys, &built.space, 0, threads, kind);
@@ -53,5 +65,7 @@ fn main() {
         println!("  ✓ identical shortest-path fixpoint from both queue disciplines");
     }
     println!("\nSwitching algorithms really was just switching the queue — the transactions");
-    println!("(and the data-race reasoning) did not change at all, which is the paper's §II point.");
+    println!(
+        "(and the data-race reasoning) did not change at all, which is the paper's §II point."
+    );
 }

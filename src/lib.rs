@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the TuFast workspace; see README.md.
+#![warn(missing_docs)]
+
 pub use tufast;
 pub use tufast_algos as algos;
 pub use tufast_engines as engines;

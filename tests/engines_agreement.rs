@@ -23,7 +23,7 @@ fn symmetric_with_in(scale: u32, ef: usize, seed: u64) -> Graph {
 #[test]
 fn bfs_agrees_across_all_engines() {
     let g = symmetric_with_in(9, 6, 41);
-    let built = setup(&g, |l, n| algos::bfs::BfsSpace::alloc(l, n));
+    let built = setup(&g, algos::bfs::BfsSpace::alloc);
     let tufast = TuFast::new(Arc::clone(&built.sys));
     let tm = algos::bfs::parallel(&g, &tufast, &built.sys, &built.space, 0, THREADS);
     assert_eq!(tm, ligra::bfs(&g, 0, THREADS));
@@ -39,7 +39,7 @@ fn bfs_agrees_across_all_engines() {
 #[test]
 fn wcc_agrees_across_all_engines() {
     let g = symmetric_with_in(9, 3, 43);
-    let built = setup(&g, |l, n| algos::wcc::WccSpace::alloc(l, n));
+    let built = setup(&g, algos::wcc::WccSpace::alloc);
     let tufast = TuFast::new(Arc::clone(&built.sys));
     let tm = algos::wcc::parallel(&g, &tufast, &built.sys, &built.space, THREADS);
     assert_eq!(tm, ligra::wcc(&g, THREADS));
@@ -63,7 +63,7 @@ fn triangle_count_agrees_across_all_engines() {
 #[test]
 fn sssp_agrees_across_all_engines() {
     let g = gen::with_random_weights(&symmetric_with_in(9, 5, 51), 60, 5);
-    let built = setup(&g, |l, n| algos::sssp::SsspSpace::alloc(l, n));
+    let built = setup(&g, algos::sssp::SsspSpace::alloc);
     let tufast = TuFast::new(Arc::clone(&built.sys));
     let tm = algos::sssp::parallel(
         &g,
@@ -82,7 +82,7 @@ fn sssp_agrees_across_all_engines() {
 #[test]
 fn pagerank_fixpoints_agree_within_tolerance() {
     let g = symmetric_with_in(9, 6, 53);
-    let built = setup(&g, |l, n| algos::pagerank::PageRankSpace::alloc(l, n));
+    let built = setup(&g, algos::pagerank::PageRankSpace::alloc);
     let tufast = TuFast::new(Arc::clone(&built.sys));
     let tm = algos::pagerank::parallel(&g, &tufast, &built.sys, &built.space, THREADS, 0.85, 1e-11);
     let reference = ligra::pagerank(&g, 0.85, 1e-13, 2000, THREADS);
@@ -92,9 +92,15 @@ fn pagerank_fixpoints_agree_within_tolerance() {
         pregel::pagerank(&g, 0.85, 300, THREADS),
     ];
     for v in 0..g.num_vertices() {
-        assert!((tm[v] - reference[v]).abs() < 1e-6, "tufast vs ligra at {v}");
+        assert!(
+            (tm[v] - reference[v]).abs() < 1e-6,
+            "tufast vs ligra at {v}"
+        );
         for (i, o) in others.iter().enumerate() {
-            assert!((o[v] - reference[v]).abs() < 1e-6, "engine {i} vs ligra at {v}");
+            assert!(
+                (o[v] - reference[v]).abs() < 1e-6,
+                "engine {i} vs ligra at {v}"
+            );
         }
     }
 }
@@ -102,7 +108,7 @@ fn pagerank_fixpoints_agree_within_tolerance() {
 #[test]
 fn mis_agrees_across_engines_with_deterministic_greedy() {
     let g = symmetric_with_in(9, 5, 59);
-    let built = setup(&g, |l, n| algos::mis::MisSpace::alloc(l, n));
+    let built = setup(&g, algos::mis::MisSpace::alloc);
     let tufast = TuFast::new(Arc::clone(&built.sys));
     let tm = algos::mis::parallel(&g, &tufast, &built.sys, &built.space, THREADS);
     assert_eq!(tm, ligra::mis(&g, THREADS));

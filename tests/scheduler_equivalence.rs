@@ -51,10 +51,24 @@ macro_rules! for_all_schedulers {
         let expected = $expected;
         check_one("TuFast", g, $alloc, TuFast::new, $run, &expected);
         check_one("2PL", g, $alloc, TwoPhaseLocking::new, $run, &expected);
-        check_one("2PL-ordered", g, $alloc, TwoPhaseLocking::new_ordered, $run, &expected);
+        check_one(
+            "2PL-ordered",
+            g,
+            $alloc,
+            TwoPhaseLocking::new_ordered,
+            $run,
+            &expected,
+        );
         check_one("OCC", g, $alloc, Occ::new, $run, &expected);
         check_one("TO", g, $alloc, TimestampOrdering::new, $run, &expected);
-        check_one("STM", g, $alloc, |sys| SoftwareTm::with_penalty(sys, 0), $run, &expected);
+        check_one(
+            "STM",
+            g,
+            $alloc,
+            |sys| SoftwareTm::with_penalty(sys, 0),
+            $run,
+            &expected,
+        );
         check_one("HSync", g, $alloc, HSyncLike::new, $run, &expected);
         check_one("H-TO", g, $alloc, HTimestampOrdering::new, $run, &expected);
     }};
@@ -66,7 +80,7 @@ fn bfs_is_identical_across_schedulers() {
     let expected = bfs::sequential(&g, 0);
     for_all_schedulers!(
         g,
-        |l, n| bfs::BfsSpace::alloc(l, n),
+        bfs::BfsSpace::alloc,
         |g, sched, built| bfs::parallel(g, sched, &built.sys, &built.space, 0, THREADS),
         expected
     );
@@ -78,7 +92,7 @@ fn wcc_is_identical_across_schedulers() {
     let expected = wcc::sequential(&g);
     for_all_schedulers!(
         g,
-        |l, n| wcc::WccSpace::alloc(l, n),
+        wcc::WccSpace::alloc,
         |g, sched, built| wcc::parallel(g, sched, &built.sys, &built.space, THREADS),
         expected
     );
@@ -90,9 +104,17 @@ fn sssp_is_identical_across_schedulers() {
     let expected = sssp::sequential(&g, 0);
     for_all_schedulers!(
         g,
-        |l, n| sssp::SsspSpace::alloc(l, n),
+        sssp::SsspSpace::alloc,
         |g, sched, built| {
-            sssp::parallel(g, sched, &built.sys, &built.space, 0, THREADS, sssp::QueueKind::Fifo)
+            sssp::parallel(
+                g,
+                sched,
+                &built.sys,
+                &built.space,
+                0,
+                THREADS,
+                sssp::QueueKind::Fifo,
+            )
         },
         expected
     );
@@ -104,7 +126,7 @@ fn mis_is_identical_across_schedulers() {
     let expected = mis::sequential(&g);
     for_all_schedulers!(
         g,
-        |l, n| mis::MisSpace::alloc(l, n),
+        mis::MisSpace::alloc,
         |g, sched, built| mis::parallel(g, sched, &built.sys, &built.space, THREADS),
         expected
     );
@@ -116,7 +138,7 @@ fn coloring_is_identical_across_schedulers() {
     let expected = coloring::sequential(&g);
     for_all_schedulers!(
         g,
-        |l, n| coloring::ColoringSpace::alloc(l, n),
+        coloring::ColoringSpace::alloc,
         |g, sched, built| coloring::parallel(g, sched, &built.sys, &built.space, THREADS),
         expected
     );
@@ -126,8 +148,12 @@ fn coloring_is_identical_across_schedulers() {
 fn matching_is_valid_under_every_scheduler() {
     // Matching is nondeterministic (any maximal matching is acceptable),
     // so validate structure instead of comparing outputs.
-    fn check_matching<S: GraphScheduler>(name: &str, g: &Graph, ctor: impl FnOnce(Arc<TxnSystem>) -> S) {
-        let built = setup(g, |l, n| matching::MatchingSpace::alloc(l, n));
+    fn check_matching<S: GraphScheduler>(
+        name: &str,
+        g: &Graph,
+        ctor: impl FnOnce(Arc<TxnSystem>) -> S,
+    ) {
+        let built = setup(g, matching::MatchingSpace::alloc);
         let sched = ctor(Arc::clone(&built.sys));
         let m = matching::parallel(g, &sched, &built.sys, &built.space, THREADS);
         matching::validate(g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -1,20 +1,28 @@
 //! Property-based serializability checks: random transactional workloads
-//! run concurrently under every scheduler must leave the shared state in a
-//! serially-explainable configuration.
+//! run concurrently under every scheduler must produce
+//! conflict-serializable histories.
 //!
-//! The oracle is an *invariant*, not a specific serial order: every
-//! transaction transfers value between cells, preserving the global sum —
-//! any serializable execution preserves it exactly; lost updates, dirty
-//! reads, or torn commits break it.
+//! Two oracles, cheapest first:
+//!
+//! 1. The *transfer invariant*: every transaction moves value between
+//!    cells, preserving the global sum — any serializable execution
+//!    preserves it exactly; lost updates, dirty reads, or torn commits
+//!    usually break it.
+//! 2. The `tufast-check` *DSG checker*: a [`Recorder`] observes every
+//!    read, write, and commit ticket through the `observe` hooks, and the
+//!    checker rebuilds the direct serialization graph and rejects cycles
+//!    and read anomalies. This catches serializability violations that
+//!    happen to preserve the sum (e.g. two lost updates that cancel).
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use tufast_check::{check, Recorder};
 use tufast_suite::htm::MemoryLayout;
 use tufast_suite::tufast::TuFast;
 use tufast_suite::txn::{
     GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm, TimestampOrdering,
-    TwoPhaseLocking, TxnSystem, TxnWorker, VertexId,
+    TwoPhaseLocking, TxnObserver, TxnSystem, TxnWorker, VertexId,
 };
 
 /// One randomly generated transfer: move `amount` from each `src` to the
@@ -35,15 +43,20 @@ fn transfer_strategy(cells: u32) -> impl Strategy<Value = Transfer> {
 const CELLS: u32 = 12;
 const INITIAL: u64 = 1_000;
 
+/// Run `transfers` under the scheduler `make` builds, with a history
+/// recorder attached; return the final cell values and the recorded
+/// history.
 fn run_workload<S: GraphScheduler>(
     make: impl FnOnce(Arc<TxnSystem>) -> S,
     transfers: &[Transfer],
     threads: usize,
-) -> Vec<u64> {
+) -> (Vec<u64>, tufast_check::History) {
     let mut layout = MemoryLayout::new();
     let cells = layout.alloc("cells", u64::from(CELLS));
     let sys = TxnSystem::with_defaults(CELLS as usize, layout);
     sys.mem().fill_region(&cells, INITIAL);
+    let rec = Arc::new(Recorder::new());
+    sys.set_observer(Some(Arc::clone(&rec) as Arc<dyn TxnObserver>));
     let sched = make(Arc::clone(&sys));
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
@@ -70,67 +83,87 @@ fn run_workload<S: GraphScheduler>(
             });
         }
     });
-    sys.mem().snapshot_region(&cells)
+    sys.set_observer(None);
+    let mut history = rec.take_history();
+    // Every cell starts at INITIAL: reads of that value may predate any
+    // write and are treated as ambiguous by the checker.
+    history.initial = INITIAL;
+    (sys.mem().snapshot_region(&cells), history)
 }
 
 fn total(cells: &[u64]) -> u64 {
     cells.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
 }
 
+/// Both oracles: the cheap sum invariant first, then the DSG checker.
+fn assert_serializable(cells: &[u64], history: &tufast_check::History) {
+    assert_eq!(total(cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    let report = check(history);
+    assert!(
+        report.ok(),
+        "DSG checker rejected the history: cycle={:?} anomalies={:?}",
+        report.cycle,
+        report.anomalies
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
     #[test]
-    fn tufast_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
-        let cells = run_workload(TuFast::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn tufast_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let (cells, h) = run_workload(TuFast::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn occ_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
-        let cells = run_workload(Occ::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn occ_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let (cells, h) = run_workload(Occ::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn tpl_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
-        let cells = run_workload(TwoPhaseLocking::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn tpl_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..80)) {
+        let (cells, h) = run_workload(TwoPhaseLocking::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn to_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
-        let cells = run_workload(TimestampOrdering::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn to_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let (cells, h) = run_workload(TimestampOrdering::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn stm_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
-        let cells = run_workload(|sys| SoftwareTm::with_penalty(sys, 0), &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn stm_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let (cells, h) = run_workload(|sys| SoftwareTm::with_penalty(sys, 0), &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn hsync_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
-        let cells = run_workload(HSyncLike::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn hsync_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let (cells, h) = run_workload(HSyncLike::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 
     #[test]
-    fn hto_preserves_the_transfer_invariant(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
-        let cells = run_workload(HTimestampOrdering::new, &transfers, 4);
-        prop_assert_eq!(total(&cells), INITIAL.wrapping_mul(u64::from(CELLS)));
+    fn hto_is_serializable(transfers in prop::collection::vec(transfer_strategy(CELLS), 1..60)) {
+        let (cells, h) = run_workload(HTimestampOrdering::new, &transfers, 4);
+        assert_serializable(&cells, &h);
     }
 }
 
 /// Deterministic single-thread sanity path: with one thread the result
-/// must equal the sequential application of all transfers in order.
+/// must equal the sequential application of all transfers in order, and
+/// the recorded history must be trivially serializable.
 #[test]
 fn single_threaded_matches_sequential_application() {
     let transfers: Vec<Transfer> = (0..50)
-        .map(|i| Transfer { hops: vec![((i % CELLS), ((i + 3) % CELLS), u64::from(i % 7 + 1))] })
+        .map(|i| Transfer {
+            hops: vec![((i % CELLS), ((i + 3) % CELLS), u64::from(i % 7 + 1))],
+        })
         .collect();
-    let got = run_workload(TuFast::new, &transfers, 1);
+    let (got, history) = run_workload(TuFast::new, &transfers, 1);
     let mut expected = vec![INITIAL; CELLS as usize];
     for t in &transfers {
         for &(src, dst, amount) in &t.hops {
@@ -139,4 +172,6 @@ fn single_threaded_matches_sequential_application() {
         }
     }
     assert_eq!(got, expected);
+    assert_eq!(history.committed_count(), transfers.len());
+    check(&history).assert_ok();
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use tufast_suite::graph::{gen, stats::footprint_words, GraphBuilder};
 use tufast_suite::htm::MemoryLayout;
 use tufast_suite::tufast::{ModeClass, TuFast, TuFastStats};
-use tufast_suite::txn::{GraphScheduler, TxnOps, TxnSystem, TxnWorker};
+use tufast_suite::txn::{GraphScheduler, TxnSystem, TxnWorker};
 
 /// A graph with three deliberate degree bands: many leaves (degree ≤ 8),
 /// a mid band (~degree 3000, beyond the 4096-word H hint), and one giant
@@ -67,13 +67,21 @@ fn degree_bands_route_to_the_intended_modes() {
     run_neighborhood(hub);
 
     let stats = worker.take_tufast_stats();
-    assert_eq!(stats.modes.txns(ModeClass::H), 64, "leaves must commit in H mode");
+    assert_eq!(
+        stats.modes.txns(ModeClass::H),
+        64,
+        "leaves must commit in H mode"
+    );
     assert_eq!(
         stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus),
         1,
         "the mid-degree vertex must commit in O mode"
     );
-    assert_eq!(stats.modes.txns(ModeClass::L), 1, "the hub must go straight to L mode");
+    assert_eq!(
+        stats.modes.txns(ModeClass::L),
+        1,
+        "the hub must go straight to L mode"
+    );
     assert_eq!(stats.modes.txns(ModeClass::O2L), 0);
 }
 
@@ -87,16 +95,17 @@ fn power_law_workload_is_dominated_by_h_mode_transactions() {
     let sys = TxnSystem::with_defaults(g.num_vertices(), layout);
     let tufast = TuFast::new(Arc::clone(&sys));
 
-    let workers = tufast_suite::tufast::par::parallel_for(&tufast, 4, g.num_vertices(), |worker, v| {
-        let hint = TxnSystem::neighborhood_hint(g.degree(v));
-        worker.execute(hint, &mut |ops| {
-            let mut acc = ops.read(v, values.addr(u64::from(v)))?;
-            for &u in g.neighbors(v) {
-                acc = acc.wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
-            }
-            ops.write(v, values.addr(u64::from(v)), acc)
+    let workers =
+        tufast_suite::tufast::par::parallel_for(&tufast, 4, g.num_vertices(), |worker, v| {
+            let hint = TxnSystem::neighborhood_hint(g.degree(v));
+            worker.execute(hint, &mut |ops| {
+                let mut acc = ops.read(v, values.addr(u64::from(v)))?;
+                for &u in g.neighbors(v) {
+                    acc = acc.wrapping_add(ops.read(u, values.addr(u64::from(u)))?);
+                }
+                ops.write(v, values.addr(u64::from(v)), acc)
+            });
         });
-    });
     let mut stats = TuFastStats::default();
     let mut workers = workers;
     for w in &mut workers {
@@ -108,7 +117,10 @@ fn power_law_workload_is_dominated_by_h_mode_transactions() {
     // vertices, some small ones land in O after conflict-retry exhaustion
     // under 4 threads. "Dominates" = clear majority, not near-unanimity.
     let h_share = stats.modes.txns(ModeClass::H) as f64 / total as f64;
-    assert!(h_share > 0.75, "H-mode txn share {h_share} should dominate on power-law graphs");
+    assert!(
+        h_share > 0.75,
+        "H-mode txn share {h_share} should dominate on power-law graphs"
+    );
     // And the sum of classes accounts for everything.
     let sum: u64 = ModeClass::ALL.iter().map(|&c| stats.modes.txns(c)).sum();
     assert_eq!(sum, total);

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the subset of criterion the benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical engine it runs a short calibration pass followed by a
+//! fixed measurement window and prints mean ns/iter — good enough to
+//! compare design variants locally; not a substitute for the real
+//! criterion when publishing numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for criterion API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let (warm_up, measurement, samples) = (self.warm_up, self.measurement, self.sample_size);
+        run_bench(&id.into(), warm_up, measurement, samples, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(
+            &label,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            samples,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mut f: F,
+) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // costs ~1/8 of the warm-up budget (also serves as the warm-up).
+    let mut iters: u64 = 1;
+    let calibration_floor = (warm_up / 8).max(Duration::from_micros(200));
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= calibration_floor || iters >= 1 << 40 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Measure: run up to `samples` samples within the measurement budget.
+    let mut total_iters: u64 = 0;
+    let mut total_time = Duration::ZERO;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += iters;
+        total_time += b.elapsed;
+        if total_time >= measurement {
+            break;
+        }
+    }
+    let ns_per_iter = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench {label:<40} {ns_per_iter:>12.1} ns/iter ({total_iters} iters)");
+}
+
+/// Collect benchmark functions into a named runner, mirroring
+/// criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        let mut hits = 0u64;
+        group.bench_function("noop", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Runner configuration.
+
+/// Configuration accepted by `#![proptest_config(...)]`, mirroring the
+/// fields of the real `ProptestConfig` that the workspace sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented, so
+    /// this is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Shorthand constructor matching the real crate.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}

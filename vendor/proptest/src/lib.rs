@@ -1,0 +1,274 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal, API-compatible subset of proptest: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_filter`, range / tuple /
+//! collection strategies, [`arbitrary::any`], `prop_assert!` /
+//! `prop_assert_eq!`, and [`config::ProptestConfig`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the assertion message
+//!   and the case's seed; rerun with `PROPTEST_SEED=<seed>` to reproduce.
+//! - **Deterministic by default.** Cases derive from a fixed seed (or
+//!   `PROPTEST_SEED`), so CI runs are reproducible.
+//! - `prop_assert!` maps to `assert!` (panic, not early return).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod strategy;
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below_range(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from
+    /// `size` (best effort: duplicates shrink the result, as in the
+    /// real crate when the element domain is small).
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate hash sets whose elements come from `element`.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng
+                .below_range(self.size.start, self.size.end)
+                .max(self.size.start);
+            let mut out = HashSet::with_capacity(target);
+            // Bounded attempts so tiny element domains cannot loop forever.
+            let mut budget = target * 8 + 16;
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+}
+
+/// `any::<T>()` support for the handful of types the workspace uses.
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a full-domain uniform strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw a uniform value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform strategy over all of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The prelude: `use proptest::prelude::*;` as in the real crate.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+pub use runner::TestRunner;
+
+/// Per-test driver used by the expansion of [`proptest!`].
+pub mod runner {
+    use crate::config::ProptestConfig;
+    use crate::strategy::TestRng;
+
+    /// Runs the configured number of generated cases for one test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        base_seed: u64,
+        name: &'static str,
+        case: u64,
+    }
+
+    impl TestRunner {
+        /// Build a runner for the named test. `PROPTEST_SEED` (decimal
+        /// or `0x`-hex) overrides the fixed default seed.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let base_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| {
+                    let s = s.trim();
+                    if let Some(hex) = s.strip_prefix("0x") {
+                        u64::from_str_radix(hex, 16).ok()
+                    } else {
+                        s.parse().ok()
+                    }
+                })
+                .unwrap_or(0x70_72_6F_70_74_65_73_74); // "proptest"
+            TestRunner {
+                cases: config.cases,
+                base_seed,
+                name,
+                case: 0,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// RNG for the next case, derived from the base seed, the test
+        /// name, and the case index.
+        pub fn next_rng(&mut self) -> TestRng {
+            let mut h = self.base_seed ^ 0x9E37_79B9_7F4A_7C15;
+            for b in self.name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+            }
+            let rng =
+                TestRng::from_seed(h.wrapping_add(self.case.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+            self.case += 1;
+            rng
+        }
+    }
+}
+
+/// Assert a condition inside a property (panics on failure, like
+/// `assert!` — this stub has no shrinking to resume).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports the same surface the workspace uses:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+///     /// Doc comment.
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(any::<u64>(), 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                for _ in 0..runner.cases() {
+                    let mut rng = runner.next_rng();
+                    let seed = rng.seed();
+                    let run = || {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        )+
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case failed (test {}, seed {seed}; rerun with PROPTEST_SEED={seed})",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::config::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors a minimal, API-compatible subset of `rand` 0.9: the
+//! [`Rng`] and [`SeedableRng`] traits, [`rngs::SmallRng`], `random()` and
+//! `random_range()`. The generator is a fixed xorshift64* — deterministic
+//! across platforms, which is exactly what the test suite and the
+//! schedule explorer want. Statistical quality is good enough for
+//! workload generation and abort injection; this is **not** a
+//! cryptographic or research-grade RNG.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly by [`Rng::random`].
+pub trait FromRandom: Sized {
+    /// Derive a sample of `Self` from one raw 64-bit draw.
+    fn from_random(bits: u64) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits, like rand's `Standard`.
+    fn from_random(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Object-safe core of the generator: one raw 64-bit draw.
+pub trait RngCore {
+    /// Produce the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Random-value convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a uniform value of `T` (`f64` is uniform in `[0, 1)`).
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_random(self.next_u64())
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    ///
+    /// Uses simple modulo reduction; the bias is negligible for the
+    /// small spans the workspace draws and keeps the stub tiny.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (xorshift64* with a
+    /// splitmix64-scrambled seed).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 finalizer so that nearby seeds diverge and a
+            // zero seed does not collapse the xorshift state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            let u = r.random_range(3u32..17);
+            assert!((3..17).contains(&u));
+            let v = r.random_range(0usize..=4);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+}

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use tufast::{ModeClass, TuFast};
 use tufast_bench::datasets::dataset;
-use tufast_bench::harness::{banner, parse_args, Table};
+use tufast_bench::harness::{banner, parse_args, print_robustness, Table};
 use tufast_bench::workloads::{run_micro, setup_micro, uniform_picker, MicroWorkload};
 
 fn main() {
@@ -70,5 +70,6 @@ fn main() {
             stats.htm.aborts_spurious,
             stats.sched.restarts,
         );
+        print_robustness(&stats);
     }
 }

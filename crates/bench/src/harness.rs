@@ -136,6 +136,40 @@ pub fn fmt_rate(per_sec: f64) -> String {
     }
 }
 
+/// Print a TuFast run's robustness and degradation counters: the
+/// liveness ladder's serial fallbacks, degraded-mode routing decisions,
+/// contained body panics, and injected-fault totals (nonzero only when a
+/// fault plan is active under the `faults` feature).
+pub fn print_robustness(stats: &tufast::TuFastStats) {
+    println!(
+        "  robustness: serial-fallback commits={} degraded-H skips={} HTM-off txns={}",
+        stats.serial_commits, stats.degraded_h_skips, stats.htm_off_txns,
+    );
+    println!(
+        "  faults: injected={} contained panics={} deadlock victims={} wait-budget victims={}",
+        stats.sched.injected_faults,
+        stats.sched.panics,
+        stats.sched.deadlock_victims,
+        stats.sched.anon_wait_victims,
+    );
+}
+
+/// Print a fault plan's per-kind injection counters — for chaos-mode
+/// runs that installed a [`tufast_txn::FaultPlan`] (counters stay zero
+/// unless the `faults` feature compiled the probes in).
+pub fn print_fault_plan(plan: &tufast_txn::FaultPlan) {
+    let by_kind = plan.injected_by_kind();
+    if by_kind.is_empty() {
+        println!("  injected faults: none");
+    } else {
+        let parts: Vec<String> = by_kind
+            .iter()
+            .map(|(kind, n)| format!("{}={n}", kind.label()))
+            .collect();
+        println!("  injected faults: {}", parts.join(" "));
+    }
+}
+
 /// Standard experiment banner.
 pub fn banner(figure: &str, description: &str, expectation: &str) {
     println!("================================================================");

@@ -15,14 +15,23 @@
 //!    adversarial abort-injection schedules), runs small conflicting
 //!    workloads under every scheduler, and feeds each resulting history
 //!    to the checker.
+//! 3. [`chaos`] (feature `faults`, on by default): seeded fault-plan
+//!    runs — abort storms, lock chaos, forced validation failures,
+//!    HTM-unavailable — asserting every scheduler terminates with all
+//!    transactions committed and a serializable history, plus a
+//!    panicking-body probe for clean panic containment.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "faults")]
+pub mod chaos;
 pub mod dsg;
 pub mod explore;
 pub mod history;
 
+#[cfg(feature = "faults")]
+pub use chaos::{panic_probe, ChaosOutcome, ChaosPlan, ChaosRunner};
 pub use dsg::{check, Anomaly, CheckReport, DepEdge, EdgeKind};
 pub use explore::{ExploreOutcome, Explorer, Schedule, SchedulerKind, WorkloadSpec};
 pub use history::{History, Recorder, TxnRecord};

@@ -47,6 +47,12 @@ pub struct TuFastConfig {
     /// vertices in ascending id order — true for the iterate-my-neighbours
     /// pattern over sorted adjacency.
     pub ordered_l_mode: bool,
+    /// L-mode attempts before the router escalates to the global
+    /// serial-fallback token (a stop-the-world single-writer commit that
+    /// guarantees liveness even under adversarial fault injection). High
+    /// enough that ordinary contention never reaches it; low enough that a
+    /// sabotaged worker escalates promptly.
+    pub l_attempt_budget: u32,
     /// **Test-only**: skip O-mode commit-time read validation entirely.
     ///
     /// This deliberately breaks serializability (classic lost updates). It
@@ -70,6 +76,7 @@ impl Default for TuFastConfig {
             static_period: 1000,
             value_validation: false,
             ordered_l_mode: false,
+            l_attempt_budget: 64,
             test_skip_o_validation: false,
         }
     }
@@ -92,6 +99,10 @@ impl TuFastConfig {
             "at least one H attempt is required to enter H mode"
         );
         assert!(self.o_retries >= 1);
+        assert!(
+            self.l_attempt_budget >= 1,
+            "at least one L attempt is required before the serial fallback"
+        );
         assert!(self.min_period >= 1);
         assert!(self.max_period >= self.min_period);
         assert!(self.o_max_hint_words >= self.h_max_hint_words);

@@ -28,6 +28,9 @@ pub(crate) enum HAttempt {
     UserAborted,
     /// HTM abort (subscription failures arrive as `Explicit(ABORT_LOCK_BUSY)`).
     Aborted(AbortCode),
+    /// The body panicked; the hardware transaction was aborted (so nothing
+    /// speculative survives) and the caller must re-raise the panic.
+    Panicked,
 }
 
 /// Reusable per-worker H-mode state (hoisted out of the per-attempt path:
@@ -188,6 +191,12 @@ pub(crate) fn attempt(
                 ctx.abort_explicit(0xBF);
             }
             HAttempt::UserAborted
+        }
+        Err(TxInterrupt::Panicked) => {
+            if ctx.in_tx() {
+                ctx.abort_explicit(0xBE);
+            }
+            HAttempt::Panicked
         }
     }
 }

@@ -16,12 +16,21 @@
 const ALPHA: f64 = 0.2;
 /// Operations to accumulate before folding a window into the EWMA.
 const WINDOW_OPS: u64 = 256;
+/// EWMA weight of one H-mode outcome observation.
+const H_ALPHA: f64 = 0.1;
+/// Smoothed H-failure rate above which entering H mode is judged futile.
+const H_FUTILE_THRESHOLD: f64 = 0.95;
 
 /// Per-worker contention monitor.
 #[derive(Clone, Debug)]
 pub struct ContentionMonitor {
     /// Smoothed per-operation abort probability.
     p: f64,
+    /// Smoothed H-mode entry failure rate (an entry "fails" when it ends
+    /// in O/L instead of an H commit). Drives graceful degradation: under
+    /// persistent capacity or spurious-abort storms the router stops
+    /// burning H retries on every transaction.
+    h_fail: f64,
     window_ops: u64,
     window_aborts: u64,
     min_period: u32,
@@ -34,6 +43,7 @@ impl ContentionMonitor {
         ContentionMonitor {
             // Optimistic prior: roughly one abort per max-size piece.
             p: 1.0 / f64::from(max_period.max(2)),
+            h_fail: 0.0,
             window_ops: 0,
             window_aborts: 0,
             min_period,
@@ -57,6 +67,27 @@ impl ContentionMonitor {
     /// Current smoothed per-operation abort probability.
     pub fn p(&self) -> f64 {
         self.p
+    }
+
+    /// Record the outcome of one H-mode entry: `committed` is whether the
+    /// transaction ultimately committed in H (as opposed to falling through
+    /// to O or L).
+    pub fn observe_h(&mut self, committed: bool) {
+        let sample = if committed { 0.0 } else { 1.0 };
+        self.h_fail = (1.0 - H_ALPHA) * self.h_fail + H_ALPHA * sample;
+    }
+
+    /// Whether entering H mode currently looks futile (persistent failure
+    /// of H entries — e.g. a spurious-abort storm or an HTM capacity
+    /// regime this workload always overflows). The router should skip H
+    /// and reprobe occasionally so recovery is detected.
+    pub fn h_futile(&self) -> bool {
+        self.h_fail > H_FUTILE_THRESHOLD
+    }
+
+    /// Current smoothed H-mode entry failure rate.
+    pub fn h_fail_rate(&self) -> f64 {
+        self.h_fail
     }
 
     /// The `period` maximising expected committed work under the current
@@ -125,6 +156,28 @@ mod tests {
                 "p={p}"
             );
         }
+    }
+
+    #[test]
+    fn h_futility_needs_persistent_failure_and_recovers() {
+        let mut m = ContentionMonitor::new(1, 4096);
+        assert!(!m.h_futile());
+        // A few failures among successes: not futile.
+        for _ in 0..10 {
+            m.observe_h(false);
+            m.observe_h(true);
+        }
+        assert!(!m.h_futile());
+        // A long unbroken failure streak: futile.
+        for _ in 0..64 {
+            m.observe_h(false);
+        }
+        assert!(m.h_futile());
+        // Successful reprobes pull it back out of degraded mode.
+        for _ in 0..64 {
+            m.observe_h(true);
+        }
+        assert!(!m.h_futile());
     }
 
     #[test]

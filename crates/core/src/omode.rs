@@ -44,6 +44,9 @@ pub(crate) enum OAttempt {
     },
     /// The body called `user_abort`.
     UserAborted,
+    /// The body panicked; every open HTM piece was aborted and the
+    /// workspace discarded. The caller must re-raise the panic.
+    Panicked,
     /// Attempt failed; the router halves `period` and retries.
     Failed {
         /// The failure cause.
@@ -148,7 +151,12 @@ impl<'a> OModeOps<'a> {
             Ok(()) => {}
             Err(code) => return Err(self.fail(OFailCode::Htm(code))),
         }
-        self.ctx.begin().expect("piece begin after commit");
+        // The only begin failure outside a transaction is the runtime HTM
+        // switch flipping off between pieces; fail the attempt so the
+        // router escalates to L.
+        if self.ctx.begin().is_err() {
+            return Err(self.fail(OFailCode::Htm(AbortCode::Conflict)));
+        }
         self.piece_ops = 0;
         self.pieces += 1;
         Ok(())
@@ -248,6 +256,12 @@ pub(crate) fn attempt(
                 ctx.abort_explicit(0xCF);
             }
             return OAttempt::UserAborted;
+        }
+        Err(TxInterrupt::Panicked) => {
+            if ctx.in_tx() {
+                ctx.abort_explicit(0xCE);
+            }
+            return OAttempt::Panicked;
         }
     }
 

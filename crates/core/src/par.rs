@@ -44,7 +44,9 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_for worker panicked"))
+            // Re-raise a worker panic with its original payload (a body
+            // panic unwinds through the scheduler after clean rollback).
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     })
 }
@@ -197,8 +199,13 @@ where
                         match pool.pop() {
                             Some(v) => {
                                 idle_spins = 0;
+                                // `done()` must run even if `f` panics —
+                                // otherwise the in-flight count never drops
+                                // and the surviving peers spin forever
+                                // waiting for quiescence.
+                                let guard = DoneGuard(pool);
                                 f(&mut worker, pool, v);
-                                pool.done();
+                                drop(guard);
                             }
                             None => {
                                 if pool.pending() == 0 {
@@ -219,9 +226,20 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_drain worker panicked"))
+            // Re-raise a worker panic with its original payload.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     })
+}
+
+/// Calls [`WorkPool::done`] on drop so the in-flight count stays accurate
+/// across unwinding.
+struct DoneGuard<'a, P: WorkPool>(&'a P);
+
+impl<P: WorkPool> Drop for DoneGuard<'_, P> {
+    fn drop(&mut self) {
+        self.0.done();
+    }
 }
 
 #[cfg(test)]

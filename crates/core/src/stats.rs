@@ -109,6 +109,15 @@ pub struct TuFastStats {
     pub period_sum: u64,
     /// Number of O-mode entries contributing to `period_sum`.
     pub period_samples: u64,
+    /// Transactions committed via the global serial-fallback token (the
+    /// stop-the-world single-writer backstop after the L attempt budget).
+    pub serial_commits: u64,
+    /// H-mode entries skipped because the contention monitor judged H
+    /// futile (persistent capacity/spurious failure — degraded mode).
+    pub degraded_h_skips: u64,
+    /// Transactions routed straight to L because the runtime HTM switch
+    /// was off at entry.
+    pub htm_off_txns: u64,
 }
 
 impl TuFastStats {
@@ -128,6 +137,9 @@ impl TuFastStats {
         self.htm.merge(&other.htm);
         self.period_sum += other.period_sum;
         self.period_samples += other.period_samples;
+        self.serial_commits += other.serial_commits;
+        self.degraded_h_skips += other.degraded_h_skips;
+        self.htm_off_txns += other.htm_off_txns;
     }
 }
 

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use tufast_htm::AbortCode;
 use tufast_txn::{
-    GraphScheduler, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome, TxnSystem, TxnWorker,
+    FaultHandle, GraphScheduler, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome, TxnSystem,
+    TxnWorker,
 };
 
 use crate::config::TuFastConfig;
@@ -12,6 +13,10 @@ use crate::hmode::{self, HAttempt, HScratch};
 use crate::monitor::ContentionMonitor;
 use crate::omode::{self, OAttempt, OFailCode, OScratch};
 use crate::stats::{ModeClass, TuFastStats};
+
+/// While H is judged futile, every `H_REPROBE_INTERVAL`-th otherwise
+/// H-eligible transaction still tries H so recovery is detected.
+const H_REPROBE_INTERVAL: u32 = 64;
 
 /// The TuFast hybrid transactional memory.
 ///
@@ -56,8 +61,11 @@ impl GraphScheduler for TuFast {
             TwoPhaseLocking::new(Arc::clone(&self.sys))
         };
         let l_worker = l_sched.worker();
+        let me = self.sys.new_worker_id();
         TuFastWorker {
-            me: self.sys.new_worker_id(),
+            me,
+            faults: self.sys.fault_handle(me),
+            h_skip_streak: 0,
             ctx: self.sys.htm_ctx(),
             monitor: ContentionMonitor::new(self.config.min_period, self.config.max_period),
             l_worker,
@@ -82,6 +90,10 @@ pub struct TuFastWorker {
     sys: Arc<TxnSystem>,
     config: TuFastConfig,
     me: u32,
+    faults: FaultHandle,
+    /// Consecutive H-eligible transactions skipped in degraded mode
+    /// (drives the periodic reprobe).
+    h_skip_streak: u32,
     ctx: tufast_htm::HtmCtx,
     monitor: ContentionMonitor,
     l_worker: <TwoPhaseLocking as GraphScheduler>::Worker,
@@ -131,6 +143,11 @@ impl TuFastWorker {
     }
 
     /// Run in L mode, folding its per-transaction ops into `class`.
+    ///
+    /// L is attempt-bounded ([`TuFastConfig::l_attempt_budget`]); a
+    /// transaction that exhausts the budget without committing (and
+    /// without a user abort) escalates to [`Self::serial_commit`] — the
+    /// last rung of the liveness ladder, which cannot fail.
     fn run_l(
         &mut self,
         hint: usize,
@@ -138,13 +155,67 @@ impl TuFastWorker {
         attempts_so_far: u32,
         body: &mut TxnBody<'_>,
     ) -> TxnOutcome {
-        let out = self.l_worker.execute(hint, body);
+        let out = self
+            .l_worker
+            .execute_bounded(self.config.l_attempt_budget, body);
         // Drain the inner 2PL worker's counters into ours immediately, so
         // `stats()` is always complete and nothing is counted twice.
         let delta = self.l_worker.take_stats();
         let ops = delta.reads + delta.writes;
+        let user_aborted = delta.user_aborts > 0;
         self.stats.sched.merge(&delta);
         if out.committed {
+            self.stats.modes.record(class, ops);
+        }
+        if out.committed || user_aborted {
+            return TxnOutcome {
+                committed: out.committed,
+                attempts: attempts_so_far + out.attempts,
+            };
+        }
+        // Budget exhausted: everything is rolled back and no locks are
+        // held, so spinning on the token below cannot deadlock.
+        self.serial_commit(hint, class, attempts_so_far + out.attempts, body)
+    }
+
+    /// Stop-the-world single-writer commit: acquire the global serial
+    /// token, run the body in L mode with fault injection exempted and no
+    /// attempt bound, then release the token.
+    ///
+    /// While the token is held, [`TuFastWorker::execute`] entry pauses, so
+    /// the system drains towards a single writer; in-flight peers either
+    /// finish or exhaust their own L budgets and queue here lock-free.
+    /// With at most one non-exempt-free writer making unbounded attempts
+    /// and deadlock detection still active underneath, this rung commits
+    /// every body that does not user-abort.
+    fn serial_commit(
+        &mut self,
+        hint: usize,
+        class: ModeClass,
+        attempts_so_far: u32,
+        body: &mut TxnBody<'_>,
+    ) -> TxnOutcome {
+        let token = self.sys.serial_token();
+        let mem = self.sys.mem();
+        let claim = u64::from(self.me) + 1;
+        let mut spins = 0u32;
+        while mem.cas_direct(token, 0, claim).is_err() {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(256) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.l_worker.set_fault_exempt(true);
+        let out = self.l_worker.execute(hint, body);
+        self.l_worker.set_fault_exempt(false);
+        mem.store_direct(token, 0);
+        let delta = self.l_worker.take_stats();
+        let ops = delta.reads + delta.writes;
+        self.stats.sched.merge(&delta);
+        if out.committed {
+            self.stats.serial_commits += 1;
             self.stats.modes.record(class, ops);
         }
         TxnOutcome {
@@ -160,6 +231,23 @@ impl TxnWorker for TuFastWorker {
         let hint = size_hint.max(1);
         let mut attempts = 0u32;
 
+        // Stop-the-world gate: while a serial-fallback holder is
+        // committing, newly arriving transactions pause here (holding
+        // nothing), so the system drains towards a single writer.
+        let token = self.sys.serial_token();
+        let mut gate_spins = 0u32;
+        while self.sys.mem().load_direct(token) != 0 {
+            gate_spins = gate_spins.wrapping_add(1);
+            if gate_spins.is_multiple_of(256) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+
+        // Injected scheduling delay (no-op without the `faults` feature).
+        self.faults.preempt();
+
         // Entry decision (Figure 10): size hints beyond O-mode reach go
         // straight to L mode. (The embedded 2PL worker carries its own
         // observer hooks, so L-mode routing needs none here.)
@@ -167,56 +255,83 @@ impl TxnWorker for TuFastWorker {
             return self.run_l(hint, ModeClass::L, attempts, body);
         }
 
+        // Runtime degradation: with the HTM switch off, both H and O (its
+        // pieces are hardware transactions too) are unusable — go straight
+        // to L instead of burning doomed begin() calls.
+        if !self.sys.htm().htm_available() {
+            self.stats.htm_off_txns += 1;
+            return self.run_l(hint, ModeClass::L, attempts, body);
+        }
+
         // ---- H mode (skipped when the hint alone guarantees overflow,
-        // statically or per the learned capacity bound).
+        // statically or per the learned capacity bound, or while the
+        // monitor judges H futile — modulo a periodic reprobe).
         if hint <= self.config.h_max_hint_words.min(self.h_hint_cap) {
-            let mut tries = 0;
-            while tries < self.config.h_retries {
-                tries += 1;
-                attempts += 1;
-                obs.attempt_begin(self.me);
-                match hmode::attempt(
-                    &mut self.ctx,
-                    &self.sys,
-                    self.me,
-                    &mut self.stats.sched,
-                    &mut self.h_scratch,
-                    body,
-                    &obs,
-                ) {
-                    HAttempt::Committed { ops } => {
-                        self.stats.modes.record(ModeClass::H, ops);
-                        self.stats.sched.commits += 1;
-                        // Slow recovery of the learned H bound.
-                        if hint * 2 > self.h_hint_cap {
-                            self.h_hint_cap = (self.h_hint_cap + self.h_hint_cap / 16)
-                                .min(self.config.h_max_hint_words);
+            let degraded = self.monitor.h_futile() && {
+                self.h_skip_streak = self.h_skip_streak.wrapping_add(1);
+                !self.h_skip_streak.is_multiple_of(H_REPROBE_INTERVAL)
+            };
+            if degraded {
+                self.stats.degraded_h_skips += 1;
+            } else {
+                let mut tries = 0;
+                while tries < self.config.h_retries {
+                    tries += 1;
+                    attempts += 1;
+                    obs.attempt_begin(self.me);
+                    match hmode::attempt(
+                        &mut self.ctx,
+                        &self.sys,
+                        self.me,
+                        &mut self.stats.sched,
+                        &mut self.h_scratch,
+                        body,
+                        &obs,
+                    ) {
+                        HAttempt::Committed { ops } => {
+                            self.monitor.observe_h(true);
+                            self.stats.modes.record(ModeClass::H, ops);
+                            self.stats.sched.commits += 1;
+                            // Slow recovery of the learned H bound.
+                            if hint * 2 > self.h_hint_cap {
+                                self.h_hint_cap = (self.h_hint_cap + self.h_hint_cap / 16)
+                                    .min(self.config.h_max_hint_words);
+                            }
+                            return TxnOutcome {
+                                committed: true,
+                                attempts,
+                            };
                         }
-                        return TxnOutcome {
-                            committed: true,
-                            attempts,
-                        };
-                    }
-                    HAttempt::UserAborted => {
-                        self.stats.sched.user_aborts += 1;
-                        obs.abort(self.me, true);
-                        return TxnOutcome {
-                            committed: false,
-                            attempts,
-                        };
-                    }
-                    HAttempt::Aborted(code) => {
-                        self.stats.sched.restarts += 1;
-                        obs.abort(self.me, false);
-                        if code == AbortCode::Capacity {
-                            // Deterministic on retry: proceed to O now, and
-                            // skip H for future hints this large.
-                            self.h_hint_cap = (hint * 3 / 4).max(64);
-                            break;
+                        HAttempt::UserAborted => {
+                            self.stats.sched.user_aborts += 1;
+                            obs.abort(self.me, true);
+                            return TxnOutcome {
+                                committed: false,
+                                attempts,
+                            };
                         }
-                        tufast_txn::backoff(tries, self.me);
+                        HAttempt::Aborted(code) => {
+                            self.stats.sched.restarts += 1;
+                            obs.abort(self.me, false);
+                            if code == AbortCode::Capacity {
+                                // Deterministic on retry: proceed to O now,
+                                // and skip H for future hints this large.
+                                self.h_hint_cap = (hint * 3 / 4).max(64);
+                                break;
+                            }
+                            tufast_txn::backoff(tries, self.me);
+                        }
+                        HAttempt::Panicked => {
+                            // hmode already aborted the hardware txn; count
+                            // and re-raise the user's panic payload.
+                            self.stats.sched.panics += 1;
+                            obs.abort(self.me, false);
+                            tufast_txn::obs::resume_body_panic();
+                        }
                     }
                 }
+                // Fell through to O/L: this H entry failed.
+                self.monitor.observe_h(false);
             }
         }
 
@@ -231,17 +346,31 @@ impl TxnWorker for TuFastWorker {
             o_tries += 1;
             attempts += 1;
             obs.attempt_begin(self.me);
-            match omode::attempt(
-                &mut self.ctx,
-                &self.sys,
-                self.me,
-                period,
-                self.config.value_validation,
-                self.config.test_skip_o_validation,
-                &mut self.o_scratch,
-                body,
-                &obs,
-            ) {
+            // Injected O-mode failure (validation / commit-lock), decided
+            // here at the router so `omode` stays fault-agnostic; HTM-level
+            // faults inside pieces flow through the real abort paths.
+            let injected = self.faults.validation_fails() || self.faults.lock_acquisition_fails();
+            let result = if injected {
+                self.stats.sched.injected_faults += 1;
+                OAttempt::Failed {
+                    code: OFailCode::Validation,
+                    ops: 0,
+                    fit_period: None,
+                }
+            } else {
+                omode::attempt(
+                    &mut self.ctx,
+                    &self.sys,
+                    self.me,
+                    period,
+                    self.config.value_validation,
+                    self.config.test_skip_o_validation,
+                    &mut self.o_scratch,
+                    body,
+                    &obs,
+                )
+            };
+            match result {
                 OAttempt::Committed { ops, pieces } => {
                     self.monitor.observe(ops, 0);
                     // Slow recovery of the learned capacity cap.
@@ -302,6 +431,13 @@ impl TxnWorker for TuFastWorker {
                     }
                     adjusted = true;
                     tufast_txn::backoff(o_tries, self.me);
+                }
+                OAttempt::Panicked => {
+                    // omode already aborted the open hardware piece and
+                    // dropped its write buffer; count and re-raise.
+                    self.stats.sched.panics += 1;
+                    obs.abort(self.me, false);
+                    tufast_txn::obs::resume_body_panic();
                 }
             }
         }
@@ -501,6 +637,95 @@ mod tests {
         for v in 0..4u32 {
             assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");
         }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn serial_fallback_commits_when_l_budget_exhausted() {
+        use tufast_txn::{FaultPlan, FaultSpec};
+        // Locks fail 90% of the time and the L budget is tiny, so plain L
+        // keeps restarting; the serial token must still get every
+        // transaction committed (holder runs fault-exempt).
+        let (sys, data) = setup(4, 32);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultSpec {
+            lock_fail_permille: 900,
+            ..FaultSpec::default()
+        })));
+        let config = TuFastConfig {
+            l_attempt_budget: 2,
+            ..TuFastConfig::default()
+        };
+        let tufast = Arc::new(TuFast::with_config(Arc::clone(&sys), config));
+        let rounds = 50u64;
+        let mut serial = 0u64;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let tufast = Arc::clone(&tufast);
+                handles.push(s.spawn(move || {
+                    let mut w = tufast.worker();
+                    for _ in 0..rounds {
+                        // Huge hint: straight to L, where faults bite.
+                        let out = w.execute(1_000_000, &mut |ops| {
+                            let x = ops.read(0, data.addr(0))?;
+                            ops.write(0, data.addr(0), x + 1)
+                        });
+                        assert!(out.committed);
+                    }
+                    w.take_tufast_stats().serial_commits
+                }));
+            }
+            for h in handles {
+                serial += h.join().expect("worker thread panicked");
+            }
+        });
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 3 * rounds);
+        assert!(serial > 0, "expected some serial-fallback commits");
+        assert_eq!(sys.mem().load_direct(sys.serial_token()), 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn htm_unavailable_routes_everything_to_l() {
+        let (sys, data) = setup(2, 16);
+        sys.htm().set_htm_available(false);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.htm_off_txns, 1);
+        assert_eq!(stats.modes.txns(ModeClass::L), 1);
+        assert_eq!(stats.modes.txns(ModeClass::H), 0);
+    }
+
+    #[test]
+    fn body_panic_propagates_and_leaves_system_clean() {
+        let (sys, data) = setup(2, 16);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.execute(2, &mut |ops| {
+                ops.write(0, data.addr(0), 99)?;
+                panic!("body blew up");
+            });
+        }));
+        assert!(panicked.is_err(), "panic must propagate to the caller");
+        // The speculative write was discarded and no locks leak.
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 0);
+        for v in 0..2u32 {
+            assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");
+        }
+        // The worker is reusable afterwards.
+        let out = w.execute(2, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 1);
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub enum HtmStateError {
     NestingOverflow,
     /// `read`/`write`/`commit` was called with no active transaction.
     NotInTransaction,
+    /// HTM has been switched off at runtime
+    /// ([`HtmRuntime::set_htm_available`](crate::HtmRuntime::set_htm_available)),
+    /// modelling a machine without TSX or a microcode update that disables
+    /// it. `begin` fails immediately; callers must take their software
+    /// fallback path.
+    Unavailable,
 }
 
 impl fmt::Display for HtmStateError {
@@ -86,6 +92,7 @@ impl fmt::Display for HtmStateError {
         match self {
             HtmStateError::NestingOverflow => f.write_str("HTM nesting depth exceeded"),
             HtmStateError::NotInTransaction => f.write_str("no active HTM transaction"),
+            HtmStateError::Unavailable => f.write_str("HTM is unavailable on this runtime"),
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use crate::abort::AbortCode;
+
 /// Deterministic abort-injection hook, consulted once per transactional
 /// operation (read or write).
 ///
@@ -41,6 +43,42 @@ impl std::fmt::Debug for AbortInjector {
     }
 }
 
+/// Generalized deterministic abort source, consulted once per
+/// transactional operation *before* [`AbortInjector`] and the random
+/// spurious rate.
+///
+/// Where an [`AbortInjector`] can only force [`Spurious`] aborts, a source
+/// returns the full [`AbortCode`] to deliver — a fault-injection layer can
+/// therefore synthesize [`Capacity`] aborts (deterministic, non-retryable)
+/// as well as [`Spurious`] ones (environmental, retryable) and exercise
+/// both fallback paths of every hybrid scheduler. The decision is a pure
+/// function of `(ctx_id, op_seq)`, so seeded fault plans replay exactly.
+///
+/// [`Spurious`]: crate::AbortCode::Spurious
+/// [`Capacity`]: crate::AbortCode::Capacity
+#[derive(Clone)]
+pub struct AbortSource(Arc<dyn Fn(u32, u64) -> Option<AbortCode> + Send + Sync>);
+
+impl AbortSource {
+    /// Wrap a decision function `f(ctx_id, op_seq) -> Some(code)` to abort.
+    pub fn new(f: impl Fn(u32, u64) -> Option<AbortCode> + Send + Sync + 'static) -> Self {
+        AbortSource(Arc::new(f))
+    }
+
+    /// The abort (if any) to deliver at operation `op_seq` of context
+    /// `ctx_id`.
+    #[inline]
+    pub fn sample(&self, ctx_id: u32, op_seq: u64) -> Option<AbortCode> {
+        (self.0)(ctx_id, op_seq)
+    }
+}
+
+impl std::fmt::Debug for AbortSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AbortSource(..)")
+    }
+}
+
 /// Parameters of the emulated RTM implementation.
 ///
 /// The defaults model the Haswell-class L1D the paper describes: 32 KB,
@@ -75,6 +113,12 @@ pub struct HtmConfig {
     /// transactional operation *in addition to* the random
     /// `spurious_abort_rate`. `None` (the default) disables it.
     pub abort_injector: Option<AbortInjector>,
+    /// Optional deterministic abort *source*, consulted before the
+    /// injector and the random rate on every transactional operation. Can
+    /// deliver any [`AbortCode`](crate::AbortCode) (the fault-injection
+    /// layer uses it for seeded spurious *and* capacity storms). `None`
+    /// (the default) disables it.
+    pub abort_source: Option<AbortSource>,
 }
 
 impl HtmConfig {
@@ -136,6 +180,7 @@ impl HtmConfig {
             max_nesting: 7,
             seed: 0xDEAD_BEEF,
             abort_injector: None,
+            abort_source: None,
         }
     }
 }
@@ -151,6 +196,7 @@ impl Default for HtmConfig {
             max_nesting: 7,
             seed: 0x7A5F_2019, // "TuFast 2019"
             abort_injector: None,
+            abort_source: None,
         }
     }
 }

@@ -17,13 +17,14 @@
 //! Capacity is charged per distinct line through [`L1Model`]; environmental
 //! aborts are injected per operation at the configured rate.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::abort::{AbortCode, HtmStateError};
-use crate::config::{AbortInjector, HtmConfig};
+use crate::config::{AbortInjector, AbortSource, HtmConfig};
 use crate::l1::L1Model;
 use crate::lineset::LineSet;
 use crate::memory::{Addr, TxMemory};
@@ -53,6 +54,10 @@ pub struct HtmCtx {
     id: u32,
     spurious_rate: f64,
     injector: Option<AbortInjector>,
+    source: Option<AbortSource>,
+    /// Shared runtime switch: when false, `begin` refuses to start a
+    /// transaction (models TSX being fused off / disabled by microcode).
+    available: Arc<AtomicBool>,
     /// Monotone count of transactional reads+writes on this context,
     /// fed to the abort injector (never reset, so injection points are a
     /// pure function of the context's lifetime op stream).
@@ -75,7 +80,12 @@ pub struct HtmCtx {
 }
 
 impl HtmCtx {
-    pub(crate) fn new(mem: Arc<TxMemory>, config: &HtmConfig, id: u32) -> Self {
+    pub(crate) fn new(
+        mem: Arc<TxMemory>,
+        config: &HtmConfig,
+        id: u32,
+        available: Arc<AtomicBool>,
+    ) -> Self {
         assert!(
             id < meta::MAX_OWNER,
             "too many HTM contexts (max {})",
@@ -87,6 +97,8 @@ impl HtmCtx {
             id,
             spurious_rate: config.spurious_abort_rate,
             injector: config.abort_injector.clone(),
+            source: config.abort_source.clone(),
+            available,
             op_seq: 0,
             max_nesting: config.max_nesting,
             rng: SmallRng::seed_from_u64(config.seed ^ (u64::from(id) << 32) ^ 0x5EED),
@@ -147,6 +159,9 @@ impl HtmCtx {
             self.depth += 1;
             return Ok(());
         }
+        if !self.available.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(HtmStateError::Unavailable);
+        }
         self.depth = 1;
         self.start_ts = self.mem.clock_now();
         self.stats.begins += 1;
@@ -165,8 +180,8 @@ impl HtmCtx {
         if let Some(v) = self.write_buf.get(addr) {
             return Ok(v);
         }
-        if self.roll_spurious() {
-            return Err(self.abort_with(AbortCode::Spurious));
+        if let Some(code) = self.roll_injected() {
+            return Err(self.abort_with(code));
         }
         let line = addr.line();
         let mut races = 0;
@@ -236,8 +251,8 @@ impl HtmCtx {
     pub fn write(&mut self, addr: Addr, val: u64) -> Result<(), AbortCode> {
         self.require_tx();
         self.stats.writes += 1;
-        if self.roll_spurious() {
-            return Err(self.abort_with(AbortCode::Spurious));
+        if let Some(code) = self.roll_injected() {
+            return Err(self.abort_with(code));
         }
         let line = addr.line();
         let m = self
@@ -367,17 +382,26 @@ impl HtmCtx {
         self.abort_with(AbortCode::Explicit(code))
     }
 
-    /// Sample the environmental-abort injectors: the deterministic hook
-    /// first (pure in `(id, op_seq)`), then the random rate.
+    /// Sample the abort-injection hooks: the [`AbortSource`] first (it can
+    /// deliver any code), then the deterministic spurious injector (both
+    /// pure in `(id, op_seq)`), then the random spurious rate.
     #[inline]
-    fn roll_spurious(&mut self) -> bool {
+    fn roll_injected(&mut self) -> Option<AbortCode> {
         self.op_seq += 1;
-        if let Some(inj) = &self.injector {
-            if inj.fires(self.id, self.op_seq) {
-                return true;
+        if let Some(src) = &self.source {
+            if let Some(code) = src.sample(self.id, self.op_seq) {
+                return Some(code);
             }
         }
-        self.spurious_rate > 0.0 && self.rng.random::<f64>() < self.spurious_rate
+        if let Some(inj) = &self.injector {
+            if inj.fires(self.id, self.op_seq) {
+                return Some(AbortCode::Spurious);
+            }
+        }
+        if self.spurious_rate > 0.0 && self.rng.random::<f64>() < self.spurious_rate {
+            return Some(AbortCode::Spurious);
+        }
+        None
     }
 
     #[inline]
@@ -642,6 +666,31 @@ mod tests {
             (50..150).contains(&spurious),
             "rate 0.5 gave {spurious}/200"
         );
+    }
+
+    #[test]
+    fn abort_source_delivers_arbitrary_codes() {
+        let mut layout = MemoryLayout::new();
+        layout.alloc("w", 64);
+        let config = HtmConfig {
+            // Capacity abort on every context's 2nd transactional op.
+            abort_source: Some(AbortSource::new(|_, seq| {
+                (seq == 2).then_some(AbortCode::Capacity)
+            })),
+            ..HtmConfig::default()
+        };
+        let rt = HtmRuntime::new(layout, config);
+        let mut ctx = rt.ctx();
+        ctx.begin().unwrap();
+        ctx.read(Addr(0)).unwrap(); // op 1
+        assert_eq!(ctx.read(Addr(8)), Err(AbortCode::Capacity)); // op 2
+        assert!(!ctx.in_tx());
+        assert_eq!(ctx.stats().aborts_capacity, 1);
+        // Later ops are untouched: the transaction retries and commits.
+        ctx.begin().unwrap();
+        ctx.write(Addr(0), 5).unwrap();
+        ctx.commit().unwrap();
+        assert_eq!(rt.memory().load_direct(Addr(0)), 5);
     }
 
     #[test]

@@ -76,7 +76,7 @@ mod stats;
 mod wordmap;
 
 pub use abort::{AbortCode, HtmStateError};
-pub use config::{AbortInjector, HtmConfig};
+pub use config::{AbortInjector, AbortSource, HtmConfig};
 pub use ctx::HtmCtx;
 pub use l1::L1Model;
 pub use lineset::LineSet;

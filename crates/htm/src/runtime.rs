@@ -1,6 +1,6 @@
 //! The shared HTM runtime: owns the memory and hands out per-thread contexts.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crate::config::HtmConfig;
@@ -17,6 +17,8 @@ pub struct HtmRuntime {
     mem: Arc<TxMemory>,
     config: HtmConfig,
     next_ctx: AtomicU32,
+    /// Runtime HTM on/off switch, shared with every context handed out.
+    available: Arc<AtomicBool>,
 }
 
 impl HtmRuntime {
@@ -34,6 +36,7 @@ impl HtmRuntime {
             mem,
             config,
             next_ctx: AtomicU32::new(0),
+            available: Arc::new(AtomicBool::new(true)),
         }
     }
 
@@ -44,7 +47,31 @@ impl HtmRuntime {
     pub fn ctx(&self) -> HtmCtx {
         let id = self.next_ctx.fetch_add(1, Ordering::Relaxed);
         assert!(id < meta::MAX_OWNER - 1, "HTM context ids exhausted");
-        HtmCtx::new(Arc::clone(&self.mem), &self.config, id)
+        HtmCtx::new(
+            Arc::clone(&self.mem),
+            &self.config,
+            id,
+            Arc::clone(&self.available),
+        )
+    }
+
+    /// Switch emulated HTM support on or off at runtime.
+    ///
+    /// While off, every [`HtmCtx::begin`](crate::HtmCtx::begin) at nesting
+    /// depth 0 (on contexts from this runtime) fails with
+    /// [`HtmStateError::Unavailable`](crate::HtmStateError::Unavailable) —
+    /// modelling TSX being absent or disabled, so hybrid schedulers must
+    /// survive on their software fallback paths alone. Transactions already
+    /// in flight are unaffected; the switch only gates new `begin`s.
+    pub fn set_htm_available(&self, available: bool) {
+        self.available.store(available, Ordering::Relaxed);
+    }
+
+    /// Whether emulated HTM is currently enabled (true unless switched off
+    /// via [`set_htm_available`](Self::set_htm_available)).
+    #[inline]
+    pub fn htm_available(&self) -> bool {
+        self.available.load(Ordering::Relaxed)
     }
 
     /// The shared transactional memory.
@@ -100,6 +127,38 @@ mod tests {
         let rt2 = HtmRuntime::from_memory(Arc::clone(&mem), HtmConfig::default());
         rt1.memory().store_direct(r.addr(0), 9);
         assert_eq!(rt2.memory().load_direct(r.addr(0)), 9);
+    }
+
+    #[test]
+    fn htm_switch_gates_new_transactions() {
+        use crate::abort::HtmStateError;
+        let mut layout = MemoryLayout::new();
+        let r = layout.alloc("w", 8);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        let mut ctx = rt.ctx();
+        assert!(rt.htm_available());
+        rt.set_htm_available(false);
+        assert!(!rt.htm_available());
+        assert_eq!(ctx.begin(), Err(HtmStateError::Unavailable));
+        rt.set_htm_available(true);
+        ctx.begin().unwrap();
+        ctx.write(r.addr(0), 3).unwrap();
+        ctx.commit().unwrap();
+        assert_eq!(rt.memory().load_direct(r.addr(0)), 3);
+    }
+
+    #[test]
+    fn in_flight_transaction_survives_htm_switch_off() {
+        let mut layout = MemoryLayout::new();
+        let r = layout.alloc("w", 8);
+        let rt = HtmRuntime::new(layout, HtmConfig::default());
+        let mut ctx = rt.ctx();
+        ctx.begin().unwrap();
+        ctx.write(r.addr(0), 9).unwrap();
+        rt.set_htm_available(false);
+        // Only new begins are gated: the active transaction still commits.
+        ctx.commit().unwrap();
+        assert_eq!(rt.memory().load_direct(r.addr(0)), 9);
     }
 
     #[test]

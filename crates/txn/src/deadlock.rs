@@ -11,14 +11,25 @@
 //!
 //! * A lock held in *shared* mode has anonymous holders (the word stores
 //!   only a count), so no precise edge can be recorded; waiting on readers
-//!   falls back to a bounded wait, after which the requester aborts as the
-//!   victim.
+//!   falls back to a bounded wait ([`WaitConfig`]: spins plus an optional
+//!   wall-clock deadline), after which the requester aborts as the victim.
 //! * The paper also describes deadlock *prevention* by global lock
 //!   ordering; that is implemented at the scheduler level (sorted
 //!   acquisition in commit paths) and via
 //!   [`WaitOutcome::Victim`]-free ordered L-mode execution.
+//!
+//! ## Victim fairness (priority aging)
+//!
+//! Victims are tracked per worker. A worker that was recently victimized
+//! *defers* self-victimization when its wait-for cycle runs through a
+//! holder with a lower victim count — at least one member of any cycle has
+//! a minimal count and therefore never defers, so progress is preserved
+//! while the same worker stops being re-victimized indefinitely. Bounded
+//! anonymous waits scale their spin budget the same way. Counts reset on
+//! the worker's next commit.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 /// Result of a blocking wait attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,21 +41,50 @@ pub enum WaitOutcome {
     Victim,
 }
 
+/// Budget of the bounded wait on anonymous (reader-held) locks.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitConfig {
+    /// Spin iterations before the waiter self-aborts as the victim.
+    /// Scaled up (×2 per recent victimization, capped at ×8) by priority
+    /// aging.
+    pub spins: u32,
+    /// Optional wall-clock bound on one anonymous wait; when set, the
+    /// waiter becomes the victim as soon as it is exceeded, regardless of
+    /// the spin budget. `None` (the default) disables the clock check —
+    /// the spin budget alone bounds the wait.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for WaitConfig {
+    fn default() -> Self {
+        WaitConfig {
+            spins: 10_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Maximum left-shift applied to the spin budget by priority aging.
+const MAX_AGING_SHIFT: u32 = 3;
+
 /// Global wait-for table: `waits[w]` is 1 + the worker id that `w` is
 /// currently blocked on, or 0.
 pub struct WaitForTable {
     waits: Box<[AtomicU32]>,
+    /// Recent victimizations per worker (reset on commit): the priority
+    /// used for victim-selection fairness.
+    victims: Box<[AtomicU32]>,
+    config: WaitConfig,
 }
 
-/// Bounded spins while blocked on anonymous (reader-held) locks before the
-/// requester self-aborts.
-const ANON_WAIT_SPINS: u32 = 10_000;
-
 impl WaitForTable {
-    /// A table for up to `max_workers` workers.
-    pub fn new(max_workers: usize) -> Self {
+    /// A table for up to `max_workers` workers with the given wait budget.
+    pub fn new(max_workers: usize, config: WaitConfig) -> Self {
+        assert!(config.spins >= 1, "wait budget must allow at least 1 spin");
         WaitForTable {
             waits: (0..max_workers).map(|_| AtomicU32::new(0)).collect(),
+            victims: (0..max_workers).map(|_| AtomicU32::new(0)).collect(),
+            config,
         }
     }
 
@@ -53,9 +93,17 @@ impl WaitForTable {
         self.waits.len()
     }
 
+    /// The configured wait budget.
+    #[inline]
+    pub fn config(&self) -> &WaitConfig {
+        &self.config
+    }
+
     /// Record that `me` waits for `holder` and check for a cycle. Returns
-    /// `true` if blocking would close a cycle (the caller must become the
-    /// victim and must *not* leave the edge registered).
+    /// `true` if blocking would close a cycle and `me` must become the
+    /// victim (its edge is already cleared); `false` means keep waiting —
+    /// either there is no cycle, or priority aging deferred victimization
+    /// to a cycle member with a lower victim count.
     pub fn register_and_check(&self, me: u32, holder: u32) -> bool {
         debug_assert_ne!(me, holder, "cannot wait on self");
         self.waits[me as usize].store(holder + 1, Ordering::SeqCst);
@@ -69,8 +117,16 @@ impl WaitForTable {
             }
             let next = next - 1;
             if next == me {
-                // Cycle through us: we are the victim. Clear our edge.
+                // Cycle through us. Priority aging: if we were victimized
+                // more recently than our direct holder, defer — the cycle
+                // member with the minimal count never defers, so someone
+                // else breaks the cycle. Our edge stays registered so the
+                // others still see the full cycle.
+                if self.victim_count(me) > self.victim_count(holder) {
+                    return false;
+                }
                 self.clear(me);
+                self.record_victim(me);
                 return true;
             }
             cur = next;
@@ -79,6 +135,7 @@ impl WaitForTable {
         // passing through us — let the worker it passes through detect it;
         // but to guarantee progress we also become a victim here.
         self.clear(me);
+        self.record_victim(me);
         true
     }
 
@@ -88,9 +145,26 @@ impl WaitForTable {
     }
 
     /// Spin-wait bounded for anonymous holders (shared locks). Returns
-    /// [`WaitOutcome::Victim`] when the budget is exhausted.
-    pub fn bounded_anonymous_wait(&self, attempt: u32) -> WaitOutcome {
-        if attempt >= ANON_WAIT_SPINS {
+    /// [`WaitOutcome::Victim`] when the spin budget (scaled by `me`'s
+    /// aging factor) or the configured deadline is exhausted. `started`
+    /// is the instant the caller began this wait; it is only consulted
+    /// when a deadline is configured.
+    pub fn bounded_anonymous_wait(
+        &self,
+        me: u32,
+        attempt: u32,
+        started: Option<Instant>,
+    ) -> WaitOutcome {
+        if let (Some(deadline), Some(t0)) = (self.config.deadline, started) {
+            if t0.elapsed() >= deadline {
+                self.record_victim(me);
+                return WaitOutcome::Victim;
+            }
+        }
+        let shift = self.victim_count(me).min(MAX_AGING_SHIFT);
+        let budget = self.config.spins.checked_shl(shift).unwrap_or(u32::MAX);
+        if attempt >= budget {
+            self.record_victim(me);
             return WaitOutcome::Victim;
         }
         if attempt % 64 == 63 {
@@ -99,6 +173,21 @@ impl WaitForTable {
             std::hint::spin_loop();
         }
         WaitOutcome::Retry
+    }
+
+    /// `me` committed: its victim-priority resets.
+    pub fn record_commit(&self, me: u32) {
+        self.victims[me as usize].store(0, Ordering::Relaxed);
+    }
+
+    /// Recent victimizations of `me` (since its last commit).
+    #[inline]
+    pub fn victim_count(&self, me: u32) -> u32 {
+        self.victims[me as usize].load(Ordering::Relaxed)
+    }
+
+    fn record_victim(&self, me: u32) {
+        self.victims[me as usize].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -123,9 +212,13 @@ impl std::fmt::Debug for WaitForTable {
 mod tests {
     use super::*;
 
+    fn table(n: usize) -> WaitForTable {
+        WaitForTable::new(n, WaitConfig::default())
+    }
+
     #[test]
     fn no_cycle_on_simple_chain() {
-        let t = WaitForTable::new(8);
+        let t = table(8);
         assert!(!t.register_and_check(0, 1)); // 0 → 1
         assert!(!t.register_and_check(1, 2)); // 1 → 2
         t.clear(0);
@@ -134,7 +227,7 @@ mod tests {
 
     #[test]
     fn two_cycle_detected() {
-        let t = WaitForTable::new(8);
+        let t = table(8);
         assert!(!t.register_and_check(0, 1));
         assert!(t.register_and_check(1, 0), "1→0 closes the 0→1 cycle");
         // Victim's edge must have been cleared.
@@ -143,7 +236,7 @@ mod tests {
 
     #[test]
     fn three_cycle_detected() {
-        let t = WaitForTable::new(8);
+        let t = table(8);
         assert!(!t.register_and_check(0, 1));
         assert!(!t.register_and_check(1, 2));
         assert!(t.register_and_check(2, 0));
@@ -151,7 +244,7 @@ mod tests {
 
     #[test]
     fn clear_breaks_the_chain() {
-        let t = WaitForTable::new(8);
+        let t = table(8);
         assert!(!t.register_and_check(0, 1));
         t.clear(0);
         assert!(!t.register_and_check(1, 0), "edge was cleared; no cycle");
@@ -159,10 +252,72 @@ mod tests {
 
     #[test]
     fn bounded_wait_eventually_victimises() {
-        let t = WaitForTable::new(2);
-        assert_eq!(t.bounded_anonymous_wait(0), WaitOutcome::Retry);
+        let t = table(2);
+        assert_eq!(t.bounded_anonymous_wait(0, 0, None), WaitOutcome::Retry);
         assert_eq!(
-            t.bounded_anonymous_wait(ANON_WAIT_SPINS),
+            t.bounded_anonymous_wait(0, t.config().spins, None),
+            WaitOutcome::Victim
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_the_wait_in_wall_clock_time() {
+        let t = WaitForTable::new(
+            2,
+            WaitConfig {
+                spins: u32::MAX,
+                deadline: Some(Duration::from_millis(1)),
+            },
+        );
+        let t0 = Instant::now();
+        let mut attempt = 0;
+        while t.bounded_anonymous_wait(0, attempt, Some(t0)) == WaitOutcome::Retry {
+            attempt += 1;
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "deadline never fired"
+            );
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn recent_victim_defers_to_fresh_holder() {
+        let t = table(8);
+        // Worker 1 was recently victimized; worker 0 was not.
+        t.record_victim(1);
+        assert_eq!(t.victim_count(1), 1);
+        assert!(!t.register_and_check(0, 1));
+        // 1 detects the cycle but defers (its count exceeds 0's); its edge
+        // stays registered so 0 can still see the full cycle.
+        assert!(!t.register_and_check(1, 0));
+        // 0 now detects the same cycle and, with the lower count, becomes
+        // the victim — progress is preserved.
+        assert!(t.register_and_check(0, 1));
+        // A commit resets the priority: 1 self-victimizes normally again.
+        t.record_commit(1);
+        assert!(!t.register_and_check(0, 1));
+        assert!(t.register_and_check(1, 0));
+        t.clear(0);
+    }
+
+    #[test]
+    fn aging_scales_the_anonymous_budget() {
+        let t = table(2);
+        let base = t.config().spins;
+        t.record_victim(0);
+        // One recent victimization doubles the budget.
+        assert_eq!(t.bounded_anonymous_wait(0, base, None), WaitOutcome::Retry);
+        assert_eq!(
+            t.bounded_anonymous_wait(0, base * 2, None),
+            WaitOutcome::Victim
+        );
+        // The scale factor is capped.
+        for _ in 0..10 {
+            t.record_victim(1);
+        }
+        assert_eq!(
+            t.bounded_anonymous_wait(1, base.saturating_mul(8), None),
             WaitOutcome::Victim
         );
     }
@@ -171,7 +326,7 @@ mod tests {
     fn concurrent_registration_always_terminates() {
         // Hammer the table from many threads with random edges; the
         // invariant is simply "no hang and no panic".
-        let t = std::sync::Arc::new(WaitForTable::new(16));
+        let t = std::sync::Arc::new(table(16));
         std::thread::scope(|s| {
             for me in 0..8u32 {
                 let t = std::sync::Arc::clone(&t);

@@ -1,0 +1,534 @@
+//! Seeded fault injection (feature `faults`).
+//!
+//! Mirrors the [`obs`](crate::obs) pattern: schedulers carry a cheap
+//! [`FaultHandle`] and consult it at every hot-path decision point — lock
+//! acquisitions, commit validations, and attempt boundaries. With the
+//! feature disabled (the default) the handle is zero-sized and every
+//! probe is an empty inline function, so production builds pay nothing.
+//!
+//! ## Determinism
+//!
+//! A [`FaultPlan`] is pure data: a seed plus per-site firing rates (in
+//! permille). Every decision is a pure function of
+//! `(seed, site, worker, per-worker op counter)` via a splitmix64 hash, so
+//! the same plan over the same workload replays the same fault sequence
+//! per worker regardless of thread interleaving. HTM-level faults
+//! (spurious and capacity aborts) are delivered through an
+//! [`AbortSource`] built by [`FaultPlan::abort_source`] and are keyed the
+//! same way on `(ctx_id, op_seq)`.
+//!
+//! ## Sites
+//!
+//! | Site | Injected effect |
+//! |------|-----------------|
+//! | [`FaultKind::SpuriousAbort`] | emulated-HTM environmental abort |
+//! | [`FaultKind::CapacityAbort`] | emulated-HTM capacity abort (non-retryable) |
+//! | [`FaultKind::LockFail`] | a vertex-lock acquisition reports failure |
+//! | [`FaultKind::LockStall`] | a bounded spin delay before an acquisition |
+//! | [`FaultKind::ValidationFail`] | an optimistic commit validation reports failure |
+//! | [`FaultKind::Preempt`] | a bounded spin delay at an attempt boundary |
+//!
+//! Injected failures are indistinguishable from real ones to the
+//! scheduler, which is the point: the chaos matrix in `tufast-check`
+//! proves every scheduler's retry/escalation ladder terminates with all
+//! transactions committed no matter where the faults land. Workers
+//! holding the TuFast *serial-fallback token* mark their handle exempt
+//! ([`FaultHandle::set_exempt`]) so the stop-the-world commit that
+//! guarantees liveness cannot itself be sabotaged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tufast_htm::{AbortCode, AbortSource};
+
+/// The kinds of faults the plan can inject, used to index the plan's
+/// injected-fault counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Emulated-HTM spurious (environmental) abort.
+    SpuriousAbort,
+    /// Emulated-HTM capacity abort (deterministic, non-retryable).
+    CapacityAbort,
+    /// A vertex-lock acquisition reports failure.
+    LockFail,
+    /// A bounded spin delay before a lock acquisition.
+    LockStall,
+    /// An optimistic commit validation reports failure.
+    ValidationFail,
+    /// A bounded spin delay at an attempt boundary (models preemption).
+    Preempt,
+}
+
+impl FaultKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::SpuriousAbort,
+        FaultKind::CapacityAbort,
+        FaultKind::LockFail,
+        FaultKind::LockStall,
+        FaultKind::ValidationFail,
+        FaultKind::Preempt,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SpuriousAbort => "spurious-abort",
+            FaultKind::CapacityAbort => "capacity-abort",
+            FaultKind::LockFail => "lock-fail",
+            FaultKind::LockStall => "lock-stall",
+            FaultKind::ValidationFail => "validation-fail",
+            FaultKind::Preempt => "preempt",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultKind::SpuriousAbort => 0,
+            FaultKind::CapacityAbort => 1,
+            FaultKind::LockFail => 2,
+            FaultKind::LockStall => 3,
+            FaultKind::ValidationFail => 4,
+            FaultKind::Preempt => 5,
+        }
+    }
+}
+
+/// Declarative description of a fault plan: a seed plus per-site rates.
+///
+/// Rates are in permille (0–1000); 1000 fires on every probe. The spin
+/// counts bound the injected delays so no plan can stall a worker
+/// unboundedly.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Seed from which every per-site decision stream is derived.
+    pub seed: u64,
+    /// Permille rate of HTM spurious aborts (per transactional op).
+    pub spurious_abort_permille: u32,
+    /// Permille rate of HTM capacity aborts (per transactional op).
+    pub capacity_abort_permille: u32,
+    /// Permille rate of failed vertex-lock acquisitions.
+    pub lock_fail_permille: u32,
+    /// Permille rate of stalls before a vertex-lock acquisition.
+    pub lock_stall_permille: u32,
+    /// Spin iterations of one injected lock stall.
+    pub lock_stall_spins: u32,
+    /// Permille rate of forced optimistic-validation failures.
+    pub validation_fail_permille: u32,
+    /// Permille rate of preemption delays at attempt boundaries.
+    pub preempt_permille: u32,
+    /// Spin iterations of one injected preemption delay.
+    pub preempt_spins: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xC4A0_5000,
+            spurious_abort_permille: 0,
+            capacity_abort_permille: 0,
+            lock_fail_permille: 0,
+            lock_stall_permille: 0,
+            lock_stall_spins: 256,
+            validation_fail_permille: 0,
+            preempt_permille: 0,
+            preempt_spins: 512,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Panics on out-of-range rates (permille > 1000).
+    pub(crate) fn validate(&self) {
+        for (name, rate) in [
+            ("spurious_abort", self.spurious_abort_permille),
+            ("capacity_abort", self.capacity_abort_permille),
+            ("lock_fail", self.lock_fail_permille),
+            ("lock_stall", self.lock_stall_permille),
+            ("validation_fail", self.validation_fail_permille),
+            ("preempt", self.preempt_permille),
+        ] {
+            assert!(rate <= 1000, "{name}_permille must be <= 1000, got {rate}");
+        }
+        assert!(
+            self.spurious_abort_permille + self.capacity_abort_permille <= 1000,
+            "combined HTM abort rate must be <= 1000 permille"
+        );
+    }
+}
+
+/// A live fault plan: the spec plus per-kind injected-fault counters.
+///
+/// Shared via `Arc` between the system, every worker's [`FaultHandle`],
+/// and the [`AbortSource`] installed into the HTM config.
+pub struct FaultPlan {
+    spec: FaultSpec,
+    injected: [AtomicU64; 6],
+}
+
+impl FaultPlan {
+    /// Build a shareable plan from `spec`.
+    ///
+    /// # Panics
+    /// If any rate exceeds 1000 permille.
+    pub fn new(spec: FaultSpec) -> Arc<Self> {
+        spec.validate();
+        Arc::new(FaultPlan {
+            spec,
+            injected: Default::default(),
+        })
+    }
+
+    /// The plan's spec.
+    #[inline]
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Faults of `kind` injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far, all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// `(kind, count)` for every kind with a nonzero count.
+    pub fn injected_by_kind(&self) -> Vec<(FaultKind, u64)> {
+        FaultKind::ALL
+            .iter()
+            .filter_map(|&k| {
+                let n = self.injected(k);
+                (n != 0).then_some((k, n))
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn record(&self, kind: FaultKind) {
+        self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An [`AbortSource`] delivering this plan's HTM-level faults,
+    /// suitable for [`HtmConfig::abort_source`](tufast_htm::HtmConfig).
+    ///
+    /// The decision is pure in `(ctx_id, op_seq)`: capacity aborts claim
+    /// the low end of the permille roll, spurious aborts the next band.
+    pub fn abort_source(self: &Arc<Self>) -> AbortSource {
+        let plan = Arc::clone(self);
+        AbortSource::new(move |ctx_id, op_seq| {
+            let spec = &plan.spec;
+            if spec.capacity_abort_permille == 0 && spec.spurious_abort_permille == 0 {
+                return None;
+            }
+            let roll = permille_roll(spec.seed, SITE_HTM, ctx_id, op_seq);
+            if roll < spec.capacity_abort_permille {
+                plan.record(FaultKind::CapacityAbort);
+                Some(AbortCode::Capacity)
+            } else if roll < spec.capacity_abort_permille + spec.spurious_abort_permille {
+                plan.record(FaultKind::SpuriousAbort);
+                Some(AbortCode::Spurious)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("spec", &self.spec)
+            .field("total_injected", &self.total_injected())
+            .finish()
+    }
+}
+
+// Per-site salts keep the decision streams of different sites independent.
+// All but the HTM salt are consulted only from `FaultHandle`'s active
+// (feature-gated) probes; the HTM salt also feeds the always-compiled
+// `FaultPlan::abort_source`.
+const SITE_HTM: u64 = 0x11;
+#[cfg(feature = "faults")]
+const SITE_LOCK_FAIL: u64 = 0x22;
+#[cfg(feature = "faults")]
+const SITE_LOCK_STALL: u64 = 0x33;
+#[cfg(feature = "faults")]
+const SITE_VALIDATION: u64 = 0x44;
+#[cfg(feature = "faults")]
+const SITE_PREEMPT: u64 = 0x55;
+
+/// splitmix64 finalizer: decisions are pure in the mixed key.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A permille roll in `0..1000`, pure in `(seed, site, worker, seq)`.
+#[inline]
+fn permille_roll(seed: u64, site: u64, worker: u32, seq: u64) -> u32 {
+    (mix(seed ^ (site << 56) ^ (u64::from(worker) << 32) ^ seq) % 1000) as u32
+}
+
+/// A cheap, always-present per-worker handle to the system's fault plan.
+///
+/// With feature `faults` this holds `Option<Arc<FaultPlan>>` plus the
+/// worker id and a local probe counter; without it, it is zero-sized and
+/// every probe is an empty inline function.
+#[derive(Clone, Default)]
+pub struct FaultHandle {
+    #[cfg(feature = "faults")]
+    inner: Option<Arc<FaultPlan>>,
+    #[cfg(feature = "faults")]
+    worker: u32,
+    #[cfg(feature = "faults")]
+    seq: u64,
+    #[cfg(feature = "faults")]
+    exempt: bool,
+}
+
+impl FaultHandle {
+    /// A handle with no plan attached.
+    #[inline]
+    pub fn none() -> Self {
+        FaultHandle::default()
+    }
+
+    /// Wrap an installed plan for `worker` (only exists with feature
+    /// `faults`).
+    #[cfg(feature = "faults")]
+    #[inline]
+    pub fn attached(plan: Option<Arc<FaultPlan>>, worker: u32) -> Self {
+        FaultHandle {
+            inner: plan,
+            worker,
+            seq: 0,
+            exempt: false,
+        }
+    }
+
+    /// Whether a plan is attached and injection is not exempted (always
+    /// `false` without the `faults` feature).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.inner.is_some() && !self.exempt
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// Exempt (or re-subject) this worker from injection. The TuFast
+    /// serial-fallback path exempts its stop-the-world commit so the
+    /// liveness backstop cannot be sabotaged by the plan it escapes.
+    #[inline]
+    pub fn set_exempt(&mut self, _exempt: bool) {
+        #[cfg(feature = "faults")]
+        {
+            self.exempt = _exempt;
+        }
+    }
+
+    /// Probe the lock-stall then lock-fail sites before a vertex-lock
+    /// acquisition: possibly spin a bounded stall, then return `true` if
+    /// the acquisition must report failure.
+    #[inline]
+    pub fn lock_acquisition_fails(&mut self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.lock_stall_permille > 0
+                    && permille_roll(spec.seed, SITE_LOCK_STALL, self.worker, self.seq)
+                        < spec.lock_stall_permille
+                {
+                    plan.record(FaultKind::LockStall);
+                    stall(spec.lock_stall_spins);
+                }
+                if spec.lock_fail_permille > 0
+                    && permille_roll(spec.seed, SITE_LOCK_FAIL, self.worker, self.seq)
+                        < spec.lock_fail_permille
+                {
+                    plan.record(FaultKind::LockFail);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Probe the validation site inside an optimistic commit: `true`
+    /// forces the validation to report failure.
+    #[inline]
+    pub fn validation_fails(&mut self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.validation_fail_permille > 0
+                    && permille_roll(spec.seed, SITE_VALIDATION, self.worker, self.seq)
+                        < spec.validation_fail_permille
+                {
+                    plan.record(FaultKind::ValidationFail);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Probe the preemption site at an attempt boundary: possibly spin a
+    /// bounded delay (models the worker losing its core mid-transaction).
+    #[inline]
+    pub fn preempt(&mut self) {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.preempt_permille > 0
+                    && permille_roll(spec.seed, SITE_PREEMPT, self.worker, self.seq)
+                        < spec.preempt_permille
+                {
+                    plan.record(FaultKind::Preempt);
+                    stall(spec.preempt_spins);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    #[inline]
+    fn active_plan(&self) -> Option<Arc<FaultPlan>> {
+        if self.exempt {
+            return None;
+        }
+        self.inner.clone()
+    }
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultHandle(active: {})", self.is_active())
+    }
+}
+
+#[cfg(feature = "faults")]
+#[inline]
+fn stall(spins: u32) {
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_in_range() {
+        for seq in 0..2000 {
+            let a = permille_roll(42, SITE_LOCK_FAIL, 3, seq);
+            let b = permille_roll(42, SITE_LOCK_FAIL, 3, seq);
+            assert_eq!(a, b);
+            assert!(a < 1000);
+        }
+    }
+
+    #[test]
+    fn sites_and_workers_get_independent_streams() {
+        let same = (0..1000)
+            .filter(|&seq| {
+                permille_roll(7, SITE_LOCK_FAIL, 0, seq)
+                    == permille_roll(7, SITE_VALIDATION, 0, seq)
+            })
+            .count();
+        assert!(same < 50, "site streams look correlated: {same}/1000");
+        let same = (0..1000)
+            .filter(|&seq| {
+                permille_roll(7, SITE_LOCK_FAIL, 0, seq) == permille_roll(7, SITE_LOCK_FAIL, 1, seq)
+            })
+            .count();
+        assert!(same < 50, "worker streams look correlated: {same}/1000");
+    }
+
+    #[test]
+    fn abort_source_respects_rates_and_counts() {
+        let plan = FaultPlan::new(FaultSpec {
+            spurious_abort_permille: 1000,
+            ..FaultSpec::default()
+        });
+        let src = plan.abort_source();
+        for seq in 1..100 {
+            assert_eq!(src.sample(0, seq), Some(AbortCode::Spurious));
+        }
+        assert_eq!(plan.injected(FaultKind::SpuriousAbort), 99);
+
+        let plan = FaultPlan::new(FaultSpec {
+            capacity_abort_permille: 1000,
+            ..FaultSpec::default()
+        });
+        let src = plan.abort_source();
+        assert_eq!(src.sample(5, 1), Some(AbortCode::Capacity));
+        assert_eq!(plan.injected(FaultKind::CapacityAbort), 1);
+
+        let quiet = FaultPlan::new(FaultSpec::default());
+        assert_eq!(quiet.abort_source().sample(0, 1), None);
+        assert_eq!(quiet.total_injected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::new(FaultSpec {
+            lock_fail_permille: 1001,
+            ..FaultSpec::default()
+        });
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn handle_fires_at_full_rate_and_respects_exemption() {
+        let plan = FaultPlan::new(FaultSpec {
+            lock_fail_permille: 1000,
+            validation_fail_permille: 1000,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        assert!(h.is_active());
+        assert!(h.lock_acquisition_fails());
+        assert!(h.validation_fails());
+        h.set_exempt(true);
+        assert!(!h.is_active());
+        assert!(!h.lock_acquisition_fails());
+        assert!(!h.validation_fails());
+        h.set_exempt(false);
+        assert!(h.lock_acquisition_fails());
+        assert_eq!(plan.injected(FaultKind::LockFail), 2);
+        assert_eq!(plan.injected(FaultKind::ValidationFail), 1);
+    }
+
+    #[test]
+    fn inactive_handle_never_fires() {
+        let mut h = FaultHandle::none();
+        assert!(!h.is_active());
+        assert!(!h.lock_acquisition_fails());
+        assert!(!h.validation_fails());
+        h.preempt();
+    }
+}

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use tufast_htm::{AbortCode, Addr, HtmCtx};
 
+use crate::faults::FaultHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -55,8 +56,11 @@ impl GraphScheduler for HSyncLike {
     type Worker = HSyncWorker;
 
     fn worker(&self) -> HSyncWorker {
+        let ctx = self.sys.htm_ctx();
+        let faults = self.sys.fault_handle(ctx.id());
         HSyncWorker {
-            ctx: self.sys.htm_ctx(),
+            ctx,
+            faults,
             sys: Arc::clone(&self.sys),
             retries: self.retries,
             undo: Vec::with_capacity(32),
@@ -73,6 +77,7 @@ impl GraphScheduler for HSyncLike {
 pub struct HSyncWorker {
     sys: Arc<TxnSystem>,
     ctx: HtmCtx,
+    faults: FaultHandle,
     retries: u32,
     undo: Vec<(Addr, u64)>,
     stats: SchedStats,
@@ -140,7 +145,12 @@ impl HSyncWorker {
     fn htm_attempt(&mut self, body: &mut TxnBody<'_>, obs: &ObsHandle) -> Result<bool, AbortCode> {
         let fallback = self.sys.fallback_word();
         let id = self.ctx.id();
-        self.ctx.begin().expect("no nesting here");
+        if self.ctx.begin().is_err() {
+            // HTM switched off at runtime: report a capacity abort so the
+            // caller skips the remaining speculative retries and goes
+            // straight to the global fallback.
+            return Err(AbortCode::Capacity);
+        }
         // Subscribe the fallback lock; busy means a fallback transaction is
         // running — abort and let the caller wait it out.
         match self.ctx.read(fallback) {
@@ -187,6 +197,15 @@ impl HSyncWorker {
                 }
                 Ok(false)
             }
+            Err(TxInterrupt::Panicked) => {
+                // Speculative writes vanish with the abort; nothing to undo.
+                if self.ctx.in_tx() {
+                    self.ctx.abort_explicit(0xFE);
+                }
+                self.stats.panics += 1;
+                obs.abort(id, false);
+                crate::obs::resume_body_panic();
+            }
         }
     }
 
@@ -220,12 +239,19 @@ impl HSyncWorker {
                 mem.store_direct(fallback, 0);
                 true
             }
-            Err(_) => {
+            Err(interrupt) => {
                 // Roll back in-place writes, newest first, then release.
                 for &(addr, old) in self.undo.iter().rev() {
                     mem.store_direct(addr, old);
                 }
                 mem.store_direct(fallback, 0);
+                if matches!(interrupt, TxInterrupt::Panicked) {
+                    // The global lock is released and memory restored; the
+                    // panic can now propagate without blocking peers.
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
+                }
                 false
             }
         }
@@ -240,6 +266,7 @@ impl TxnWorker for HSyncWorker {
         let mut htm_tries = 0u32;
         loop {
             attempts += 1;
+            self.faults.preempt();
             if htm_tries < self.retries {
                 htm_tries += 1;
                 obs.attempt_begin(id);

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, HtmCtx, WordMap};
 
+use crate::faults::FaultHandle;
 use crate::locks::LockWord;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
@@ -45,8 +46,10 @@ impl GraphScheduler for HTimestampOrdering {
     type Worker = HtoWorker;
 
     fn worker(&self) -> HtoWorker {
+        let id = self.sys.new_worker_id();
         HtoWorker {
-            id: self.sys.new_worker_id(),
+            id,
+            faults: self.sys.fault_handle(id),
             ctx: self.sys.htm_ctx(),
             sys: Arc::clone(&self.sys),
             ts: 0,
@@ -65,6 +68,7 @@ impl GraphScheduler for HTimestampOrdering {
 /// Per-thread H-TO state.
 pub struct HtoWorker {
     id: u32,
+    faults: FaultHandle,
     sys: Arc<TxnSystem>,
     ctx: HtmCtx,
     ts: u32,
@@ -178,6 +182,10 @@ impl HtoWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
+        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         if self.writes.is_empty() {
             // Read-only: the current clock is an upper bound on every
             // writer this transaction observed.
@@ -244,6 +252,7 @@ impl TxnWorker for HtoWorker {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            self.faults.preempt();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -276,6 +285,14 @@ impl TxnWorker for HtoWorker {
                         committed: false,
                         attempts,
                     };
+                }
+                Err(TxInterrupt::Panicked) => {
+                    // Writes were buffered and each HTM piece begins and
+                    // ends inside a single op, so no transaction is open
+                    // here; dropping the buffers is the rollback.
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
                 }
             }
         }

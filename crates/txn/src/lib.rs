@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod deadlock;
+pub mod faults;
 mod hsync;
 mod hto;
 mod locks;
@@ -36,6 +37,8 @@ mod to;
 mod tpl;
 mod traits;
 
+pub use deadlock::WaitConfig;
+pub use faults::{FaultHandle, FaultKind, FaultPlan, FaultSpec};
 pub use hsync::HSyncLike;
 pub use hto::HTimestampOrdering;
 pub use locks::{LockWord, VertexLocks};

@@ -21,6 +21,9 @@
 //! Read-only transactions report the clock value observed at their
 //! commit point instead; it upper-bounds their source writers' tickets.
 
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 #[cfg(feature = "observe")]
 use std::sync::Arc;
 
@@ -28,6 +31,30 @@ use tufast_htm::Addr;
 
 use crate::traits::{TxInterrupt, TxnBody, TxnOps};
 use crate::VertexId;
+
+thread_local! {
+    /// Payload of a transaction-body panic caught by [`ObsHandle::run_body`],
+    /// parked here while the scheduler rolls the attempt back.
+    static CAUGHT_PANIC: RefCell<Option<Box<dyn Any + Send>>> = const { RefCell::new(None) };
+}
+
+/// Re-raise the transaction-body panic caught by the current thread's
+/// most recent [`ObsHandle::run_body`] call.
+///
+/// Schedulers call this *after* rolling the panicked attempt back (locks
+/// released, HTM state reset, stats recorded): the original payload then
+/// propagates on the calling thread exactly as an uncontained panic
+/// would, but without wedging any peer.
+pub fn resume_body_panic() -> ! {
+    let payload = CAUGHT_PANIC.with(|p| p.borrow_mut().take());
+    match payload {
+        Some(p) => resume_unwind(p),
+        // Unreachable through the scheduler paths (Panicked is only ever
+        // produced together with a parked payload), but don't turn a
+        // bookkeeping slip into UB-adjacent silence.
+        None => panic!("transaction body panicked"),
+    }
+}
 
 /// Receiver of scheduler lifecycle events. All methods default to no-ops
 /// so implementors subscribe only to what they need.
@@ -138,8 +165,12 @@ impl ObsHandle {
     }
 
     /// Run `body` against `inner`, interposing the observer's per-op
-    /// hooks when one is attached. Without an observer (or without the
-    /// feature) this is exactly `body(inner)`.
+    /// hooks when one is attached, and containing body panics: a panic
+    /// unwinds no further than this frame, its payload is parked for
+    /// [`resume_body_panic`], and the caller sees
+    /// [`TxInterrupt::Panicked`] — so it can roll the attempt back
+    /// (releasing every lock and HTM resource) before the panic
+    /// propagates.
     #[inline]
     pub fn run_body<T: TxnOps>(
         &self,
@@ -147,17 +178,26 @@ impl ObsHandle {
         worker: u32,
         body: &mut TxnBody<'_>,
     ) -> Result<(), TxInterrupt> {
-        #[cfg(feature = "observe")]
-        if self.inner.is_some() {
-            let mut wrapped = ObservedOps {
-                inner,
-                obs: self,
-                worker,
-            };
-            return body(&mut wrapped);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "observe")]
+            if self.inner.is_some() {
+                let mut wrapped = ObservedOps {
+                    inner,
+                    obs: self,
+                    worker,
+                };
+                return body(&mut wrapped);
+            }
+            let _ = worker;
+            body(inner)
+        }));
+        match res {
+            Ok(r) => r,
+            Err(payload) => {
+                CAUGHT_PANIC.with(|p| *p.borrow_mut() = Some(payload));
+                Err(TxInterrupt::Panicked)
+            }
         }
-        let _ = worker;
-        body(inner)
     }
 }
 

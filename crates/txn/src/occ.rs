@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, WordMap};
 
+use crate::faults::FaultHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -39,8 +40,10 @@ impl GraphScheduler for Occ {
     type Worker = OccWorker;
 
     fn worker(&self) -> OccWorker {
+        let id = self.sys.new_worker_id();
         OccWorker {
-            id: self.sys.new_worker_id(),
+            id,
+            faults: self.sys.fault_handle(id),
             sys: Arc::clone(&self.sys),
             reads: Vec::with_capacity(32),
             read_seen: WordMap::with_capacity(32),
@@ -59,6 +62,7 @@ impl GraphScheduler for Occ {
 /// Per-thread OCC state.
 pub struct OccWorker {
     id: u32,
+    faults: FaultHandle,
     sys: Arc<TxnSystem>,
     /// `(vertex, version at first read)`.
     reads: Vec<(VertexId, u32)>,
@@ -106,6 +110,10 @@ impl OccWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
+        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         let mem = self.sys.mem();
         let locks = self.sys.locks();
 
@@ -208,6 +216,7 @@ impl TxnWorker for OccWorker {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            self.faults.preempt();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -241,6 +250,13 @@ impl TxnWorker for OccWorker {
                         committed: false,
                         attempts,
                     };
+                }
+                Err(TxInterrupt::Panicked) => {
+                    // Writes were buffered; dropping them is the rollback.
+                    self.reset();
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
                 }
             }
         }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, LineSet, LineState, WordMap};
 
+use crate::faults::FaultHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -60,6 +61,7 @@ impl GraphScheduler for SoftwareTm {
         // the same id space as every other line locker.
         let owner = self.sys.htm_ctx().id();
         StmWorker {
+            faults: self.sys.fault_handle(owner),
             sys: Arc::clone(&self.sys),
             owner,
             penalty_spins: self.penalty_spins,
@@ -79,6 +81,7 @@ impl GraphScheduler for SoftwareTm {
 
 /// Per-thread STM state.
 pub struct StmWorker {
+    faults: FaultHandle,
     sys: Arc<TxnSystem>,
     owner: u32,
     penalty_spins: u32,
@@ -115,6 +118,10 @@ impl StmWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
+        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         let mem = self.sys.mem();
         if self.write_buf.is_empty() {
             // Read-only: per-read validation/extension already proved the
@@ -246,6 +253,7 @@ impl TxnWorker for StmWorker {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            self.faults.preempt();
             self.begin();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -278,6 +286,13 @@ impl TxnWorker for StmWorker {
                         committed: false,
                         attempts,
                     };
+                }
+                Err(TxInterrupt::Panicked) => {
+                    // Writes were buffered and no line is locked during the
+                    // body; dropping the buffers is the rollback.
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
                 }
             }
         }

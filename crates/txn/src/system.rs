@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, HtmConfig, HtmCtx, HtmRuntime, MemRegion, MemoryLayout, TxMemory};
 
-use crate::deadlock::WaitForTable;
+use crate::deadlock::{WaitConfig, WaitForTable};
+use crate::faults::FaultHandle;
 use crate::locks::VertexLocks;
 use crate::obs::ObsHandle;
 use crate::VertexId;
@@ -20,6 +21,8 @@ pub struct SystemConfig {
     pub padded_locks: bool,
     /// Upper bound on concurrently live workers (sizes the wait-for table).
     pub max_workers: usize,
+    /// Budget of the bounded wait on anonymous (reader-held) locks.
+    pub wait: WaitConfig,
 }
 
 impl Default for SystemConfig {
@@ -28,6 +31,7 @@ impl Default for SystemConfig {
             htm: HtmConfig::default(),
             padded_locks: false,
             max_workers: 512,
+            wait: WaitConfig::default(),
         }
     }
 }
@@ -49,6 +53,9 @@ pub struct TxnSystem {
     /// `wts` and claim `rts` in one atomic read-modify-write.
     to_ts: MemRegion,
     fallback_word: Addr,
+    /// Global serial-fallback token word: nonzero (holder id + 1) while a
+    /// TuFast worker runs its stop-the-world single-writer commit.
+    serial_token: Addr,
     wait_table: WaitForTable,
     ts_counter: AtomicU64,
     next_worker: AtomicU32,
@@ -56,6 +63,10 @@ pub struct TxnSystem {
     /// Installed lifecycle observer (`tufast-check`'s recorder/stepper).
     #[cfg(feature = "observe")]
     observer: std::sync::RwLock<Option<Arc<dyn crate::obs::TxnObserver>>>,
+    /// Installed fault plan (feature `faults`), snapshotted into each
+    /// worker's [`FaultHandle`] at worker creation.
+    #[cfg(feature = "faults")]
+    fault_plan: std::sync::RwLock<Option<Arc<crate::faults::FaultPlan>>>,
 }
 
 impl TxnSystem {
@@ -68,18 +79,22 @@ impl TxnSystem {
         };
         let to_ts = layout.alloc("to-timestamps", num_vertices as u64);
         let fallback = layout.alloc("hsync-fallback", 1);
+        let serial = layout.alloc("serial-token", 1);
         let htm = HtmRuntime::new(layout, config.htm);
         Arc::new(TxnSystem {
             htm,
             locks,
             to_ts,
             fallback_word: fallback.addr(0),
-            wait_table: WaitForTable::new(config.max_workers),
+            serial_token: serial.addr(0),
+            wait_table: WaitForTable::new(config.max_workers, config.wait),
             ts_counter: AtomicU64::new(1),
             next_worker: AtomicU32::new(0),
             num_vertices,
             #[cfg(feature = "observe")]
             observer: std::sync::RwLock::new(None),
+            #[cfg(feature = "faults")]
+            fault_plan: std::sync::RwLock::new(None),
         })
     }
 
@@ -88,7 +103,12 @@ impl TxnSystem {
     /// their next `execute` call.
     #[cfg(feature = "observe")]
     pub fn set_observer(&self, observer: Option<Arc<dyn crate::obs::TxnObserver>>) {
-        *self.observer.write().unwrap() = observer;
+        // Poison-tolerant: a panicking transaction body unwinds through
+        // scheduler frames by design, and an observer slot is plain data.
+        *self
+            .observer
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = observer;
     }
 
     /// Snapshot the observer into a cheap per-transaction handle. Without
@@ -97,11 +117,51 @@ impl TxnSystem {
     pub fn observer_handle(&self) -> ObsHandle {
         #[cfg(feature = "observe")]
         {
-            ObsHandle::attached(self.observer.read().unwrap().clone())
+            ObsHandle::attached(
+                self.observer
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            )
         }
         #[cfg(not(feature = "observe"))]
         {
             ObsHandle::none()
+        }
+    }
+
+    /// Install (or clear) the fault plan sampled by every scheduler
+    /// running on this system. Install it *before* creating workers:
+    /// each worker snapshots the plan into its [`FaultHandle`] when it is
+    /// created.
+    #[cfg(feature = "faults")]
+    pub fn set_fault_plan(&self, plan: Option<Arc<crate::faults::FaultPlan>>) {
+        *self
+            .fault_plan
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = plan;
+    }
+
+    /// The installed fault plan, if any (feature `faults`).
+    #[cfg(feature = "faults")]
+    pub fn fault_plan(&self) -> Option<Arc<crate::faults::FaultPlan>> {
+        self.fault_plan
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Snapshot the fault plan into a per-worker [`FaultHandle`]. Without
+    /// the `faults` feature this returns the zero-sized no-op handle.
+    #[inline]
+    pub fn fault_handle(&self, _worker: u32) -> FaultHandle {
+        #[cfg(feature = "faults")]
+        {
+            FaultHandle::attached(self.fault_plan(), _worker)
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            FaultHandle::none()
         }
     }
 
@@ -178,6 +238,13 @@ impl TxnSystem {
     #[inline]
     pub fn fallback_word(&self) -> Addr {
         self.fallback_word
+    }
+
+    /// The global serial-fallback token word (TuFast's last-resort
+    /// stop-the-world commit): 0 when free, holder id + 1 while held.
+    #[inline]
+    pub fn serial_token(&self) -> Addr {
+        self.serial_token
     }
 
     /// Words a transaction over a degree-`d` neighbourhood touches —

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use tufast_htm::{Addr, WordMap};
 
+use crate::faults::FaultHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -154,8 +155,10 @@ impl GraphScheduler for TimestampOrdering {
     type Worker = ToWorker;
 
     fn worker(&self) -> ToWorker {
+        let id = self.sys.new_worker_id();
         ToWorker {
-            id: self.sys.new_worker_id(),
+            id,
+            faults: self.sys.fault_handle(id),
             sys: Arc::clone(&self.sys),
             ts: 0,
             writes: WordMap::with_capacity(32),
@@ -173,6 +176,7 @@ impl GraphScheduler for TimestampOrdering {
 /// Per-thread TO state.
 pub struct ToWorker {
     id: u32,
+    faults: FaultHandle,
     sys: Arc<TxnSystem>,
     /// This attempt's timestamp.
     ts: u32,
@@ -193,6 +197,10 @@ impl ToWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
+        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         to_commit_locked(
             &self.sys,
             self.id,
@@ -236,6 +244,7 @@ impl TxnWorker for ToWorker {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            self.faults.preempt();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -268,6 +277,12 @@ impl TxnWorker for ToWorker {
                         committed: false,
                         attempts,
                     };
+                }
+                Err(TxInterrupt::Panicked) => {
+                    // Writes were buffered; dropping them is the rollback.
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
                 }
             }
         }

@@ -14,10 +14,12 @@
 //! and the wait-for bookkeeping is skipped.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use tufast_htm::{Addr, WordMap};
 
 use crate::deadlock::WaitOutcome;
+use crate::faults::FaultHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
     backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
@@ -55,8 +57,10 @@ impl GraphScheduler for TwoPhaseLocking {
     type Worker = TplWorker;
 
     fn worker(&self) -> TplWorker {
+        let id = self.sys.new_worker_id();
         TplWorker {
-            id: self.sys.new_worker_id(),
+            id,
+            faults: self.sys.fault_handle(id),
             sys: Arc::clone(&self.sys),
             ordered: self.ordered,
             held: WordMap::with_capacity(32),
@@ -80,6 +84,7 @@ pub struct TplWorker {
     id: u32,
     sys: Arc<TxnSystem>,
     ordered: bool,
+    faults: FaultHandle,
     /// vertex id → HELD_* mode.
     held: WordMap,
     held_order: Vec<VertexId>,
@@ -100,15 +105,37 @@ impl TplWorker {
         }
     }
 
+    /// The instant an anonymous wait started — sampled only when the
+    /// configured budget has a wall-clock deadline.
+    #[inline]
+    fn wait_start(&self) -> Option<Instant> {
+        self.sys
+            .wait_table()
+            .config()
+            .deadline
+            .map(|_| Instant::now())
+    }
+
     /// Blocking shared acquisition with deadlock handling.
     fn acquire_shared(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        if self.faults.lock_acquisition_fails() {
+            // Injected acquisition failure: indistinguishable from a
+            // bounded-wait victimization.
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         let mem = self.sys.mem();
         let locks = self.sys.locks();
         let mut anon_attempt = 0u32;
+        let started = self.wait_start();
         loop {
             match locks.try_shared(mem, v) {
                 Ok(_) => return Ok(()),
                 Err(pre) => {
+                    // A shared acquisition can only fail on a writer; an
+                    // anonymous (reader-held) word admits more readers. A
+                    // writerless failure here would mean lock-word
+                    // corruption, so surface it loudly.
                     let holder = pre
                         .writer()
                         .expect("shared acquisition fails only on a writer");
@@ -119,12 +146,16 @@ impl TplWorker {
                         self.stats.deadlock_victims += 1;
                         return Err(TxInterrupt::Restart);
                     }
-                    let outcome = self.sys.wait_table().bounded_anonymous_wait(anon_attempt);
+                    let outcome = self.sys.wait_table().bounded_anonymous_wait(
+                        self.id,
+                        anon_attempt,
+                        started,
+                    );
                     if !self.ordered {
                         self.sys.wait_table().clear(self.id);
                     }
                     if outcome == WaitOutcome::Victim {
-                        self.stats.deadlock_victims += 1;
+                        self.stats.anon_wait_victims += 1;
                         return Err(TxInterrupt::Restart);
                     }
                     anon_attempt += 1;
@@ -135,9 +166,14 @@ impl TplWorker {
 
     /// Blocking exclusive acquisition with deadlock handling.
     fn acquire_exclusive(&mut self, v: VertexId) -> Result<(), TxInterrupt> {
+        if self.faults.lock_acquisition_fails() {
+            self.stats.injected_faults += 1;
+            return Err(TxInterrupt::Restart);
+        }
         let mem = self.sys.mem();
         let locks = self.sys.locks();
         let mut anon_attempt = 0u32;
+        let started = self.wait_start();
         loop {
             match locks.try_exclusive(mem, v, self.id) {
                 Ok(_) => return Ok(()),
@@ -152,12 +188,16 @@ impl TplWorker {
                         }
                     }
                     // Readers are anonymous either way: bounded wait.
-                    let outcome = self.sys.wait_table().bounded_anonymous_wait(anon_attempt);
+                    let outcome = self.sys.wait_table().bounded_anonymous_wait(
+                        self.id,
+                        anon_attempt,
+                        started,
+                    );
                     if !self.ordered {
                         self.sys.wait_table().clear(self.id);
                     }
                     if outcome == WaitOutcome::Victim {
-                        self.stats.deadlock_victims += 1;
+                        self.stats.anon_wait_victims += 1;
                         return Err(TxInterrupt::Restart);
                     }
                     anon_attempt += 1;
@@ -238,8 +278,20 @@ impl TxnOps for TplWorker {
     }
 }
 
-impl TxnWorker for TplWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+impl TplWorker {
+    /// Exempt (or re-subject) this worker from fault injection. The
+    /// TuFast serial-fallback path exempts its stop-the-world commit so
+    /// the liveness backstop cannot itself be sabotaged.
+    pub fn set_fault_exempt(&mut self, exempt: bool) {
+        self.faults.set_exempt(exempt);
+    }
+
+    /// [`execute`](TxnWorker::execute) with an attempt budget: gives up
+    /// (returning `committed: false` with everything rolled back and all
+    /// locks released) after `max_attempts` failed attempts instead of
+    /// retrying forever. The TuFast router uses this to bound its L-mode
+    /// phase before escalating to the global serial-fallback token.
+    pub fn execute_bounded(&mut self, max_attempts: u32, body: &mut TxnBody<'_>) -> TxnOutcome {
         let obs = self.sys.observer_handle();
         let id = self.id;
         let mut attempts = 0u32;
@@ -258,6 +310,7 @@ impl TxnWorker for TplWorker {
                     obs.commit_ticketed(id, || self.sys.mem().clock_tick_pub());
                     self.release_all(false);
                     self.stats.commits += 1;
+                    self.sys.wait_table().record_commit(id);
                     return TxnOutcome {
                         committed: true,
                         attempts,
@@ -267,6 +320,12 @@ impl TxnWorker for TplWorker {
                     self.rollback();
                     self.stats.restarts += 1;
                     obs.abort(id, false);
+                    if attempts >= max_attempts {
+                        return TxnOutcome {
+                            committed: false,
+                            attempts,
+                        };
+                    }
                     backoff(attempts, self.id);
                 }
                 Err(TxInterrupt::UserAbort) => {
@@ -278,8 +337,23 @@ impl TxnWorker for TplWorker {
                         attempts,
                     };
                 }
+                Err(TxInterrupt::Panicked) => {
+                    // The body panicked mid-transaction: undo its in-place
+                    // writes and release every lock, then let the panic
+                    // continue on this thread. Peers are unaffected.
+                    self.rollback();
+                    self.stats.panics += 1;
+                    obs.abort(id, false);
+                    crate::obs::resume_body_panic();
+                }
             }
         }
+    }
+}
+
+impl TxnWorker for TplWorker {
+    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        self.execute_bounded(u32::MAX, body)
     }
 
     fn stats(&self) -> &SchedStats {
@@ -435,6 +509,82 @@ mod tests {
         assert!(out.committed);
         assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
         assert_eq!(sys.locks().peek(sys.mem(), 0).version(), 1);
+    }
+
+    #[test]
+    fn panicking_body_releases_locks_and_reraises() {
+        let (sys, acc) = bank(2);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.execute(4, &mut |ops| {
+                ops.write(0, acc.addr(0), 1)?;
+                panic!("body bug");
+            })
+        }));
+        assert!(caught.is_err(), "the panic must still surface");
+        assert_eq!(w.stats().panics, 1);
+        // The in-place write was undone and every lock released.
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 100);
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+        // The worker remains usable afterwards.
+        let out = w.execute(2, &mut |ops| {
+            let v = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), v + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
+    }
+
+    #[test]
+    fn bounded_execution_gives_up_cleanly() {
+        let (sys, acc) = bank(1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        // Another worker holds vertex 0 exclusively for the whole test.
+        let blocker = sys.new_worker_id();
+        sys.locks().try_exclusive(sys.mem(), 0, blocker).unwrap();
+        let out = w.execute_bounded(2, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(!out.committed);
+        assert_eq!(out.attempts, 2);
+        assert!(w.stats().anon_wait_victims >= 2);
+        // Once the blocker releases, the same worker commits normally.
+        sys.locks().unlock_exclusive(sys.mem(), 0, blocker, false);
+        let out = w.execute(2, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(out.committed);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_lock_failures_respect_budget_and_exemption() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let (sys, acc) = bank(1);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultSpec {
+            lock_fail_permille: 1000,
+            ..FaultSpec::default()
+        })));
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let out = w.execute_bounded(3, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(!out.committed, "100% lock-fail injection must starve 2PL");
+        assert_eq!(w.stats().injected_faults, 3);
+        assert!(sys.locks().peek(sys.mem(), 0).is_free());
+        // Exemption (the serial-token path) bypasses the plan entirely.
+        w.set_fault_exempt(true);
+        let out = w.execute(2, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(out.committed);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum TxInterrupt {
     /// The body itself called [`TxnOps::user_abort`] — roll back and do
     /// *not* retry (the paper's `ABORT()`).
     UserAbort,
+    /// The body panicked. Produced only by the panic-containment layer in
+    /// [`ObsHandle::run_body`](crate::obs::ObsHandle::run_body), never by
+    /// bodies themselves: the scheduler rolls back (releasing every lock
+    /// and HTM resource), records the panic, and re-raises the original
+    /// payload via [`resume_body_panic`](crate::obs::resume_body_panic)
+    /// so peers keep committing while the panic still surfaces on the
+    /// calling thread.
+    Panicked,
 }
 
 /// Transactional read/write operations, implemented per scheduler.
@@ -68,8 +76,19 @@ pub struct SchedStats {
     pub reads: u64,
     /// Transactional writes (committed and wasted).
     pub writes: u64,
-    /// Times this worker was chosen as a deadlock (or bounded-wait) victim.
+    /// Times this worker was chosen as a wait-for-cycle deadlock victim.
     pub deadlock_victims: u64,
+    /// Times this worker self-aborted out of a bounded anonymous
+    /// (reader-held) lock wait — counted separately from cycle victims.
+    pub anon_wait_victims: u64,
+    /// Transaction bodies that panicked on this worker (each rolled back
+    /// cleanly before the panic was re-raised).
+    pub panics: u64,
+    /// Scheduler-level faults (lock failures/stalls, validation failures,
+    /// preemptions) injected into this worker by the active
+    /// [`FaultPlan`](crate::faults::FaultPlan). HTM-level injected aborts
+    /// are counted on the plan itself.
+    pub injected_faults: u64,
 }
 
 impl SchedStats {
@@ -81,6 +100,9 @@ impl SchedStats {
         self.reads += other.reads;
         self.writes += other.writes;
         self.deadlock_victims += other.deadlock_victims;
+        self.anon_wait_victims += other.anon_wait_victims;
+        self.panics += other.panics;
+        self.injected_faults += other.injected_faults;
     }
 
     /// Committed transactions per attempt — 1.0 means no wasted work.
@@ -176,6 +198,9 @@ mod tests {
             commits: 2,
             writes: 5,
             deadlock_victims: 1,
+            anon_wait_victims: 2,
+            panics: 3,
+            injected_faults: 4,
             ..Default::default()
         };
         a.merge(&b);
@@ -183,6 +208,9 @@ mod tests {
         assert_eq!(a.reads, 10);
         assert_eq!(a.writes, 5);
         assert_eq!(a.deadlock_victims, 1);
+        assert_eq!(a.anon_wait_victims, 2);
+        assert_eq!(a.panics, 3);
+        assert_eq!(a.injected_faults, 4);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 use std::collections::VecDeque;
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
-use tufast_htm::MemRegion;
+use tufast_htm::{MemRegion, TxMemory};
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 
+use crate::checkpoint::{self, Checkpointable, CkptReport};
 use crate::common::read_u64_region;
 
 /// Distance assigned to unreachable vertices.
@@ -30,6 +32,20 @@ impl BfsSpace {
         BfsSpace {
             dist: layout.alloc("bfs-dist", n as u64),
         }
+    }
+}
+
+impl Checkpointable for BfsSpace {
+    fn tag(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn capture(&self, mem: &TxMemory) -> Vec<Section> {
+        vec![checkpoint::capture_region("dist", mem, &self.dist)]
+    }
+
+    fn restore(&self, mem: &TxMemory, snap: &Snapshot) -> Result<(), SnapshotError> {
+        checkpoint::restore_region("dist", mem, &self.dist, snap)
     }
 }
 
@@ -70,28 +86,95 @@ pub fn parallel<S: GraphScheduler>(
     pool.push(source);
     let dist = &space.dist;
     parallel_drain(sched, &pool, threads, |worker, pool, v| {
-        let degree = g.degree(v);
-        let mut improved: Vec<VertexId> = Vec::new();
-        worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
-            improved.clear();
-            let dv = ops.read(v, dist.addr(u64::from(v)))?;
-            if dv == UNREACHED {
-                return Ok(()); // stale token: the source value moved on
-            }
-            for &u in g.neighbors(v) {
-                let du = ops.read(u, dist.addr(u64::from(u)))?;
-                if du > dv + 1 {
-                    ops.write(u, dist.addr(u64::from(u)), dv + 1)?;
-                    improved.push(u);
-                }
-            }
-            Ok(())
-        });
-        for &u in &improved {
-            pool.push(u);
-        }
+        relax(g, dist, worker, pool, v);
     });
     read_u64_region(mem, dist)
+}
+
+/// One pool item: relax `v`'s out-neighbours transactionally, re-queueing
+/// every vertex whose distance improved.
+fn relax<P: WorkPool>(
+    g: &Graph,
+    dist: &MemRegion,
+    worker: &mut impl TxnWorker,
+    pool: &P,
+    v: VertexId,
+) {
+    let degree = g.degree(v);
+    let mut improved: Vec<VertexId> = Vec::new();
+    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+        improved.clear();
+        let dv = ops.read(v, dist.addr(u64::from(v)))?;
+        if dv == UNREACHED {
+            return Ok(()); // stale token: the source value moved on
+        }
+        for &u in g.neighbors(v) {
+            let du = ops.read(u, dist.addr(u64::from(u)))?;
+            if du > dv + 1 {
+                ops.write(u, dist.addr(u64::from(u)), dv + 1)?;
+                improved.push(u);
+            }
+        }
+        Ok(())
+    });
+    for &u in &improved {
+        pool.push(u);
+    }
+}
+
+/// [`parallel`] with epoch checkpointing into `store` every `every_items`
+/// processed pool items (see [`checkpoint`](crate::checkpoint)).
+///
+/// With `resume` set, the latest valid snapshot (written by a previous —
+/// possibly crashed — run of the *same algorithm over the same graph*)
+/// seeds the distances and the frontier, and the run continues from the
+/// epoch after it. Distances are unique fixpoints, so the recovered result
+/// is bitwise identical to an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_ckpt<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &BfsSpace,
+    source: VertexId,
+    threads: usize,
+    store: &SnapshotStore,
+    every_items: u64,
+    resume: bool,
+) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
+    let mem = sys.mem();
+    let pool = FifoPool::new();
+    let mut report = CkptReport::default();
+    let start_epoch = if resume {
+        let rec = checkpoint::recover(store, mem, space)?;
+        report.recoveries = 1;
+        report.snapshot_fallbacks = rec.fallbacks;
+        for &(v, _) in &rec.frontier {
+            pool.push(v);
+        }
+        rec.epoch + 1
+    } else {
+        mem.fill_region(&space.dist, UNREACHED);
+        mem.store_direct(space.dist.addr(u64::from(source)), 0);
+        pool.push(source);
+        0
+    };
+    let dist = &space.dist;
+    checkpoint::run_checkpointed(
+        sched,
+        sys,
+        &pool,
+        threads,
+        store,
+        space,
+        every_items,
+        start_epoch,
+        &mut report,
+        |worker, pool, v| {
+            relax(g, dist, worker, pool, v);
+        },
+    );
+    Ok((read_u64_region(mem, dist), report))
 }
 
 #[cfg(test)]

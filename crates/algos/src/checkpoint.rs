@@ -1,0 +1,357 @@
+//! Epoch checkpointing and crash recovery for the transactional algorithms.
+//!
+//! Each algorithm's region bundle implements [`Checkpointable`]: it can
+//! capture its vertex property arrays into named TFSN sections and restore
+//! them into a freshly built system (region layouts are carved before
+//! `TxnSystem::build` and are identical across rebuilds of the same graph,
+//! so addresses line up). The work-pool frontier rides along as one more
+//! section, so a resumed run continues *mid-algorithm* instead of
+//! restarting.
+//!
+//! The `*_ckpt` entry points in [`bfs`](crate::bfs), [`wcc`](crate::wcc)
+//! and [`sssp`](crate::sssp) wire this into
+//! [`parallel_drain_epochs`](tufast::epoch::parallel_drain_epochs): every
+//! epoch the coordinator quiesces the run and [`run_checkpointed`] writes
+//! `(state, frontier)` into a rotating [`SnapshotStore`]. Those three
+//! algorithms converge to *unique* fixpoints under monotone relaxation, so
+//! crash → recover → finish produces bitwise the same answer as an
+//! uninterrupted run (the `tufast-check` recovery matrix proves it).
+//! PageRank is [`Checkpointable`] too, but floating-point accumulation
+//! order makes its fixpoint tolerance-exact rather than bitwise, so it has
+//! no `_ckpt` driver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tufast::epoch::parallel_drain_epochs;
+use tufast::par::WorkPool;
+use tufast::TuFastStats;
+use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
+use tufast_htm::{MemRegion, TxMemory};
+use tufast_txn::{GraphScheduler, TxnSystem};
+
+/// Name of the section carrying the work-pool frontier.
+pub const FRONTIER_SECTION: &str = "frontier";
+
+/// Algorithm state that can round-trip through a TFSN snapshot.
+pub trait Checkpointable {
+    /// Stable algorithm tag, validated at restore time so a BFS snapshot
+    /// cannot silently seed a WCC run.
+    fn tag(&self) -> &'static str;
+    /// Capture the property arrays as named sections.
+    fn capture(&self, mem: &TxMemory) -> Vec<Section>;
+    /// Restore the property arrays from `snap` (written by the same
+    /// algorithm over the same graph).
+    fn restore(&self, mem: &TxMemory, snap: &Snapshot) -> Result<(), SnapshotError>;
+}
+
+/// Capture one region as a section.
+pub fn capture_region(name: &str, mem: &TxMemory, region: &MemRegion) -> Section {
+    Section {
+        name: name.to_string(),
+        words: mem.snapshot_region(region),
+    }
+}
+
+/// Restore one region from its section, validating the length (a snapshot
+/// of a different graph fails loudly instead of corrupting memory).
+pub fn restore_region(
+    name: &str,
+    mem: &TxMemory,
+    region: &MemRegion,
+    snap: &Snapshot,
+) -> Result<(), SnapshotError> {
+    let section = snap
+        .section(name)
+        .ok_or_else(|| SnapshotError::Format(format!("missing section {name:?}")))?;
+    if section.words.len() as u64 != region.len() {
+        return Err(SnapshotError::Format(format!(
+            "section {name:?} holds {} words, region needs {}",
+            section.words.len(),
+            region.len()
+        )));
+    }
+    for (i, &w) in section.words.iter().enumerate() {
+        mem.store_direct(region.addr(i as u64), w);
+    }
+    Ok(())
+}
+
+/// Encode a frontier (from [`WorkPool::pending_items`]) as a section of
+/// `(vertex, key)` word pairs.
+pub fn frontier_section(items: &[(u32, u64)]) -> Section {
+    let mut words = Vec::with_capacity(items.len() * 2);
+    for &(v, key) in items {
+        words.push(u64::from(v));
+        words.push(key);
+    }
+    Section {
+        name: FRONTIER_SECTION.to_string(),
+        words,
+    }
+}
+
+/// Decode the frontier section back into `(vertex, key)` pairs.
+pub fn frontier_items(snap: &Snapshot) -> Result<Vec<(u32, u64)>, SnapshotError> {
+    let section = snap
+        .section(FRONTIER_SECTION)
+        .ok_or_else(|| SnapshotError::Format("missing frontier section".to_string()))?;
+    if !section.words.len().is_multiple_of(2) {
+        return Err(SnapshotError::Format(
+            "frontier section length is odd".to_string(),
+        ));
+    }
+    section
+        .words
+        .chunks_exact(2)
+        .map(|pair| {
+            let v = u32::try_from(pair[0])
+                .map_err(|_| SnapshotError::Format("frontier vertex exceeds u32".to_string()))?;
+            Ok((v, pair[1]))
+        })
+        .collect()
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Epoch of the snapshot that was restored.
+    pub epoch: u64,
+    /// The work-pool frontier at that epoch, ready to re-seed the pool.
+    pub frontier: Vec<(u32, u64)>,
+    /// 1 when a newer corrupt/torn generation was skipped, 0 otherwise.
+    pub fallbacks: u64,
+}
+
+/// Load the newest valid snapshot from `store`, validate its tag against
+/// `ckpt`, restore the property arrays, and decode the frontier.
+pub fn recover(
+    store: &SnapshotStore,
+    mem: &TxMemory,
+    ckpt: &impl Checkpointable,
+) -> Result<Recovered, SnapshotError> {
+    let loaded = store.load_latest()?;
+    let snap = &loaded.snapshot;
+    if snap.algo != ckpt.tag() {
+        return Err(SnapshotError::Format(format!(
+            "snapshot is for algorithm {:?}, expected {:?}",
+            snap.algo,
+            ckpt.tag()
+        )));
+    }
+    ckpt.restore(mem, snap)?;
+    Ok(Recovered {
+        epoch: snap.epoch,
+        frontier: frontier_items(snap)?,
+        fallbacks: loaded.fallbacks,
+    })
+}
+
+/// Checkpoint accounting from one `*_ckpt` run, foldable into
+/// [`TuFastStats`] for the bench harness's robustness line.
+#[derive(Clone, Debug, Default)]
+pub struct CkptReport {
+    /// Snapshots durably written.
+    pub checkpoints_written: u64,
+    /// Snapshot writes that failed (the run continues; the previous
+    /// generation stays intact, so at most one epoch of progress is lost).
+    pub checkpoint_failures: u64,
+    /// 1 when this run resumed from a snapshot, 0 for a fresh start.
+    pub recoveries: u64,
+    /// Corrupt/torn newer generations skipped during recovery.
+    pub snapshot_fallbacks: u64,
+    /// Epoch of the last snapshot written, if any.
+    pub last_epoch: Option<u64>,
+}
+
+impl CkptReport {
+    /// Fold the checkpoint counters into a stats bundle.
+    pub fn fold_into(&self, stats: &mut TuFastStats) {
+        stats.checkpoints_written += self.checkpoints_written;
+        stats.recoveries += self.recoveries;
+        stats.snapshot_fallbacks += self.snapshot_fallbacks;
+    }
+}
+
+/// Drive `pool` to quiescence with epoch checkpointing: every
+/// `every_items` processed items the run quiesces and `(captured state,
+/// frontier)` is written to `store` stamped with the closing epoch.
+///
+/// Write failures are *counted, not fatal*: the store's previous
+/// generation is untouched, so a failed write costs at most one epoch of
+/// recoverable progress, and the computation itself continues.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed<S, P, F>(
+    sched: &S,
+    sys: &TxnSystem,
+    pool: &P,
+    threads: usize,
+    store: &SnapshotStore,
+    ckpt: &(impl Checkpointable + Sync),
+    every_items: u64,
+    start_epoch: u64,
+    report: &mut CkptReport,
+    f: F,
+) where
+    S: GraphScheduler,
+    P: WorkPool,
+    F: Fn(&mut S::Worker, &P, u32) + Sync,
+{
+    let mem = sys.mem();
+    let written = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    // last epoch + 1; 0 means "none written yet".
+    let last = AtomicU64::new(0);
+    parallel_drain_epochs(
+        sched,
+        sys,
+        pool,
+        threads,
+        every_items,
+        start_epoch,
+        |epoch| {
+            let mut sections = ckpt.capture(mem);
+            sections.push(frontier_section(&pool.pending_items()));
+            let snap = Snapshot {
+                algo: ckpt.tag().to_string(),
+                epoch,
+                sections,
+            };
+            match store.write(&snap) {
+                Ok(_) => {
+                    written.fetch_add(1, Ordering::SeqCst);
+                    last.store(epoch + 1, Ordering::SeqCst);
+                }
+                Err(_) => {
+                    failures.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        },
+        f,
+    );
+    report.checkpoints_written += written.load(Ordering::SeqCst);
+    report.checkpoint_failures += failures.load(Ordering::SeqCst);
+    if let Some(epoch) = last.load(Ordering::SeqCst).checked_sub(1) {
+        report.last_epoch = Some(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsSpace;
+    use tufast_graph::gen;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tufast-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn frontier_roundtrip() {
+        let items = vec![(3u32, 7u64), (0, 0), (u32::MAX, u64::MAX)];
+        let snap = Snapshot {
+            algo: "x".into(),
+            epoch: 0,
+            sections: vec![frontier_section(&items)],
+        };
+        assert_eq!(frontier_items(&snap).unwrap(), items);
+    }
+
+    #[test]
+    fn odd_frontier_rejected() {
+        let snap = Snapshot {
+            algo: "x".into(),
+            epoch: 0,
+            sections: vec![Section {
+                name: FRONTIER_SECTION.into(),
+                words: vec![1, 2, 3],
+            }],
+        };
+        assert!(matches!(
+            frontier_items(&snap),
+            Err(SnapshotError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_through_store() {
+        let g = gen::grid2d(6, 6);
+        let built = crate::setup(&g, BfsSpace::alloc);
+        let mem = built.sys.mem();
+        for v in 0..g.num_vertices() as u64 {
+            mem.store_direct(built.space.dist.addr(v), v * 3 + 1);
+        }
+        let dir = temp_dir("roundtrip");
+        let store = SnapshotStore::open(&dir, "bfs").unwrap();
+        let mut sections = built.space.capture(mem);
+        sections.push(frontier_section(&[(5, 0), (9, 1)]));
+        store
+            .write(&Snapshot {
+                algo: built.space.tag().into(),
+                epoch: 4,
+                sections,
+            })
+            .unwrap();
+
+        // "Crash": rebuild the system from scratch, then recover.
+        let rebuilt = crate::setup(&g, BfsSpace::alloc);
+        let rec = recover(&store, rebuilt.sys.mem(), &rebuilt.space).unwrap();
+        assert_eq!(rec.epoch, 4);
+        assert_eq!(rec.frontier, vec![(5, 0), (9, 1)]);
+        assert_eq!(rec.fallbacks, 0);
+        for v in 0..g.num_vertices() as u64 {
+            assert_eq!(
+                rebuilt.sys.mem().load_direct(rebuilt.space.dist.addr(v)),
+                v * 3 + 1
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_algorithm_tag_rejected() {
+        let g = gen::grid2d(4, 4);
+        let built = crate::setup(&g, BfsSpace::alloc);
+        let dir = temp_dir("wrong-tag");
+        let store = SnapshotStore::open(&dir, "x").unwrap();
+        let mut sections = built.space.capture(built.sys.mem());
+        sections.push(frontier_section(&[]));
+        store
+            .write(&Snapshot {
+                algo: "wcc".into(),
+                epoch: 0,
+                sections,
+            })
+            .unwrap();
+        assert!(matches!(
+            recover(&store, built.sys.mem(), &built.space),
+            Err(SnapshotError::Format(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_graph_size_rejected() {
+        let small = gen::grid2d(3, 3);
+        let big = gen::grid2d(8, 8);
+        let from = crate::setup(&small, BfsSpace::alloc);
+        let dir = temp_dir("wrong-size");
+        let store = SnapshotStore::open(&dir, "bfs").unwrap();
+        let mut sections = from.space.capture(from.sys.mem());
+        sections.push(frontier_section(&[]));
+        store
+            .write(&Snapshot {
+                algo: from.space.tag().into(),
+                epoch: 0,
+                sections,
+            })
+            .unwrap();
+        let to = crate::setup(&big, BfsSpace::alloc);
+        assert!(matches!(
+            recover(&store, to.sys.mem(), &to.space),
+            Err(SnapshotError::Format(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

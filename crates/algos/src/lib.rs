@@ -21,11 +21,17 @@
 //! | [`mis`] | greedy maximal independent set | Fig. 11/12 |
 //! | [`matching`] | greedy maximal matching — the paper's Fig. 1 | §II example |
 //! | [`coloring`] | greedy vertex coloring | extension |
+//!
+//! [`checkpoint`] adds epoch-based checkpointing and crash recovery: BFS,
+//! WCC and SSSP ship `parallel_ckpt` variants that snapshot `(state,
+//! frontier)` into a rotating store at epoch barriers and can resume a
+//! crashed run mid-algorithm, bitwise-identically.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bfs;
+pub mod checkpoint;
 pub mod coloring;
 mod common;
 pub mod matching;

@@ -8,10 +8,12 @@
 //! implements them.
 
 use tufast::par::{parallel_drain, FifoPool, PriorityPool, WorkPool};
+use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
-use tufast_htm::MemRegion;
+use tufast_htm::{MemRegion, TxMemory};
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 
+use crate::checkpoint::{self, Checkpointable, CkptReport};
 use crate::common::read_u64_region;
 
 /// Distance assigned to unreachable vertices.
@@ -38,6 +40,20 @@ impl SsspSpace {
         SsspSpace {
             dist: layout.alloc("sssp-dist", n as u64),
         }
+    }
+}
+
+impl Checkpointable for SsspSpace {
+    fn tag(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn capture(&self, mem: &TxMemory) -> Vec<Section> {
+        vec![checkpoint::capture_region("dist", mem, &self.dist)]
+    }
+
+    fn restore(&self, mem: &TxMemory, snap: &Snapshot) -> Result<(), SnapshotError> {
+        checkpoint::restore_region("dist", mem, &self.dist, snap)
     }
 }
 
@@ -122,28 +138,125 @@ fn drive<S: GraphScheduler, P: WorkPool>(
 ) {
     let dist = &space.dist;
     parallel_drain(sched, pool, threads, |worker, pool, v| {
-        let degree = g.degree(v);
-        let mut improved: Vec<(VertexId, u64)> = Vec::new();
-        worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
-            improved.clear();
-            let dv = ops.read(v, dist.addr(u64::from(v)))?;
-            if dv == UNREACHED {
-                return Ok(());
-            }
-            for (u, w) in g.weighted_neighbors(v) {
-                let cand = dv + u64::from(w);
-                let du = ops.read(u, dist.addr(u64::from(u)))?;
-                if cand < du {
-                    ops.write(u, dist.addr(u64::from(u)), cand)?;
-                    improved.push((u, cand));
-                }
-            }
-            Ok(())
-        });
-        for &(u, d) in &improved {
-            push(pool, u, d);
-        }
+        relax(g, dist, worker, pool, v, &push);
     });
+}
+
+/// One pool item: relax `v`'s weighted out-edges transactionally,
+/// re-queueing improved vertices through `push` (queue-discipline aware).
+fn relax<P: WorkPool>(
+    g: &Graph,
+    dist: &MemRegion,
+    worker: &mut impl TxnWorker,
+    pool: &P,
+    v: VertexId,
+    push: &(impl Fn(&P, VertexId, u64) + Sync),
+) {
+    let degree = g.degree(v);
+    let mut improved: Vec<(VertexId, u64)> = Vec::new();
+    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+        improved.clear();
+        let dv = ops.read(v, dist.addr(u64::from(v)))?;
+        if dv == UNREACHED {
+            return Ok(());
+        }
+        for (u, w) in g.weighted_neighbors(v) {
+            let cand = dv + u64::from(w);
+            let du = ops.read(u, dist.addr(u64::from(u)))?;
+            if cand < du {
+                ops.write(u, dist.addr(u64::from(u)), cand)?;
+                improved.push((u, cand));
+            }
+        }
+        Ok(())
+    });
+    for &(u, d) in &improved {
+        push(pool, u, d);
+    }
+}
+
+/// [`parallel`] with epoch checkpointing into `store` every `every_items`
+/// processed pool items; `resume` continues a crashed run from its latest
+/// valid snapshot (the priority queue's keys are part of the frontier
+/// section, so SPFA resumes with its ordering intact). Distances are
+/// unique fixpoints, so the recovered result is bitwise identical to an
+/// uninterrupted run.
+///
+/// # Panics
+/// If `g` has no edge weights.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_ckpt<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &SsspSpace,
+    source: VertexId,
+    threads: usize,
+    kind: QueueKind,
+    store: &SnapshotStore,
+    every_items: u64,
+    resume: bool,
+) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
+    assert!(
+        g.has_weights(),
+        "SSSP needs edge weights (gen::with_random_weights)"
+    );
+    let mem = sys.mem();
+    let mut report = CkptReport::default();
+    let mut frontier: Vec<(VertexId, u64)> = vec![(source, 0)];
+    let start_epoch = if resume {
+        let rec = checkpoint::recover(store, mem, space)?;
+        report.recoveries = 1;
+        report.snapshot_fallbacks = rec.fallbacks;
+        frontier = rec.frontier;
+        rec.epoch + 1
+    } else {
+        mem.fill_region(&space.dist, UNREACHED);
+        mem.store_direct(space.dist.addr(u64::from(source)), 0);
+        0
+    };
+    let dist = &space.dist;
+    match kind {
+        QueueKind::Fifo => {
+            let pool = FifoPool::new();
+            for &(v, _) in &frontier {
+                pool.push(v);
+            }
+            let push = |pool: &FifoPool, u: VertexId, _key: u64| pool.push(u);
+            checkpoint::run_checkpointed(
+                sched,
+                sys,
+                &pool,
+                threads,
+                store,
+                space,
+                every_items,
+                start_epoch,
+                &mut report,
+                |worker, pool, v| relax(g, dist, worker, pool, v, &push),
+            );
+        }
+        QueueKind::Priority => {
+            let pool = PriorityPool::new();
+            for &(v, key) in &frontier {
+                pool.push_with_key(v, key);
+            }
+            let push = |pool: &PriorityPool, u: VertexId, key: u64| pool.push_with_key(u, key);
+            checkpoint::run_checkpointed(
+                sched,
+                sys,
+                &pool,
+                threads,
+                store,
+                space,
+                every_items,
+                start_epoch,
+                &mut report,
+                |worker, pool, v| relax(g, dist, worker, pool, v, &push),
+            );
+        }
+    }
+    Ok((read_u64_region(mem, dist), report))
 }
 
 #[cfg(test)]

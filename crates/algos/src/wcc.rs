@@ -7,10 +7,12 @@
 //! component: a unique fixpoint, so parallel equals sequential exactly.
 
 use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
-use tufast_htm::MemRegion;
+use tufast_htm::{MemRegion, TxMemory};
 use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 
+use crate::checkpoint::{self, Checkpointable, CkptReport};
 use crate::common::read_u64_region;
 
 /// Region handles for WCC.
@@ -25,6 +27,20 @@ impl WccSpace {
         WccSpace {
             label: layout.alloc("wcc-label", n as u64),
         }
+    }
+}
+
+impl Checkpointable for WccSpace {
+    fn tag(&self) -> &'static str {
+        "wcc"
+    }
+
+    fn capture(&self, mem: &TxMemory) -> Vec<Section> {
+        vec![checkpoint::capture_region("label", mem, &self.label)]
+    }
+
+    fn restore(&self, mem: &TxMemory, snap: &Snapshot) -> Result<(), SnapshotError> {
+        checkpoint::restore_region("label", mem, &self.label, snap)
     }
 }
 
@@ -82,37 +98,103 @@ pub fn parallel<S: GraphScheduler>(
     }
     let label = &space.label;
     parallel_drain(sched, &pool, threads, |worker, pool, v| {
-        let degree = g.degree(v) + g.reverse().map_or(0, |_| g.in_degree(v));
-        let mut improved: Vec<VertexId> = Vec::new();
-        worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
-            improved.clear();
-            let lv = ops.read(v, label.addr(u64::from(v)))?;
-            let relax = |ops: &mut dyn tufast_txn::TxnOps,
-                         u: VertexId,
-                         improved: &mut Vec<VertexId>|
-             -> Result<(), tufast_txn::TxInterrupt> {
-                let lu = ops.read(u, label.addr(u64::from(u)))?;
-                if lv < lu {
-                    ops.write(u, label.addr(u64::from(u)), lv)?;
-                    improved.push(u);
-                }
-                Ok(())
-            };
-            for &u in g.neighbors(v) {
-                relax(ops, u, &mut improved)?;
-            }
-            if g.reverse().is_some() {
-                for &u in g.in_neighbors(v) {
-                    relax(ops, u, &mut improved)?;
-                }
-            }
-            Ok(())
-        });
-        for &u in &improved {
-            pool.push(u);
-        }
+        propagate(g, label, worker, pool, v);
     });
     read_u64_region(mem, label)
+}
+
+/// One pool item: push `v`'s label to its undirected neighbourhood,
+/// re-queueing every vertex whose label improved.
+fn propagate<P: WorkPool>(
+    g: &Graph,
+    label: &MemRegion,
+    worker: &mut impl TxnWorker,
+    pool: &P,
+    v: VertexId,
+) {
+    let degree = g.degree(v) + g.reverse().map_or(0, |_| g.in_degree(v));
+    let mut improved: Vec<VertexId> = Vec::new();
+    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+        improved.clear();
+        let lv = ops.read(v, label.addr(u64::from(v)))?;
+        let relax = |ops: &mut dyn tufast_txn::TxnOps,
+                     u: VertexId,
+                     improved: &mut Vec<VertexId>|
+         -> Result<(), tufast_txn::TxInterrupt> {
+            let lu = ops.read(u, label.addr(u64::from(u)))?;
+            if lv < lu {
+                ops.write(u, label.addr(u64::from(u)), lv)?;
+                improved.push(u);
+            }
+            Ok(())
+        };
+        for &u in g.neighbors(v) {
+            relax(ops, u, &mut improved)?;
+        }
+        if g.reverse().is_some() {
+            for &u in g.in_neighbors(v) {
+                relax(ops, u, &mut improved)?;
+            }
+        }
+        Ok(())
+    });
+    for &u in &improved {
+        pool.push(u);
+    }
+}
+
+/// [`parallel`] with epoch checkpointing into `store` every `every_items`
+/// processed pool items; `resume` continues a crashed run from its latest
+/// valid snapshot. Labels converge to the unique per-component minimum, so
+/// the recovered result is bitwise identical to an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_ckpt<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &WccSpace,
+    threads: usize,
+    store: &SnapshotStore,
+    every_items: u64,
+    resume: bool,
+) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
+    let mem = sys.mem();
+    let n = g.num_vertices();
+    let pool = FifoPool::new();
+    let mut report = CkptReport::default();
+    let start_epoch = if resume {
+        let rec = checkpoint::recover(store, mem, space)?;
+        report.recoveries = 1;
+        report.snapshot_fallbacks = rec.fallbacks;
+        for &(v, _) in &rec.frontier {
+            pool.push(v);
+        }
+        rec.epoch + 1
+    } else {
+        for v in 0..n as u64 {
+            mem.store_direct(space.label.addr(v), v);
+        }
+        for v in 0..n as VertexId {
+            pool.push(v);
+        }
+        0
+    };
+    let label = &space.label;
+    checkpoint::run_checkpointed(
+        sched,
+        sys,
+        &pool,
+        threads,
+        store,
+        space,
+        every_items,
+        start_epoch,
+        &mut report,
+        |worker, pool, v| {
+            propagate(g, label, worker, pool, v);
+        },
+    );
+    Ok((read_u64_region(mem, label), report))
 }
 
 /// Number of distinct components in a label assignment.

@@ -11,7 +11,10 @@
 //! properties TuFast's routing exploits — are preserved; absolute sizes
 //! are ≈1/1000 of the paper's (DESIGN.md §2).
 
-use tufast_graph::{gen, Graph, GraphBuilder};
+use std::path::Path;
+
+use tufast_graph::load::{LoadError, LoadOptions};
+use tufast_graph::{binio, gen, load, Graph, GraphBuilder};
 
 /// A named evaluation graph.
 pub struct Dataset {
@@ -23,6 +26,58 @@ pub struct Dataset {
     pub graph: Graph,
 }
 
+/// Errors from dataset construction or on-disk loading.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Not one of [`dataset_names`].
+    UnknownName(String),
+    /// Edge-list parsing failed (real-dataset path).
+    Load(LoadError),
+    /// Binary CSR cache was invalid (real-dataset path).
+    Bin(binio::BinError),
+    /// Neither `<name>.bin` nor `<name>.txt` exists under the directory.
+    NotFound(std::path::PathBuf),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::UnknownName(name) => write!(
+                f,
+                "unknown dataset {name:?}; expected one of {:?}",
+                dataset_names()
+            ),
+            DatasetError::Load(e) => write!(f, "edge-list load failed: {e}"),
+            DatasetError::Bin(e) => write!(f, "binary cache load failed: {e}"),
+            DatasetError::NotFound(dir) => {
+                write!(f, "no .bin or .txt dataset file under {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Load(e) => Some(e),
+            DatasetError::Bin(e) => Some(e),
+            DatasetError::UnknownName(_) | DatasetError::NotFound(_) => None,
+        }
+    }
+}
+
+impl From<LoadError> for DatasetError {
+    fn from(e: LoadError) -> Self {
+        DatasetError::Load(e)
+    }
+}
+
+impl From<binio::BinError> for DatasetError {
+    fn from(e: binio::BinError) -> Self {
+        DatasetError::Bin(e)
+    }
+}
+
 /// Names of the four stand-ins, in the paper's Table II order.
 pub fn dataset_names() -> [&'static str; 4] {
     ["friendster-s", "twitter-s", "sk-s", "uk-s"]
@@ -32,11 +87,16 @@ pub fn dataset_names() -> [&'static str; 4] {
 /// by powers of two for quick runs.
 ///
 /// # Panics
-/// On an unknown name.
+/// On an unknown name; [`try_dataset`] is the non-panicking form.
 pub fn dataset(name: &str, scale_delta: i32) -> Dataset {
+    try_dataset(name, scale_delta).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Build a dataset stand-in by name, reporting unknown names as errors.
+pub fn try_dataset(name: &str, scale_delta: i32) -> Result<Dataset, DatasetError> {
     let delta = scale_delta.clamp(-6, 2);
     let adj = |scale: u32| (scale as i32 + delta).max(6) as u32;
-    match name {
+    let dataset = match name {
         "friendster-s" => {
             // friendster is an undirected friendship graph; symmetrising
             // the preferential-attachment edges gives the power-law total
@@ -76,11 +136,47 @@ pub fn dataset(name: &str, scale_delta: i32) -> Dataset {
             paper_name: "uk-2007-05",
             graph: rebuild_with_in_edges(&gen::rmat(adj(17), 35, 0x0B2B)),
         },
-        other => panic!(
-            "unknown dataset {other:?}; expected one of {:?}",
-            dataset_names()
-        ),
-    }
+        other => return Err(DatasetError::UnknownName(other.to_string())),
+    };
+    Ok(dataset)
+}
+
+/// Load a *real* dataset from `dir` instead of generating a stand-in:
+/// `<dir>/<file_stem>.bin` (binary CSR cache, preferred) or
+/// `<dir>/<file_stem>.txt` (SNAP edge list), rebuilt with in-edges. All
+/// I/O and parse failures propagate as structured errors — a malformed
+/// file on disk must not take the bench harness down with a panic.
+pub fn dataset_from_dir(
+    dir: &Path,
+    name: &'static str,
+    paper_name: &'static str,
+    file_stem: &str,
+) -> Result<Dataset, DatasetError> {
+    let bin = dir.join(format!("{file_stem}.bin"));
+    let txt = dir.join(format!("{file_stem}.txt"));
+    let graph = if bin.exists() {
+        let g = binio::load(&bin)?;
+        if g.reverse().is_some() {
+            g
+        } else {
+            rebuild_with_in_edges(&g)
+        }
+    } else if txt.exists() {
+        load::load_edge_list(
+            &txt,
+            LoadOptions {
+                in_edges: true,
+                symmetric: false,
+            },
+        )?
+    } else {
+        return Err(DatasetError::NotFound(dir.to_path_buf()));
+    };
+    Ok(Dataset {
+        name,
+        paper_name,
+        graph,
+    })
 }
 
 /// Rebuild a generated graph with the reverse adjacency materialised
@@ -136,5 +232,62 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_name_panics() {
         dataset("nope", 0);
+    }
+
+    #[test]
+    fn try_dataset_reports_unknown_name() {
+        match try_dataset("nope", 0) {
+            Err(DatasetError::UnknownName(n)) => assert_eq!(n, "nope"),
+            other => panic!("expected UnknownName, got {:?}", other.map(|d| d.name)),
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tufast-datasets-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn dataset_from_dir_loads_bin_and_txt() {
+        let dir = scratch_dir("roundtrip");
+        let d = dataset("twitter-s", -6);
+
+        binio::save(&d.graph, &dir.join("real.bin")).unwrap();
+        let from_bin = dataset_from_dir(&dir, "real", "real-paper", "real").unwrap();
+        assert_eq!(from_bin.graph.num_vertices(), d.graph.num_vertices());
+        assert_eq!(from_bin.graph.num_edges(), d.graph.num_edges());
+        assert!(from_bin.graph.reverse().is_some());
+
+        let txt = std::fs::File::create(dir.join("ascii.txt")).unwrap();
+        load::write_edge_list(&d.graph, txt).unwrap();
+        let from_txt = dataset_from_dir(&dir, "ascii", "ascii-paper", "ascii").unwrap();
+        assert_eq!(from_txt.graph.num_edges(), d.graph.num_edges());
+        assert!(from_txt.graph.reverse().is_some());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_from_dir_reports_missing_files() {
+        let dir = scratch_dir("missing");
+        match dataset_from_dir(&dir, "ghost", "ghost", "ghost") {
+            Err(DatasetError::NotFound(p)) => assert_eq!(p, dir),
+            other => panic!("expected NotFound, got {:?}", other.map(|d| d.name)),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_from_dir_propagates_corrupt_bin() {
+        let dir = scratch_dir("corrupt");
+        std::fs::write(dir.join("bad.bin"), b"not a graph").unwrap();
+        match dataset_from_dir(&dir, "bad", "bad", "bad") {
+            Err(DatasetError::Bin(_)) => {}
+            other => panic!("expected Bin error, got {:?}", other.map(|d| d.name)),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -138,8 +138,9 @@ pub fn fmt_rate(per_sec: f64) -> String {
 
 /// Print a TuFast run's robustness and degradation counters: the
 /// liveness ladder's serial fallbacks, degraded-mode routing decisions,
-/// contained body panics, and injected-fault totals (nonzero only when a
-/// fault plan is active under the `faults` feature).
+/// contained body panics, injected-fault totals (nonzero only when a
+/// fault plan is active under the `faults` feature), and checkpoint /
+/// recovery counters (nonzero only for checkpointed drivers).
 pub fn print_robustness(stats: &tufast::TuFastStats) {
     println!(
         "  robustness: serial-fallback commits={} degraded-H skips={} HTM-off txns={}",
@@ -151,6 +152,10 @@ pub fn print_robustness(stats: &tufast::TuFastStats) {
         stats.sched.panics,
         stats.sched.deadlock_victims,
         stats.sched.anon_wait_victims,
+    );
+    println!(
+        "  checkpointing: checkpoints written={} recoveries={} snapshot fallbacks={}",
+        stats.checkpoints_written, stats.recoveries, stats.snapshot_fallbacks,
     );
 }
 

@@ -106,6 +106,7 @@ impl ChaosPlan {
                     validation_fail_permille: 300,
                     preempt_permille: 200,
                     preempt_spins: 128,
+                    ..FaultSpec::default()
                 },
                 htm_available: true,
             },

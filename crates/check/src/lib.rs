@@ -20,6 +20,11 @@
 //!    HTM-unavailable — asserting every scheduler terminates with all
 //!    transactions committed and a serializable history, plus a
 //!    panicking-body probe for clean panic containment.
+//! 4. [`recovery`] (feature `faults`): the crash-recovery matrix — seeded
+//!    whole-run crashes against the checkpointed algorithm drivers,
+//!    asserting crash → recover → finish is bitwise identical to an
+//!    uninterrupted run, and that corrupt/torn snapshot generations fall
+//!    back cleanly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,9 +34,13 @@ pub mod chaos;
 pub mod dsg;
 pub mod explore;
 pub mod history;
+#[cfg(feature = "faults")]
+pub mod recovery;
 
 #[cfg(feature = "faults")]
 pub use chaos::{panic_probe, ChaosOutcome, ChaosPlan, ChaosRunner};
 pub use dsg::{check, Anomaly, CheckReport, DepEdge, EdgeKind};
 pub use explore::{ExploreOutcome, Explorer, Schedule, SchedulerKind, WorkloadSpec};
 pub use history::{History, Recorder, TxnRecord};
+#[cfg(feature = "faults")]
+pub use recovery::{crash_and_recover, RecoveryAlgo, RecoveryOutcome};

@@ -1,0 +1,260 @@
+//! Crash-recovery harness (feature `faults`).
+//!
+//! Drives the full loop the checkpointing subsystem promises: run a
+//! checkpointed algorithm under a seeded [`FaultKind::Crash`] plan until
+//! the whole run dies mid-algorithm, discard the in-memory system (the
+//! volatile state dies with the "process"), rebuild from the graph, load
+//! the latest valid snapshot, resume — and compare the final answer
+//! bitwise against an uninterrupted baseline. BFS, WCC and both SSSP
+//! queue disciplines converge to unique fixpoints, so the comparison is
+//! exact, not approximate.
+//!
+//! [`FaultKind::Crash`]: tufast_txn::FaultKind::Crash
+//!
+//! The recovery-matrix integration test also corrupts and truncates
+//! snapshot generations to prove the fallback ladder: corrupt latest →
+//! previous generation (one epoch of progress lost, no wrong answers);
+//! all generations invalid → clean cold restart.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tufast::TuFast;
+use tufast_algos::checkpoint::CkptReport;
+use tufast_algos::{bfs, setup, sssp, wcc};
+use tufast_graph::snapshot::{load, SnapshotError, SnapshotStore};
+use tufast_graph::Graph;
+use tufast_txn::{is_injected_crash, FaultPlan, FaultSpec};
+
+/// Which checkpointed algorithm a recovery run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAlgo {
+    /// Breadth-first search from vertex 0.
+    Bfs,
+    /// Weakly connected components.
+    Wcc,
+    /// Bellman-Ford (FIFO queue) from vertex 0. Needs edge weights.
+    SsspFifo,
+    /// SPFA (priority queue) from vertex 0. Needs edge weights.
+    SsspPriority,
+}
+
+impl RecoveryAlgo {
+    /// All algorithms in the matrix.
+    pub const ALL: [RecoveryAlgo; 4] = [
+        RecoveryAlgo::Bfs,
+        RecoveryAlgo::Wcc,
+        RecoveryAlgo::SsspFifo,
+        RecoveryAlgo::SsspPriority,
+    ];
+
+    /// Snapshot-store prefix / report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryAlgo::Bfs => "bfs",
+            RecoveryAlgo::Wcc => "wcc",
+            RecoveryAlgo::SsspFifo => "sssp-fifo",
+            RecoveryAlgo::SsspPriority => "sssp-priority",
+        }
+    }
+}
+
+/// What [`crash_and_recover`] observed.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Result of the uninterrupted (fault-free) run.
+    pub baseline: Vec<u64>,
+    /// Result after the crash/recovery (or of the survived run).
+    pub final_result: Vec<u64>,
+    /// Whether the seeded crash actually fired.
+    pub crashed: bool,
+    /// Whether recovery found no valid snapshot and restarted from
+    /// scratch (crash before the first epoch closed).
+    pub cold_restart: bool,
+    /// Checkpoint counters of the recovery (or survived) run.
+    pub report: CkptReport,
+}
+
+/// Run `algo` over `g` once without checkpointing or faults.
+pub fn baseline_result(algo: RecoveryAlgo, g: &Graph, threads: usize) -> Vec<u64> {
+    match algo {
+        RecoveryAlgo::Bfs => {
+            let built = setup(g, bfs::BfsSpace::alloc);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            bfs::parallel(g, &sched, &built.sys, &built.space, 0, threads)
+        }
+        RecoveryAlgo::Wcc => {
+            let built = setup(g, wcc::WccSpace::alloc);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            wcc::parallel(g, &sched, &built.sys, &built.space, threads)
+        }
+        RecoveryAlgo::SsspFifo | RecoveryAlgo::SsspPriority => {
+            let built = setup(g, sssp::SsspSpace::alloc);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            let kind = if algo == RecoveryAlgo::SsspFifo {
+                sssp::QueueKind::Fifo
+            } else {
+                sssp::QueueKind::Priority
+            };
+            sssp::parallel(g, &sched, &built.sys, &built.space, 0, threads, kind)
+        }
+    }
+}
+
+/// Build a fresh system for `algo` over `g` (optionally under a fault
+/// plan) and run its checkpointed driver.
+pub fn run_ckpt(
+    algo: RecoveryAlgo,
+    g: &Graph,
+    threads: usize,
+    store: &SnapshotStore,
+    every_items: u64,
+    resume: bool,
+    plan: Option<Arc<FaultPlan>>,
+) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
+    match algo {
+        RecoveryAlgo::Bfs => {
+            let built = setup(g, bfs::BfsSpace::alloc);
+            built.sys.set_fault_plan(plan);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            bfs::parallel_ckpt(
+                g,
+                &sched,
+                &built.sys,
+                &built.space,
+                0,
+                threads,
+                store,
+                every_items,
+                resume,
+            )
+        }
+        RecoveryAlgo::Wcc => {
+            let built = setup(g, wcc::WccSpace::alloc);
+            built.sys.set_fault_plan(plan);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            wcc::parallel_ckpt(
+                g,
+                &sched,
+                &built.sys,
+                &built.space,
+                threads,
+                store,
+                every_items,
+                resume,
+            )
+        }
+        RecoveryAlgo::SsspFifo | RecoveryAlgo::SsspPriority => {
+            let built = setup(g, sssp::SsspSpace::alloc);
+            built.sys.set_fault_plan(plan);
+            let sched = TuFast::new(Arc::clone(&built.sys));
+            let kind = if algo == RecoveryAlgo::SsspFifo {
+                sssp::QueueKind::Fifo
+            } else {
+                sssp::QueueKind::Priority
+            };
+            sssp::parallel_ckpt(
+                g,
+                &sched,
+                &built.sys,
+                &built.space,
+                0,
+                threads,
+                kind,
+                store,
+                every_items,
+                resume,
+            )
+        }
+    }
+}
+
+/// The full crash-recovery loop for one `(algorithm, crash site)` cell.
+///
+/// 1. Uninterrupted baseline (separate system, no store).
+/// 2. Fresh checkpointed run under `spec`'s seeded crash. If the crash
+///    fires, the panic is caught ([`is_injected_crash`] verified — any
+///    other panic re-raises) and the whole in-memory system is dropped.
+/// 3. A rebuilt system resumes from the latest valid snapshot in `dir`
+///    (falling back to a cold restart when no epoch had closed yet) with
+///    faults disabled, and runs to completion.
+pub fn crash_and_recover(
+    algo: RecoveryAlgo,
+    g: &Graph,
+    threads: usize,
+    every_items: u64,
+    spec: FaultSpec,
+    dir: &Path,
+) -> Result<RecoveryOutcome, SnapshotError> {
+    let baseline = baseline_result(algo, g, threads);
+    let store = SnapshotStore::open(dir, algo.label())?;
+    let plan = FaultPlan::new(spec);
+    let crashed_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_ckpt(algo, g, threads, &store, every_items, false, Some(plan))
+    }));
+    let payload = match crashed_run {
+        Ok(Ok((final_result, report))) => {
+            // The probe never fired (run shorter than the seeded site).
+            return Ok(RecoveryOutcome {
+                baseline,
+                final_result,
+                crashed: false,
+                cold_restart: false,
+                report,
+            });
+        }
+        Ok(Err(e)) => return Err(e),
+        Err(payload) => payload,
+    };
+    if !is_injected_crash(payload.as_ref()) {
+        std::panic::resume_unwind(payload);
+    }
+    // The system (and all volatile state) died with the run. Reopen the
+    // store as a fresh process would and resume on a rebuilt system.
+    let store = SnapshotStore::open(dir, algo.label())?;
+    let mut cold_restart = false;
+    let (final_result, report) = match run_ckpt(algo, g, threads, &store, every_items, true, None) {
+        Ok(out) => out,
+        Err(SnapshotError::NoValidSnapshot) => {
+            cold_restart = true;
+            run_ckpt(algo, g, threads, &store, every_items, false, None)?
+        }
+        Err(e) => return Err(e),
+    };
+    Ok(RecoveryOutcome {
+        baseline,
+        final_result,
+        crashed: true,
+        cold_restart,
+        report,
+    })
+}
+
+/// Flip one byte in the middle of generation `slot`, simulating on-disk
+/// corruption. The CRC layer must reject the file afterwards.
+pub fn corrupt_generation(store: &SnapshotStore, slot: usize) -> std::io::Result<()> {
+    let path = store.generation_path(slot);
+    let mut bytes = std::fs::read(&path)?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes)
+}
+
+/// Truncate generation `slot` to half its length, simulating a torn
+/// write that `rename` atomicity normally prevents.
+pub fn truncate_generation(store: &SnapshotStore, slot: usize) -> std::io::Result<()> {
+    let path = store.generation_path(slot);
+    let bytes = std::fs::read(&path)?;
+    std::fs::write(&path, &bytes[..bytes.len() / 2])
+}
+
+/// The slot holding the newest *valid* snapshot, if any.
+pub fn latest_valid_slot(store: &SnapshotStore) -> Option<usize> {
+    let epoch_of = |slot: usize| load(&store.generation_path(slot)).ok().map(|s| s.epoch);
+    match (epoch_of(0), epoch_of(1)) {
+        (Some(a), Some(b)) => Some(usize::from(b > a)),
+        (Some(_), None) => Some(0),
+        (None, Some(_)) => Some(1),
+        (None, None) => None,
+    }
+}

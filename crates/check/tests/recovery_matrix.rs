@@ -1,0 +1,164 @@
+//! Crash-recovery chaos matrix: seeded whole-run crashes against every
+//! checkpointed algorithm driver, plus snapshot corruption/truncation
+//! fallback. Deterministic algorithms (unique fixpoints) must produce
+//! bitwise-identical results across crash → recover → finish.
+
+#![cfg(feature = "faults")]
+
+use std::path::PathBuf;
+
+use tufast_check::recovery::{
+    baseline_result, corrupt_generation, crash_and_recover, latest_valid_slot, run_ckpt,
+    truncate_generation, RecoveryAlgo,
+};
+use tufast_graph::snapshot::{SnapshotError, SnapshotStore};
+use tufast_graph::{gen, Graph};
+use tufast_txn::FaultSpec;
+
+const THREADS: usize = 3;
+
+fn graph_for(algo: RecoveryAlgo) -> Graph {
+    match algo {
+        RecoveryAlgo::Bfs | RecoveryAlgo::Wcc => gen::grid2d(20, 20),
+        RecoveryAlgo::SsspFifo | RecoveryAlgo::SsspPriority => {
+            gen::with_random_weights(&gen::grid2d(16, 16), 50, 7)
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tufast-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn crash_then_recover_is_bitwise_identical_for_every_algorithm() {
+    for algo in RecoveryAlgo::ALL {
+        let g = graph_for(algo);
+        let dir = temp_dir(&format!("crash-{}", algo.label()));
+        let spec = FaultSpec {
+            crash_worker: 1,
+            crash_at_probe: 120,
+            ..FaultSpec::default()
+        };
+        let out = crash_and_recover(algo, &g, THREADS, 24, spec, &dir).unwrap();
+        assert!(out.crashed, "{}: seeded crash never fired", algo.label());
+        assert_eq!(
+            out.final_result,
+            out.baseline,
+            "{}: recovered result differs from uninterrupted run",
+            algo.label()
+        );
+        if !out.cold_restart {
+            assert_eq!(out.report.recoveries, 1, "{}", algo.label());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_at_first_transaction_cold_restarts_cleanly() {
+    // Probe 1: worker 1 dies at its very first transaction, before any
+    // epoch can close. Recovery finds no snapshot and must fall back to a
+    // clean fresh run, still bitwise-correct.
+    let algo = RecoveryAlgo::Bfs;
+    let g = graph_for(algo);
+    let dir = temp_dir("crash-early");
+    let spec = FaultSpec {
+        crash_worker: 1,
+        crash_at_probe: 1,
+        ..FaultSpec::default()
+    };
+    let out = crash_and_recover(algo, &g, THREADS, 1_000_000, spec, &dir).unwrap();
+    assert!(out.crashed);
+    assert!(out.cold_restart, "no epoch closed, restart must be cold");
+    assert_eq!(out.final_result, out.baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_snapshot_matches_uninterrupted_run() {
+    // Even without a crash: a fresh system seeded from any valid
+    // (state, frontier) snapshot must converge to the same fixpoint.
+    let algo = RecoveryAlgo::Wcc;
+    let g = graph_for(algo);
+    let baseline = baseline_result(algo, &g, THREADS);
+    let dir = temp_dir("resume");
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (first, report) = run_ckpt(algo, &g, THREADS, &store, 16, false, None).unwrap();
+    assert_eq!(first, baseline);
+    assert!(
+        report.checkpoints_written >= 2,
+        "need at least two generations, wrote {}",
+        report.checkpoints_written
+    );
+    let (resumed, report) = run_ckpt(algo, &g, THREADS, &store, 16, true, None).unwrap();
+    assert_eq!(resumed, baseline);
+    assert_eq!(report.recoveries, 1);
+    assert_eq!(report.snapshot_fallbacks, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_latest_generation_falls_back_to_previous() {
+    let algo = RecoveryAlgo::Bfs;
+    let g = graph_for(algo);
+    let baseline = baseline_result(algo, &g, THREADS);
+    let dir = temp_dir("corrupt-latest");
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (_, report) = run_ckpt(algo, &g, THREADS, &store, 16, false, None).unwrap();
+    assert!(report.checkpoints_written >= 2);
+    let latest = latest_valid_slot(&store).unwrap();
+    corrupt_generation(&store, latest).unwrap();
+    // A fresh "process": reopen the store, resume past the bad file.
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (resumed, report) = run_ckpt(algo, &g, THREADS, &store, 16, true, None).unwrap();
+    assert_eq!(
+        resumed, baseline,
+        "fallback generation produced wrong result"
+    );
+    assert_eq!(report.snapshot_fallbacks, 1, "fallback not reported");
+    assert_eq!(report.recoveries, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_falls_back_to_previous() {
+    let algo = RecoveryAlgo::SsspPriority;
+    let g = graph_for(algo);
+    let baseline = baseline_result(algo, &g, THREADS);
+    let dir = temp_dir("torn");
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (_, report) = run_ckpt(algo, &g, THREADS, &store, 16, false, None).unwrap();
+    assert!(report.checkpoints_written >= 2);
+    let latest = latest_valid_slot(&store).unwrap();
+    truncate_generation(&store, latest).unwrap();
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (resumed, report) = run_ckpt(algo, &g, THREADS, &store, 16, true, None).unwrap();
+    assert_eq!(resumed, baseline);
+    assert_eq!(report.snapshot_fallbacks, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_generations_corrupt_surfaces_no_valid_snapshot() {
+    let algo = RecoveryAlgo::Bfs;
+    let g = graph_for(algo);
+    let baseline = baseline_result(algo, &g, THREADS);
+    let dir = temp_dir("all-corrupt");
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    let (_, report) = run_ckpt(algo, &g, THREADS, &store, 16, false, None).unwrap();
+    assert!(report.checkpoints_written >= 2);
+    corrupt_generation(&store, 0).unwrap();
+    corrupt_generation(&store, 1).unwrap();
+    let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+    match run_ckpt(algo, &g, THREADS, &store, 16, true, None) {
+        Err(SnapshotError::NoValidSnapshot) => {}
+        other => panic!("expected NoValidSnapshot, got {other:?}"),
+    }
+    // The documented fallback: restart from scratch, still correct.
+    let (fresh, _) = run_ckpt(algo, &g, THREADS, &store, 16, false, None).unwrap();
+    assert_eq!(fresh, baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,382 @@
+//! Epoch-based checkpointing: a quiescence barrier over the work-pool
+//! drivers so a snapshot observes a transaction-consistent cut.
+//!
+//! ## Protocol
+//!
+//! [`parallel_drain_epochs`] runs the same loop as
+//! [`parallel_drain`](crate::par::parallel_drain), but counts processed
+//! items. When the count crosses the epoch target, the thread that crossed
+//! it elects itself *coordinator* (a CAS on the pause flag — exactly one
+//! winner). The protocol then proceeds in a strict order:
+//!
+//! 1. **Peers park first.** Every other thread observes the pause flag
+//!    *between* items — never while holding locks or mid-transaction — and
+//!    parks. Threads that drained out decrement the live count on exit
+//!    (via a drop guard, so panics count too). The coordinator waits until
+//!    `parked == active - 1`.
+//! 2. **Then the serial token.** With all peers parked the coordinator
+//!    CAS-acquires the global serial-fallback token (the PR 2
+//!    stop-the-world word) under the reserved [`COORDINATOR_CLAIM`]. Any
+//!    in-flight serial fallback holds the token only while committing, so
+//!    this wait is bounded; conversely new transactions gate on the token
+//!    at entry, so nothing starts while the checkpoint runs.
+//! 3. **Checkpoint under quiescence.** The hook runs while nothing is in
+//!    flight: every popped item has fully processed (its re-pushes are in
+//!    the pool), so `(vertex state, frontier)` is a consistent resumable
+//!    cut. The hook may freely read transactional memory directly and
+//!    snapshot the pool via
+//!    [`WorkPool::pending_items`](crate::par::WorkPool::pending_items).
+//! 4. **Release and resume.** Token released, epoch bumped, pause flag
+//!    cleared; parked peers continue.
+//!
+//! The order of 1 and 2 is load-bearing: taking the token *first* would
+//! deadlock — a peer spinning at the `execute` entry gate is not parked
+//! and never will be.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use tufast_txn::{GraphScheduler, TxnSystem};
+
+use crate::par::{DoneGuard, WorkPool};
+
+/// The serial-token value reserved for the epoch coordinator. Worker
+/// claims are `worker_id + 1`, far below this.
+pub const COORDINATOR_CLAIM: u64 = u64::MAX;
+
+/// Shared state of one epoch-checkpointed drain.
+struct EpochBarrier {
+    /// Set by the coordinator-elect; peers park while it is up.
+    pause: AtomicBool,
+    /// Peers currently parked at the barrier.
+    parked: AtomicUsize,
+    /// Worker threads still running (exited threads leave via drop guard).
+    active: AtomicUsize,
+    /// Items fully processed so far.
+    items_done: AtomicU64,
+    /// Item count at which the next epoch closes (0 = never).
+    next_target: AtomicU64,
+    /// The epoch now accumulating. Snapshots are stamped with the epoch
+    /// they close.
+    epoch: AtomicU64,
+}
+
+/// Decrements the live-thread count on drop, so a panicking worker cannot
+/// strand the coordinator waiting for it to park.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl EpochBarrier {
+    fn new(threads: usize, every_items: u64, start_epoch: u64) -> Self {
+        EpochBarrier {
+            pause: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            active: AtomicUsize::new(threads),
+            items_done: AtomicU64::new(0),
+            next_target: AtomicU64::new(every_items),
+            epoch: AtomicU64::new(start_epoch),
+        }
+    }
+
+    /// Park until the coordinator reopens the world. Called only between
+    /// items, holding nothing.
+    fn park_if_paused(&self) {
+        if !self.pause.load(Ordering::SeqCst) {
+            return;
+        }
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while self.pause.load(Ordering::SeqCst) {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// After finishing an item: close the epoch if this item crossed the
+    /// target and no other thread got there first.
+    fn maybe_coordinate(&self, sys: &TxnSystem, checkpoint: &(impl Fn(u64) + Sync)) {
+        let every = self.next_target.load(Ordering::SeqCst);
+        if every == 0 {
+            return;
+        }
+        let done = self.items_done.fetch_add(1, Ordering::SeqCst) + 1;
+        if done < every {
+            return;
+        }
+        // Elect exactly one coordinator; losers just park at the barrier.
+        if self
+            .pause
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        // 1. Wait for every other live thread to park or exit. Peers park
+        //    only between items, so when the counts meet, nothing is
+        //    mid-transaction.
+        let mut spins = 0u32;
+        while self.parked.load(Ordering::SeqCst) < self.active.load(Ordering::SeqCst) - 1 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // 2. Take the serial token (an in-flight serial fallback finishes
+        //    first; nothing new can start while we hold it).
+        let token = sys.serial_token();
+        let mem = sys.mem();
+        while mem.cas_direct(token, 0, COORDINATOR_CLAIM).is_err() {
+            std::hint::spin_loop();
+        }
+        // 3. Checkpoint under full quiescence.
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        checkpoint(epoch);
+        // 4. Reopen the world.
+        mem.store_direct(token, 0);
+        self.epoch.store(epoch + 1, Ordering::SeqCst);
+        let done_now = self.items_done.load(Ordering::SeqCst);
+        self.next_target.store(
+            done_now.max(every).saturating_add(every.max(1)),
+            Ordering::SeqCst,
+        );
+        self.pause.store(false, Ordering::SeqCst);
+    }
+}
+
+/// [`parallel_drain`](crate::par::parallel_drain) with epoch-based
+/// checkpointing: every `every_items` fully-processed items, all threads
+/// quiesce and `checkpoint(epoch)` runs while nothing is in flight.
+///
+/// * `every_items == 0` disables checkpointing entirely (plain drain).
+/// * `start_epoch` numbers the first snapshot — a recovered run passes
+///   `recovered_epoch + 1` so generations keep advancing.
+/// * `checkpoint` runs on whichever worker thread closed the epoch, with
+///   the global serial token held under [`COORDINATOR_CLAIM`]; it may read
+///   transactional memory directly and snapshot the pool's frontier.
+///
+/// Worker panics (including injected crashes) propagate after all threads
+/// join, exactly like `parallel_drain`; a panicking thread deregisters
+/// itself so survivors and the coordinator never hang on it.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_drain_epochs<S, P, F, C>(
+    sched: &S,
+    sys: &TxnSystem,
+    pool: &P,
+    threads: usize,
+    every_items: u64,
+    start_epoch: u64,
+    checkpoint: C,
+    f: F,
+) -> Vec<S::Worker>
+where
+    S: GraphScheduler,
+    P: WorkPool,
+    F: Fn(&mut S::Worker, &P, u32) + Sync,
+    C: Fn(u64) + Sync,
+{
+    let threads = threads.max(1);
+    let barrier = EpochBarrier::new(threads, every_items, start_epoch);
+    let barrier = &barrier;
+    let f = &f;
+    let checkpoint = &checkpoint;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut worker = sched.worker();
+                s.spawn(move || {
+                    let _active = ActiveGuard(&barrier.active);
+                    let mut idle_spins = 0u32;
+                    loop {
+                        barrier.park_if_paused();
+                        match pool.pop() {
+                            Some(v) => {
+                                idle_spins = 0;
+                                let guard = DoneGuard(pool);
+                                f(&mut worker, pool, v);
+                                drop(guard);
+                                barrier.maybe_coordinate(sys, checkpoint);
+                            }
+                            None => {
+                                if pool.pending() == 0 {
+                                    break;
+                                }
+                                idle_spins += 1;
+                                if idle_spins > 64 {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                    worker
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // Re-raise a worker panic with its original payload.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::FifoPool;
+    use std::sync::Arc;
+    use tufast_htm::MemoryLayout;
+    use tufast_txn::{TwoPhaseLocking, TxnWorker};
+
+    fn system(words: u64, vertices: usize) -> (Arc<TxnSystem>, tufast_htm::MemRegion) {
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("data", words);
+        (TxnSystem::with_defaults(vertices, layout), data)
+    }
+
+    #[test]
+    fn checkpoints_fire_and_result_matches_plain_drain() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        for v in 0..400u32 {
+            pool.push(v);
+        }
+        let epochs = std::sync::Mutex::new(Vec::new());
+        parallel_drain_epochs(
+            &sched,
+            &sys,
+            &pool,
+            4,
+            50,
+            7,
+            |epoch| {
+                // Under quiescence the serial token is ours.
+                assert_eq!(sys.mem().load_direct(sys.serial_token()), COORDINATOR_CLAIM);
+                epochs.lock().unwrap().push(epoch);
+            },
+            |w, _pool, _v| {
+                w.execute(2, &mut |ops| {
+                    let x = ops.read(0, data.addr(0))?;
+                    ops.write(0, data.addr(0), x + 1)
+                });
+            },
+        );
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 400);
+        assert_eq!(sys.mem().load_direct(sys.serial_token()), 0);
+        let epochs = epochs.into_inner().unwrap();
+        assert!(!epochs.is_empty(), "at least one epoch must close");
+        // Epochs number consecutively from start_epoch.
+        let expect: Vec<u64> = (7..7 + epochs.len() as u64).collect();
+        assert_eq!(epochs, expect);
+    }
+
+    #[test]
+    fn zero_interval_never_checkpoints() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        for v in 0..100u32 {
+            pool.push(v);
+        }
+        let fired = AtomicUsize::new(0);
+        parallel_drain_epochs(
+            &sched,
+            &sys,
+            &pool,
+            4,
+            0,
+            0,
+            |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            },
+            |w, _pool, _v| {
+                w.execute(2, &mut |ops| {
+                    let x = ops.read(0, data.addr(0))?;
+                    ops.write(0, data.addr(0), x + 1)
+                });
+            },
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 100);
+    }
+
+    #[test]
+    fn checkpoint_sees_consistent_frontier() {
+        // Each item < 64 pushes one child; under quiescence the pool's
+        // pending count must equal the snapshot of queued items (nothing
+        // in flight).
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        pool.push(0);
+        parallel_drain_epochs(
+            &sched,
+            &sys,
+            &pool,
+            3,
+            5,
+            0,
+            |_epoch| {
+                let frontier = pool.pending_items();
+                assert_eq!(frontier.len(), pool.pending(), "work in flight at barrier");
+            },
+            |w, pool, v| {
+                w.execute(2, &mut |ops| {
+                    let x = ops.read(0, data.addr(0))?;
+                    ops.write(0, data.addr(0), x + 1)
+                });
+                if v < 64 {
+                    pool.push(v + 1);
+                }
+            },
+        );
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 65);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_hanging_the_barrier() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = FifoPool::new();
+        for v in 0..200u32 {
+            pool.push(v);
+        }
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_drain_epochs(
+                &sched,
+                &sys,
+                &pool,
+                4,
+                10,
+                0,
+                |_| {},
+                |w, _pool, v| {
+                    if v == 137 {
+                        panic!("injected worker death");
+                    }
+                    w.execute(2, &mut |ops| {
+                        let x = ops.read(0, data.addr(0))?;
+                        ops.write(0, data.addr(0), x + 1)
+                    });
+                },
+            );
+        }));
+        assert!(caught.is_err(), "the worker panic must re-raise");
+        // Token not leaked by the dying run.
+        assert_eq!(sys.mem().load_direct(sys.serial_token()), 0);
+    }
+}

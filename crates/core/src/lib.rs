@@ -75,6 +75,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+pub mod epoch;
 mod hmode;
 mod monitor;
 mod omode;
@@ -83,6 +84,7 @@ mod stats;
 mod worker;
 
 pub use config::TuFastConfig;
+pub use epoch::{parallel_drain_epochs, COORDINATOR_CLAIM};
 pub use monitor::{expected_committed_work, ContentionMonitor};
 pub use stats::{ModeBreakdown, ModeClass, TuFastStats};
 pub use worker::{TuFast, TuFastWorker};

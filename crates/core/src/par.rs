@@ -63,6 +63,11 @@ pub trait WorkPool: Sync {
     fn pending(&self) -> usize;
     /// Mark one unit fully processed (after any re-pushes it triggered).
     fn done(&self);
+    /// Snapshot the queued items as `(vertex, priority-key)` pairs without
+    /// consuming them. **Quiescence only**: callers must guarantee no
+    /// concurrent push/pop (the epoch barrier does) — FIFO pools observe
+    /// the frontier by draining and re-inserting.
+    fn pending_items(&self) -> Vec<(u32, u64)>;
 }
 
 /// FIFO pool (Bellman-Ford flavour).
@@ -103,6 +108,20 @@ impl WorkPool for FifoPool {
 
     fn done(&self) {
         self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn pending_items(&self) -> Vec<(u32, u64)> {
+        // Drain and re-insert in order, bypassing the pending counter
+        // (the items never stopped being pending). Safe only under the
+        // caller's quiescence guarantee.
+        let mut items = Vec::new();
+        while let Some(v) = self.queue.pop() {
+            items.push((v, items.len() as u64));
+        }
+        for &(v, _) in &items {
+            self.queue.push(v);
+        }
+        items
     }
 }
 
@@ -176,6 +195,14 @@ impl WorkPool for PriorityPool {
     fn done(&self) {
         self.pending.fetch_sub(1, Ordering::SeqCst);
     }
+
+    fn pending_items(&self) -> Vec<(u32, u64)> {
+        self.heap
+            .lock()
+            .iter()
+            .map(|&std::cmp::Reverse((key, v))| (v, key))
+            .collect()
+    }
 }
 
 /// Drain `pool` on `threads` threads: `f(worker, v)` may push more work.
@@ -234,7 +261,7 @@ where
 
 /// Calls [`WorkPool::done`] on drop so the in-flight count stays accurate
 /// across unwinding.
-struct DoneGuard<'a, P: WorkPool>(&'a P);
+pub(crate) struct DoneGuard<'a, P: WorkPool>(pub(crate) &'a P);
 
 impl<P: WorkPool> Drop for DoneGuard<'_, P> {
     fn drop(&mut self) {

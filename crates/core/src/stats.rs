@@ -118,6 +118,13 @@ pub struct TuFastStats {
     /// Transactions routed straight to L because the runtime HTM switch
     /// was off at entry.
     pub htm_off_txns: u64,
+    /// Epoch snapshots successfully written by the checkpointed drivers.
+    pub checkpoints_written: u64,
+    /// Successful recoveries: runs resumed from a loaded snapshot.
+    pub recoveries: u64,
+    /// Recoveries that fell back past a corrupt/torn latest generation to
+    /// the previous one.
+    pub snapshot_fallbacks: u64,
 }
 
 impl TuFastStats {
@@ -140,6 +147,9 @@ impl TuFastStats {
         self.serial_commits += other.serial_commits;
         self.degraded_h_skips += other.degraded_h_skips;
         self.htm_off_txns += other.htm_off_txns;
+        self.checkpoints_written += other.checkpoints_written;
+        self.recoveries += other.recoveries;
+        self.snapshot_fallbacks += other.snapshot_fallbacks;
     }
 }
 

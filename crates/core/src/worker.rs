@@ -208,9 +208,23 @@ impl TuFastWorker {
             }
         }
         self.l_worker.set_fault_exempt(true);
-        let out = self.l_worker.execute(hint, body);
+        // The body may panic inside the serial section (the embedded 2PL
+        // worker rolls back and re-raises). The token MUST be released on
+        // that path too — a leaked token permanently gates every worker's
+        // `execute` entry — so catch, clean up, then re-raise.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.l_worker.execute(hint, body)
+        }));
         self.l_worker.set_fault_exempt(false);
         mem.store_direct(token, 0);
+        let out = match out {
+            Ok(out) => out,
+            Err(payload) => {
+                let delta = self.l_worker.take_stats();
+                self.stats.sched.merge(&delta);
+                std::panic::resume_unwind(payload);
+            }
+        };
         let delta = self.l_worker.take_stats();
         let ops = delta.reads + delta.writes;
         self.stats.sched.merge(&delta);
@@ -247,6 +261,10 @@ impl TxnWorker for TuFastWorker {
 
         // Injected scheduling delay (no-op without the `faults` feature).
         self.faults.preempt();
+        // Seeded crash site: with a crash plan armed, the run dies here —
+        // at a transaction boundary, holding no locks — modelling process
+        // death for crash-recovery testing.
+        self.faults.crash_point();
 
         // Entry decision (Figure 10): size hints beyond O-mode reach go
         // straight to L mode. (The embedded 2PL worker carries its own
@@ -681,6 +699,58 @@ mod tests {
         });
         assert_eq!(sys.mem().load_direct(data.addr(0)), 3 * rounds);
         assert!(serial > 0, "expected some serial-fallback commits");
+        assert_eq!(sys.mem().load_direct(sys.serial_token()), 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn serial_token_released_when_body_panics_in_fallback() {
+        use tufast_txn::{FaultPlan, FaultSpec};
+        // Every non-exempt lock acquisition fails and the L budget is 1,
+        // so the transaction escalates to the serial fallback, where the
+        // (exempt) body finally runs — and panics. The global token must
+        // be released and the exemption cleared, or every later `execute`
+        // hangs at the entry gate forever.
+        let (sys, data) = setup(4, 32);
+        sys.set_fault_plan(Some(FaultPlan::new(FaultSpec {
+            lock_fail_permille: 1000,
+            ..FaultSpec::default()
+        })));
+        let config = TuFastConfig {
+            l_attempt_budget: 1,
+            ..TuFastConfig::default()
+        };
+        let tufast = TuFast::with_config(Arc::clone(&sys), config);
+        let mut w = tufast.worker();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Huge hint: straight to L, budget exhausts, serial commit.
+            w.execute(1_000_000, &mut |ops| {
+                ops.write(0, data.addr(0), 7)?;
+                panic!("body blew up inside the serial section");
+            });
+        }));
+        assert!(panicked.is_err(), "panic must propagate");
+        assert_eq!(
+            sys.mem().load_direct(sys.serial_token()),
+            0,
+            "serial token leaked"
+        );
+        assert_eq!(
+            sys.mem().load_direct(data.addr(0)),
+            0,
+            "write not rolled back"
+        );
+        for v in 0..4u32 {
+            assert!(sys.locks().peek(sys.mem(), v).is_free(), "lock {v} leaked");
+        }
+        // The worker is reusable, still under the same hostile plan (the
+        // serial fallback must also be fault-exempt again, not stuck).
+        let out = w.execute(1_000_000, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 1);
         assert_eq!(sys.mem().load_direct(sys.serial_token()), 0);
     }
 

@@ -71,22 +71,45 @@ fn write_u64s<W: Write>(out: &mut W, values: impl Iterator<Item = u64>) -> io::R
     Ok(())
 }
 
+/// Payloads are read in bounded chunks: a corrupt header lying about
+/// element counts fails at end-of-file after reading what is actually
+/// there, instead of pre-allocating the claimed (possibly absurd) size.
+const CHUNK_ELEMS: usize = 1 << 16;
+
 fn read_u32s<R: Read>(input: &mut R, n: usize) -> io::Result<Vec<u32>> {
-    let mut buf = vec![0u8; n * 4];
-    input.read_exact(&mut buf)?;
-    Ok(buf
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    let mut out = Vec::new();
+    let mut chunk = vec![0u8; CHUNK_ELEMS * 4];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_ELEMS);
+        let bytes = &mut chunk[..take * 4];
+        input.read_exact(bytes)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
 }
 
 fn read_u64s<R: Read>(input: &mut R, n: usize) -> io::Result<Vec<u64>> {
-    let mut buf = vec![0u8; n * 8];
-    input.read_exact(&mut buf)?;
-    Ok(buf
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    let mut out = Vec::new();
+    let mut chunk = vec![0u8; CHUNK_ELEMS * 8];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_ELEMS);
+        let bytes = &mut chunk[..take * 8];
+        input.read_exact(bytes)?;
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
 }
 
 /// Write `g` in TFG1 format.
@@ -159,9 +182,19 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, BinError> {
     }
     let mut qword = [0u8; 8];
     input.read_exact(&mut qword)?;
-    let num_vertices = u64::from_le_bytes(qword) as usize;
+    let num_vertices_raw = u64::from_le_bytes(qword);
     input.read_exact(&mut qword)?;
     let num_edges = u64::from_le_bytes(qword);
+    // Vertex ids are u32 throughout; a header beyond that range is corrupt
+    // (and would otherwise silently truncate in the casts below).
+    if num_vertices_raw > u64::from(u32::MAX) {
+        return Err(BinError::Format(format!(
+            "vertex count {num_vertices_raw} exceeds the u32 id range"
+        )));
+    }
+    let num_vertices = num_vertices_raw as usize;
+    let num_edges_len = usize::try_from(num_edges)
+        .map_err(|_| BinError::Format(format!("edge count {num_edges} is not addressable")))?;
 
     let offsets = read_u64s(&mut input, num_vertices + 1)?;
     if offsets.first() != Some(&0)
@@ -170,21 +203,26 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, BinError> {
     {
         return Err(BinError::Format("non-monotonic offsets".into()));
     }
-    let targets = read_u32s(&mut input, num_edges as usize)?;
+    let targets = read_u32s(&mut input, num_edges_len)?;
     if targets.iter().any(|&t| t as usize >= num_vertices) {
         return Err(BinError::Format("target out of range".into()));
     }
     let weights = if flags & FLAG_WEIGHTS != 0 {
-        Some(read_u32s(&mut input, num_edges as usize)?)
+        Some(read_u32s(&mut input, num_edges_len)?)
     } else {
         None
     };
     // In-edges are recomputed by the builder rather than trusted (the file
-    // may be hand-made; correctness beats the small rebuild cost).
+    // may be hand-made; correctness beats the small rebuild cost). Their
+    // offsets are still validated so corruption is reported as such.
     let want_in = flags & FLAG_IN_EDGES != 0;
     if want_in {
         let in_offsets = read_u64s(&mut input, num_vertices + 1)?;
-        let in_edges = *in_offsets.last().unwrap_or(&0) as usize;
+        if in_offsets.first() != Some(&0) || in_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(BinError::Format("non-monotonic in-offsets".into()));
+        }
+        let in_edges = usize::try_from(*in_offsets.last().unwrap_or(&0))
+            .map_err(|_| BinError::Format("in-edge count is not addressable".into()))?;
         let _ = read_u32s(&mut input, in_edges)?;
     }
 
@@ -287,6 +325,66 @@ mod tests {
         buf.extend_from_slice(&7u32.to_le_bytes());
         let err = read_graph(buf.as_slice()).unwrap_err();
         assert!(matches!(err, BinError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_lying_headers_without_allocating() {
+        // Header claims u64::MAX vertices/edges over a tiny body: the
+        // chunked reader must fail fast at EOF, not pre-allocate.
+        for (nv, ne) in [
+            (u64::MAX, 0u64),
+            (1 << 40, 1 << 40),
+            (4, u64::MAX),
+            (u64::from(u32::MAX) + 1, 0),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(b"TFG1");
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&nv.to_le_bytes());
+            buf.extend_from_slice(&ne.to_le_bytes());
+            buf.extend_from_slice(&[0u8; 64]);
+            assert!(read_graph(buf.as_slice()).is_err(), "nv={nv} ne={ne}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_monotonic_in_offsets() {
+        // Valid forward CSR (1 vertex, 0 edges) + garbage in-offsets.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TFG1");
+        buf.extend_from_slice(&2u32.to_le_bytes()); // FLAG_IN_EDGES
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // offsets[0]
+        buf.extend_from_slice(&0u64.to_le_bytes()); // offsets[1]
+        buf.extend_from_slice(&9u64.to_le_bytes()); // in_offsets[0] != 0
+        buf.extend_from_slice(&1u64.to_le_bytes()); // decreasing
+        let err = read_graph(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, BinError::Format(_)));
+    }
+
+    #[test]
+    fn adversarial_bytes_never_panic() {
+        // Seeded byte soup at assorted lengths: every parse must return
+        // Err (or a tiny valid graph), never panic.
+        let mut state = 0x7F65_21C3u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^ (x >> 31)
+        };
+        for len in [0usize, 4, 12, 24, 64, 256, 1024] {
+            for _round in 0..8 {
+                let mut bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                let _ = read_graph(bytes.as_slice());
+                // Again with a valid magic so the header fields get fuzzed.
+                if bytes.len() >= 4 {
+                    bytes[..4].copy_from_slice(b"TFG1");
+                    let _ = read_graph(bytes.as_slice());
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   be dropped in where disk and memory allow.
 //! * [`binio`] — a binary CSR cache format (parse the edge list once, then
 //!   reload in a few large reads).
+//! * [`snapshot`] — versioned, checksummed algorithm checkpoints (TFSN)
+//!   with a two-generation rotating store for crash recovery.
 //! * [`partition`] — vertex partitioners (hash, range, hybrid-cut) for the
 //!   simulated distributed engines.
 
@@ -28,6 +30,7 @@ mod csr;
 pub mod gen;
 pub mod load;
 pub mod partition;
+pub mod snapshot;
 pub mod stats;
 
 pub use builder::GraphBuilder;

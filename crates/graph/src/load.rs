@@ -33,6 +33,8 @@ pub enum LoadError {
         /// The offending content.
         content: String,
     },
+    /// More distinct vertex ids than the `u32` id space can hold.
+    TooManyVertices,
 }
 
 impl std::fmt::Display for LoadError {
@@ -42,6 +44,9 @@ impl std::fmt::Display for LoadError {
             LoadError::Parse { line, content } => {
                 write!(f, "parse error at line {line}: {content:?}")
             }
+            LoadError::TooManyVertices => {
+                write!(f, "more distinct vertex ids than the u32 id space holds")
+            }
         }
     }
 }
@@ -50,7 +55,7 @@ impl std::error::Error for LoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LoadError::Io(e) => Some(e),
-            LoadError::Parse { .. } => None,
+            LoadError::Parse { .. } | LoadError::TooManyVertices => None,
         }
     }
 }
@@ -66,7 +71,6 @@ impl From<io::Error> for LoadError {
 /// per line is taken as an edge weight.
 pub fn read_edge_list<R: BufRead>(reader: R, opts: LoadOptions) -> Result<Graph, LoadError> {
     let mut edges: Vec<(u64, u64, Option<u32>)> = Vec::new();
-    let mut max_seen = 0u64;
     let mut any_weight = false;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
@@ -100,25 +104,32 @@ pub fn read_edge_list<R: BufRead>(reader: R, opts: LoadOptions) -> Result<Graph,
             },
             None => None,
         };
-        max_seen = max_seen.max(src).max(dst);
         edges.push((src, dst, weight));
     }
 
-    // Remap ids densely. Files commonly have sparse id spaces.
-    let mut remap: Vec<VertexId> = vec![VertexId::MAX; max_seen as usize + 1];
+    // Remap ids densely. Files commonly have sparse id spaces — a hash map
+    // keeps memory proportional to the *distinct* ids actually seen, so a
+    // single adversarial line like `0 99999999999999` cannot drive a huge
+    // allocation (the previous dense table was indexed by the max id).
+    let mut remap: std::collections::HashMap<u64, VertexId> = std::collections::HashMap::new();
     let mut next: VertexId = 0;
-    let mut map = |raw: u64, remap: &mut Vec<VertexId>| -> VertexId {
-        let slot = &mut remap[raw as usize];
-        if *slot == VertexId::MAX {
-            *slot = next;
-            next += 1;
-        }
-        *slot
+    let mut overflow = false;
+    let mut map = |raw: u64, remap: &mut std::collections::HashMap<u64, VertexId>| -> VertexId {
+        *remap.entry(raw).or_insert_with(|| {
+            let id = next;
+            let (bumped, wrapped) = next.overflowing_add(1);
+            next = bumped;
+            overflow |= wrapped;
+            id
+        })
     };
     let mapped: Vec<(VertexId, VertexId, Option<u32>)> = edges
         .iter()
         .map(|&(s, d, w)| (map(s, &mut remap), map(d, &mut remap), w))
         .collect();
+    if overflow {
+        return Err(LoadError::TooManyVertices);
+    }
 
     let mut builder = GraphBuilder::new(next as usize).with_edge_capacity(mapped.len());
     if opts.in_edges {
@@ -188,6 +199,32 @@ mod tests {
         let g = read_edge_list(data.as_bytes(), LoadOptions::default()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn astronomically_sparse_ids_do_not_blow_memory() {
+        // Before the hash-map remap this allocated a u64::MAX-element
+        // dense table. Must just parse into a 2-vertex graph.
+        let data = format!("0 {}\n", u64::MAX);
+        let g = read_edge_list(data.as_bytes(), LoadOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn adversarial_lines_never_panic() {
+        // Byte soup, overlong tokens, negative numbers, unicode: every
+        // outcome must be Ok or a structured error, never a panic.
+        for data in [
+            "-1 2\n",
+            "1 2 3 4 5\n",
+            "99999999999999999999999999 1\n",
+            "1 \u{1F980}\n",
+            "\u{0} \u{0}\n",
+            "18446744073709551615 0\n",
+        ] {
+            let _ = read_edge_list(data.as_bytes(), LoadOptions::default());
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`FaultKind::LockStall`] | a bounded spin delay before an acquisition |
 //! | [`FaultKind::ValidationFail`] | an optimistic commit validation reports failure |
 //! | [`FaultKind::Preempt`] | a bounded spin delay at an attempt boundary |
+//! | [`FaultKind::Crash`] | the run dies at a seeded probe (panics with [`InjectedCrash`]) |
 //!
 //! Injected failures are indistinguishable from real ones to the
 //! scheduler, which is the point: the chaos matrix in `tufast-check`
@@ -36,7 +37,7 @@
 //! ([`FaultHandle::set_exempt`]) so the stop-the-world commit that
 //! guarantees liveness cannot itself be sabotaged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tufast_htm::{AbortCode, AbortSource};
@@ -57,17 +58,21 @@ pub enum FaultKind {
     ValidationFail,
     /// A bounded spin delay at an attempt boundary (models preemption).
     Preempt,
+    /// The whole run dies at a seeded probe: a [`InjectedCrash`] panic
+    /// models process death for crash-recovery testing.
+    Crash,
 }
 
 impl FaultKind {
     /// All kinds, in counter-index order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::SpuriousAbort,
         FaultKind::CapacityAbort,
         FaultKind::LockFail,
         FaultKind::LockStall,
         FaultKind::ValidationFail,
         FaultKind::Preempt,
+        FaultKind::Crash,
     ];
 
     /// Short label for reports.
@@ -79,6 +84,7 @@ impl FaultKind {
             FaultKind::LockStall => "lock-stall",
             FaultKind::ValidationFail => "validation-fail",
             FaultKind::Preempt => "preempt",
+            FaultKind::Crash => "crash",
         }
     }
 
@@ -91,6 +97,7 @@ impl FaultKind {
             FaultKind::LockStall => 3,
             FaultKind::ValidationFail => 4,
             FaultKind::Preempt => 5,
+            FaultKind::Crash => 6,
         }
     }
 }
@@ -120,6 +127,14 @@ pub struct FaultSpec {
     pub preempt_permille: u32,
     /// Spin iterations of one injected preemption delay.
     pub preempt_spins: u32,
+    /// Worker whose crash probe is armed (ignored while
+    /// [`FaultSpec::crash_at_probe`] is 0).
+    pub crash_worker: u32,
+    /// Probe count at which the seeded worker crashes the run
+    /// ([`FaultHandle::crash_point`] panics with [`InjectedCrash`]; every
+    /// other worker's next crash probe then dies too, modelling whole
+    /// process death). 0 disables crashing.
+    pub crash_at_probe: u64,
 }
 
 impl Default for FaultSpec {
@@ -134,6 +149,8 @@ impl Default for FaultSpec {
             validation_fail_permille: 0,
             preempt_permille: 0,
             preempt_spins: 512,
+            crash_worker: 0,
+            crash_at_probe: 0,
         }
     }
 }
@@ -164,7 +181,10 @@ impl FaultSpec {
 /// and the [`AbortSource`] installed into the HTM config.
 pub struct FaultPlan {
     spec: FaultSpec,
-    injected: [AtomicU64; 6],
+    injected: [AtomicU64; 7],
+    /// Set once the seeded crash fires; all workers' subsequent crash
+    /// probes then die too (process death takes every thread with it).
+    crashed: AtomicBool,
 }
 
 impl FaultPlan {
@@ -177,7 +197,14 @@ impl FaultPlan {
         Arc::new(FaultPlan {
             spec,
             injected: Default::default(),
+            crashed: AtomicBool::new(false),
         })
+    }
+
+    /// Whether the seeded crash has fired (after which every worker's
+    /// crash probe dies).
+    pub fn crash_armed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
     }
 
     /// The plan's spec.
@@ -248,6 +275,25 @@ impl std::fmt::Debug for FaultPlan {
             .field("total_injected", &self.total_injected())
             .finish()
     }
+}
+
+/// Panic payload of an injected crash ([`FaultKind::Crash`]): the chaos
+/// harness catches the unwinding run, verifies the payload with
+/// [`is_injected_crash`], discards the in-memory system (volatile state
+/// dies with the "process"), and exercises recovery from the last
+/// snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Worker whose probe fired.
+    pub worker: u32,
+    /// The probe count at which it fired.
+    pub probe: u64,
+}
+
+/// Whether a caught panic payload is an [`InjectedCrash`] (as opposed to
+/// a genuine bug unwinding out of the run).
+pub fn is_injected_crash(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<InjectedCrash>()
 }
 
 // Per-site salts keep the decision streams of different sites independent.
@@ -412,6 +458,38 @@ impl FaultHandle {
         }
     }
 
+    /// Probe the crash site (transaction entry in the TuFast router):
+    /// when this is the seeded worker at (or past) the seeded probe
+    /// count — or the plan has already crashed elsewhere — panic with an
+    /// [`InjectedCrash`] payload, modelling process death.
+    ///
+    /// Exempt workers (the serial-fallback holder) never crash mid-commit;
+    /// the crash lands at their next non-exempt entry instead.
+    #[inline]
+    pub fn crash_point(&mut self) {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.crash_at_probe == 0 {
+                    return;
+                }
+                let seeded_hit =
+                    self.worker == spec.crash_worker && self.seq >= spec.crash_at_probe;
+                if seeded_hit && !plan.crashed.swap(true, Ordering::SeqCst) {
+                    plan.record(FaultKind::Crash);
+                }
+                if seeded_hit || plan.crash_armed() {
+                    std::panic::panic_any(InjectedCrash {
+                        worker: self.worker,
+                        probe: self.seq,
+                    });
+                }
+            }
+        }
+    }
+
     #[cfg(feature = "faults")]
     #[inline]
     fn active_plan(&self) -> Option<Arc<FaultPlan>> {
@@ -440,6 +518,7 @@ fn stall(spins: u32) {
 mod tests {
     use super::*;
 
+    #[cfg(feature = "faults")]
     #[test]
     fn rolls_are_deterministic_and_in_range() {
         for seq in 0..2000 {
@@ -450,6 +529,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "faults")]
     #[test]
     fn sites_and_workers_get_independent_streams() {
         let same = (0..1000)
@@ -530,5 +610,63 @@ mod tests {
         assert!(!h.lock_acquisition_fails());
         assert!(!h.validation_fails());
         h.preempt();
+        h.crash_point();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn crash_fires_at_seeded_probe_then_arms_every_worker() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash_worker: 2,
+            crash_at_probe: 3,
+            ..FaultSpec::default()
+        });
+        // The seeded worker survives probes 1 and 2, dies at 3.
+        let mut seeded = FaultHandle::attached(Some(Arc::clone(&plan)), 2);
+        seeded.crash_point();
+        seeded.crash_point();
+        assert!(!plan.crash_armed());
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            seeded.crash_point();
+        }));
+        let payload = died.expect_err("seeded probe must crash");
+        assert!(is_injected_crash(payload.as_ref()));
+        assert_eq!(
+            payload.downcast_ref::<InjectedCrash>(),
+            Some(&InjectedCrash {
+                worker: 2,
+                probe: 3
+            })
+        );
+        assert!(plan.crash_armed());
+        assert_eq!(plan.injected(FaultKind::Crash), 1);
+
+        // Any other worker's next crash probe now dies too (process
+        // death), but the counter records the crash once.
+        let mut other = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            other.crash_point();
+        }));
+        assert!(is_injected_crash(
+            died.expect_err("armed plan kills all").as_ref()
+        ));
+        assert_eq!(plan.injected(FaultKind::Crash), 1);
+
+        // Exempt handles never crash (serial-fallback holders).
+        let mut exempt = FaultHandle::attached(Some(Arc::clone(&plan)), 1);
+        exempt.set_exempt(true);
+        exempt.crash_point();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn disabled_crash_spec_never_fires() {
+        let plan = FaultPlan::new(FaultSpec::default());
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        for _ in 0..100 {
+            h.crash_point();
+        }
+        assert!(!plan.crash_armed());
+        assert_eq!(plan.injected(FaultKind::Crash), 0);
     }
 }

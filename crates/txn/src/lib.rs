@@ -38,7 +38,7 @@ mod tpl;
 mod traits;
 
 pub use deadlock::WaitConfig;
-pub use faults::{FaultHandle, FaultKind, FaultPlan, FaultSpec};
+pub use faults::{is_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec, InjectedCrash};
 pub use hsync::HSyncLike;
 pub use hto::HTimestampOrdering;
 pub use locks::{LockWord, VertexLocks};

@@ -560,6 +560,56 @@ mod tests {
         assert!(out.committed);
     }
 
+    #[test]
+    fn wall_clock_deadline_victimises_through_the_scheduler() {
+        use crate::deadlock::WaitConfig;
+        use crate::system::SystemConfig;
+        use std::time::{Duration, Instant};
+        // An effectively unbounded spin budget: only the wall-clock
+        // deadline can end the wait, so this proves the scheduler threads
+        // the start instant through to the wait table.
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("accounts", 1);
+        let sys = TxnSystem::build(
+            1,
+            layout,
+            SystemConfig {
+                wait: WaitConfig {
+                    spins: u32::MAX,
+                    deadline: Some(Duration::from_millis(5)),
+                },
+                ..SystemConfig::default()
+            },
+        );
+        sys.mem().store_direct(acc.addr(0), 100);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let blocker = sys.new_worker_id();
+        sys.locks().try_exclusive(sys.mem(), 0, blocker).unwrap();
+        let t0 = Instant::now();
+        let out = w.execute_bounded(1, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(!out.committed);
+        assert_eq!(w.stats().anon_wait_victims, 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(5),
+            "gave up before the deadline"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "deadline never fired"
+        );
+        // Once the blocker releases, the same worker commits normally.
+        sys.locks().unlock_exclusive(sys.mem(), 0, blocker, false);
+        let out = w.execute(1, &mut |ops| {
+            ops.read(0, acc.addr(0))?;
+            Ok(())
+        });
+        assert!(out.committed);
+    }
+
     #[cfg(feature = "faults")]
     #[test]
     fn injected_lock_failures_respect_budget_and_exemption() {

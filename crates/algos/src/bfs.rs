@@ -8,7 +8,8 @@
 
 use std::collections::VecDeque;
 
-use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast::par::{parallel_drain, FifoPool, PoolImpl, WorkPool};
+use tufast::steal::StealPool;
 use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
 use tufast_htm::{MemRegion, TxMemory};
@@ -70,6 +71,8 @@ pub fn sequential(g: &Graph, source: VertexId) -> Vec<u64> {
 }
 
 /// Transactional BFS on any scheduler. Returns the distance array.
+/// Runs on the default (work-stealing) pool; see [`parallel_with_pool`]
+/// to pick the implementation explicitly.
 pub fn parallel<S: GraphScheduler>(
     g: &Graph,
     sched: &S,
@@ -78,17 +81,50 @@ pub fn parallel<S: GraphScheduler>(
     source: VertexId,
     threads: usize,
 ) -> Vec<u64> {
+    parallel_with_pool(g, sched, sys, space, source, threads, PoolImpl::default())
+}
+
+/// [`parallel`] with an explicit work-pool implementation — the bench
+/// harness runs both to record the centralized-vs-stealing head-to-head.
+pub fn parallel_with_pool<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &BfsSpace,
+    source: VertexId,
+    threads: usize,
+    pool_impl: PoolImpl,
+) -> Vec<u64> {
     let mem = sys.mem();
     mem.fill_region(&space.dist, UNREACHED);
     mem.store_direct(space.dist.addr(u64::from(source)), 0);
 
-    let pool = FifoPool::new();
-    pool.push(source);
     let dist = &space.dist;
-    parallel_drain(sched, &pool, threads, |worker, pool, v| {
+    match pool_impl {
+        PoolImpl::Centralized => {
+            let pool = FifoPool::new();
+            pool.push(source);
+            drive(g, sched, dist, threads, &pool);
+        }
+        PoolImpl::Scalable => {
+            let pool = StealPool::new(threads);
+            pool.push(source);
+            drive(g, sched, dist, threads, &pool);
+        }
+    }
+    read_u64_region(mem, dist)
+}
+
+fn drive<S: GraphScheduler, P: WorkPool>(
+    g: &Graph,
+    sched: &S,
+    dist: &MemRegion,
+    threads: usize,
+    pool: &P,
+) {
+    parallel_drain(sched, pool, threads, |worker, pool, v| {
         relax(g, dist, worker, pool, v);
     });
-    read_u64_region(mem, dist)
 }
 
 /// One pool item: relax `v`'s out-neighbours transactionally, re-queueing
@@ -143,7 +179,7 @@ pub fn parallel_ckpt<S: GraphScheduler>(
     resume: bool,
 ) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
     let mem = sys.mem();
-    let pool = FifoPool::new();
+    let pool = StealPool::new(threads);
     let mut report = CkptReport::default();
     let start_epoch = if resume {
         let rec = checkpoint::recover(store, mem, space)?;
@@ -221,6 +257,18 @@ mod tests {
     #[test]
     fn parallel_equals_sequential_on_star_hub_source() {
         check_parallel_matches_sequential(&gen::star(2000), 0);
+    }
+
+    #[test]
+    fn both_pool_impls_agree() {
+        let g = gen::rmat(9, 8, 21);
+        let expected = sequential(&g, 0);
+        let built = crate::setup(&g, BfsSpace::alloc);
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        for pool_impl in [PoolImpl::Centralized, PoolImpl::Scalable] {
+            let got = parallel_with_pool(&g, &tufast, &built.sys, &built.space, 0, 4, pool_impl);
+            assert_eq!(got, expected, "{pool_impl:?}");
+        }
     }
 
     #[test]

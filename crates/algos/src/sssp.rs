@@ -7,7 +7,9 @@
 //! literally switching the [`WorkPool`] — which is exactly how this module
 //! implements them.
 
-use tufast::par::{parallel_drain, FifoPool, PriorityPool, WorkPool};
+use tufast::bucket::BucketPool;
+use tufast::par::{parallel_drain, FifoPool, PoolImpl, PriorityPool, WorkPool};
+use tufast::steal::StealPool;
 use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
 use tufast_htm::{MemRegion, TxMemory};
@@ -87,7 +89,32 @@ pub fn sequential(g: &Graph, source: VertexId) -> Vec<u64> {
     dist
 }
 
+/// Bucket width for the delta-stepping pool: mean edge weight over mean
+/// out-degree (Meyer & Sanders' Θ(1/d) choice for random weights),
+/// further clamped to the minimum edge weight. One bucket then holds
+/// roughly the vertices one relaxation wave settles — a frontier's worth
+/// of parallelism — while `delta ≤ min weight` guarantees no relaxation
+/// can land back inside the bucket it came from (Dial's bucket-queue
+/// argument), so in-bucket disorder cannot trigger re-relaxation
+/// cascades. The earlier plain-mean-weight width left dense small-world
+/// graphs with a handful of very wide buckets, which degraded toward
+/// unordered draining and multiplied relaxations several-fold.
+fn pick_delta(g: &Graph) -> u64 {
+    match g.weights() {
+        Some(ws) if !ws.is_empty() => {
+            let sum: u64 = ws.iter().map(|&w| u64::from(w)).sum();
+            let mean_w = (sum / ws.len() as u64).max(1);
+            let min_w = ws.iter().copied().min().map_or(1, u64::from);
+            let mean_deg = (g.num_edges() / g.num_vertices().max(1) as u64).max(1);
+            (mean_w / mean_deg).min(min_w).max(1)
+        }
+        _ => 1,
+    }
+}
+
 /// Transactional SSSP on any scheduler with the chosen queue discipline.
+/// Runs on the default (work-stealing / bucketed) pools; see
+/// [`parallel_with_pool`].
 ///
 /// # Panics
 /// If `g` has no edge weights.
@@ -100,6 +127,36 @@ pub fn parallel<S: GraphScheduler>(
     threads: usize,
     kind: QueueKind,
 ) -> Vec<u64> {
+    parallel_with_pool(
+        g,
+        sched,
+        sys,
+        space,
+        source,
+        threads,
+        kind,
+        PoolImpl::default(),
+    )
+}
+
+/// [`parallel`] with an explicit work-pool implementation: `Centralized`
+/// maps to `FifoPool`/`PriorityPool` (shared queue / global mutex heap),
+/// `Scalable` to `StealPool`/`BucketPool` (stealing deques / delta
+/// buckets). The bench harness runs both to record the head-to-head.
+///
+/// # Panics
+/// If `g` has no edge weights.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_with_pool<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &SsspSpace,
+    source: VertexId,
+    threads: usize,
+    kind: QueueKind,
+    pool_impl: PoolImpl,
+) -> Vec<u64> {
     assert!(
         g.has_weights(),
         "SSSP needs edge weights (gen::with_random_weights)"
@@ -108,16 +165,30 @@ pub fn parallel<S: GraphScheduler>(
     mem.fill_region(&space.dist, UNREACHED);
     mem.store_direct(space.dist.addr(u64::from(source)), 0);
 
-    match kind {
-        QueueKind::Fifo => {
+    match (kind, pool_impl) {
+        (QueueKind::Fifo, PoolImpl::Centralized) => {
             let pool = FifoPool::new();
             pool.push(source);
             drive(g, sched, sys, space, threads, &pool, |pool, u, _| {
                 pool.push(u)
             });
         }
-        QueueKind::Priority => {
+        (QueueKind::Fifo, PoolImpl::Scalable) => {
+            let pool = StealPool::new(threads);
+            pool.push(source);
+            drive(g, sched, sys, space, threads, &pool, |pool, u, _| {
+                pool.push(u)
+            });
+        }
+        (QueueKind::Priority, PoolImpl::Centralized) => {
             let pool = PriorityPool::new();
+            pool.push_with_key(source, 0);
+            drive(g, sched, sys, space, threads, &pool, |pool, u, key| {
+                pool.push_with_key(u, key)
+            });
+        }
+        (QueueKind::Priority, PoolImpl::Scalable) => {
+            let pool = BucketPool::new(pick_delta(g));
             pool.push_with_key(source, 0);
             drive(g, sched, sys, space, threads, &pool, |pool, u, key| {
                 pool.push_with_key(u, key)
@@ -218,11 +289,11 @@ pub fn parallel_ckpt<S: GraphScheduler>(
     let dist = &space.dist;
     match kind {
         QueueKind::Fifo => {
-            let pool = FifoPool::new();
+            let pool = StealPool::new(threads);
             for &(v, _) in &frontier {
                 pool.push(v);
             }
-            let push = |pool: &FifoPool, u: VertexId, _key: u64| pool.push(u);
+            let push = |pool: &StealPool, u: VertexId, _key: u64| pool.push(u);
             checkpoint::run_checkpointed(
                 sched,
                 sys,
@@ -237,11 +308,11 @@ pub fn parallel_ckpt<S: GraphScheduler>(
             );
         }
         QueueKind::Priority => {
-            let pool = PriorityPool::new();
+            let pool = BucketPool::new(pick_delta(g));
             for &(v, key) in &frontier {
                 pool.push_with_key(v, key);
             }
-            let push = |pool: &PriorityPool, u: VertexId, key: u64| pool.push_with_key(u, key);
+            let push = |pool: &BucketPool, u: VertexId, key: u64| pool.push_with_key(u, key);
             checkpoint::run_checkpointed(
                 sched,
                 sys,
@@ -326,6 +397,29 @@ mod tests {
         );
         assert_eq!(fifo, prio, "both disciplines must reach the same fixpoint");
         assert_eq!(fifo, sequential(&g, 0));
+    }
+
+    #[test]
+    fn all_pool_impls_reach_the_same_fixpoint() {
+        let g = gen::with_random_weights(&gen::rmat(9, 8, 17), 100, 29);
+        let expected = sequential(&g, 0);
+        let built = crate::setup(&g, SsspSpace::alloc);
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        for kind in [QueueKind::Fifo, QueueKind::Priority] {
+            for pool_impl in [PoolImpl::Centralized, PoolImpl::Scalable] {
+                let got = parallel_with_pool(
+                    &g,
+                    &tufast,
+                    &built.sys,
+                    &built.space,
+                    0,
+                    4,
+                    kind,
+                    pool_impl,
+                );
+                assert_eq!(got, expected, "{kind:?}/{pool_impl:?}");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! — paper §VI-A). Labels converge to the minimum vertex id of each
 //! component: a unique fixpoint, so parallel equals sequential exactly.
 
-use tufast::par::{parallel_drain, FifoPool, WorkPool};
+use tufast::par::{parallel_drain, FifoPool, PoolImpl, WorkPool};
+use tufast::steal::StealPool;
 use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_graph::{Graph, VertexId};
 use tufast_htm::{MemRegion, TxMemory};
@@ -79,7 +80,8 @@ pub fn sequential(g: &Graph) -> Vec<u64> {
 }
 
 /// Transactional WCC on any scheduler. For directed graphs, build with
-/// in-edges so weak connectivity is visible.
+/// in-edges so weak connectivity is visible. Runs on the default
+/// (work-stealing) pool; see [`parallel_with_pool`].
 pub fn parallel<S: GraphScheduler>(
     g: &Graph,
     sched: &S,
@@ -87,20 +89,54 @@ pub fn parallel<S: GraphScheduler>(
     space: &WccSpace,
     threads: usize,
 ) -> Vec<u64> {
+    parallel_with_pool(g, sched, sys, space, threads, PoolImpl::default())
+}
+
+/// [`parallel`] with an explicit work-pool implementation — the bench
+/// harness runs both to record the centralized-vs-stealing head-to-head.
+pub fn parallel_with_pool<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    sys: &TxnSystem,
+    space: &WccSpace,
+    threads: usize,
+    pool_impl: PoolImpl,
+) -> Vec<u64> {
     let mem = sys.mem();
     let n = g.num_vertices();
     for v in 0..n as u64 {
         mem.store_direct(space.label.addr(v), v);
     }
-    let pool = FifoPool::new();
-    for v in 0..n as VertexId {
-        pool.push(v);
-    }
     let label = &space.label;
-    parallel_drain(sched, &pool, threads, |worker, pool, v| {
+    match pool_impl {
+        PoolImpl::Centralized => {
+            let pool = FifoPool::new();
+            for v in 0..n as VertexId {
+                pool.push(v);
+            }
+            drive(g, sched, label, threads, &pool);
+        }
+        PoolImpl::Scalable => {
+            let pool = StealPool::new(threads);
+            for v in 0..n as VertexId {
+                pool.push(v);
+            }
+            drive(g, sched, label, threads, &pool);
+        }
+    }
+    read_u64_region(mem, label)
+}
+
+fn drive<S: GraphScheduler, P: WorkPool>(
+    g: &Graph,
+    sched: &S,
+    label: &MemRegion,
+    threads: usize,
+    pool: &P,
+) {
+    parallel_drain(sched, pool, threads, |worker, pool, v| {
         propagate(g, label, worker, pool, v);
     });
-    read_u64_region(mem, label)
 }
 
 /// One pool item: push `v`'s label to its undirected neighbourhood,
@@ -160,7 +196,7 @@ pub fn parallel_ckpt<S: GraphScheduler>(
 ) -> Result<(Vec<u64>, CkptReport), SnapshotError> {
     let mem = sys.mem();
     let n = g.num_vertices();
-    let pool = FifoPool::new();
+    let pool = StealPool::new(threads);
     let mut report = CkptReport::default();
     let start_epoch = if resume {
         let rec = checkpoint::recover(store, mem, space)?;
@@ -260,6 +296,18 @@ mod tests {
             b.with_in_edges().build()
         };
         check(&built_with_in);
+    }
+
+    #[test]
+    fn both_pool_impls_agree() {
+        let g = gen::grid2d(11, 7);
+        let expected = sequential(&g);
+        let built = crate::setup(&g, WccSpace::alloc);
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        for pool_impl in [PoolImpl::Centralized, PoolImpl::Scalable] {
+            let got = parallel_with_pool(&g, &tufast, &built.sys, &built.space, 4, pool_impl);
+            assert_eq!(got, expected, "{pool_impl:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Figure 18 (repo extension): work-distribution head-to-head.
+//!
+//! The same four algorithm drivers (BFS, Components, SSSP-FIFO,
+//! SSSP-priority) run on the *centralized* pools (one shared queue / one
+//! global mutexed heap) and on the *scalable* pools (per-worker stealing
+//! deques / delta-stepping buckets), same graph, same scheduler, same
+//! process. Results are cross-checked bitwise; throughput (edges/s) plus
+//! the new scheduling counters go to stdout and — with `--json <path>` —
+//! into a machine-readable record per row, so the drivers' perf
+//! trajectory is tracked across PRs (`BENCH_drivers.json`).
+
+use std::sync::Arc;
+
+use tufast::par::PoolImpl;
+use tufast::TuFast;
+use tufast_algos as algos;
+use tufast_bench::datasets::{dataset, symmetric_view};
+use tufast_bench::harness::{banner, fmt_rate, parse_args, print_sched_counters, time, Table};
+use tufast_bench::json::{append_record, JsonRecord};
+use tufast_graph::{gen, Graph};
+use tufast_txn::SchedStats;
+
+/// Timed repetitions per cell; best-of to damp scheduler noise.
+const REPS: usize = 5;
+
+/// Datasets for the head-to-head: one social-skew, one web-skew graph.
+const DATASETS: [&str; 2] = ["twitter-s", "sk-s"];
+
+fn main() {
+    let args = parse_args();
+    banner(
+        "Figure 18",
+        "algorithm drivers on centralized vs work-stealing/bucketed pools (edges/s, higher is better)",
+        "stealing FIFO driver and bucketed SSSP each beat the centralized baseline",
+    );
+    let mut table = Table::new(&["dataset", "algorithm", "centralized", "scalable", "speedup"]);
+    let mut merged = SchedStats::default();
+    for name in DATASETS {
+        let d = dataset(name, args.scale_delta);
+        let sym = symmetric_view(&d.graph);
+        let weighted = gen::with_random_weights(&d.graph, 100, 0x5EED);
+        println!(
+            "\n--- dataset {} (|V|={}, |E|={}) ---",
+            name,
+            d.graph.num_vertices(),
+            d.graph.num_edges()
+        );
+        for algo in ["BFS", "Components", "SSSP-fifo", "SSSP-delta"] {
+            let row = run_cell(algo, &d.graph, &sym, &weighted, args.threads, &mut merged);
+            let speedup = row.scalable_eps / row.centralized_eps.max(1e-9);
+            table.row(&[
+                name.to_string(),
+                algo.to_string(),
+                fmt_rate(row.centralized_eps),
+                fmt_rate(row.scalable_eps),
+                format!("{speedup:.2}x"),
+            ]);
+            if let Some(path) = &args.json {
+                for (pool, eps, secs, counters) in [
+                    (
+                        "centralized",
+                        row.centralized_eps,
+                        row.centralized_secs,
+                        &row.centralized_counters,
+                    ),
+                    (
+                        "scalable",
+                        row.scalable_eps,
+                        row.scalable_secs,
+                        &row.scalable_counters,
+                    ),
+                ] {
+                    let rec = JsonRecord::new()
+                        .str("figure", "fig18_drivers")
+                        .str("dataset", name)
+                        .str("algorithm", algo)
+                        .str("pool", pool)
+                        .num_u("threads", args.threads as u64)
+                        .num_u("edges", row.edges)
+                        .num_f("secs", secs)
+                        .num_f("edges_per_sec", eps)
+                        .num_u("steals", counters.steals)
+                        .num_u("steal_fails", counters.steal_fails)
+                        .num_u("bucket_advances", counters.bucket_advances)
+                        .num_u("parked_wakeups", counters.parked_wakeups);
+                    append_record(path, &rec)
+                        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                }
+            }
+        }
+    }
+    println!();
+    table.print();
+    print_sched_counters(&merged);
+    println!(
+        "\n(best of {REPS} reps per cell; {} threads; scale {})",
+        args.threads, args.scale_delta
+    );
+}
+
+struct Cell {
+    edges: u64,
+    centralized_secs: f64,
+    centralized_eps: f64,
+    centralized_counters: SchedStats,
+    scalable_secs: f64,
+    scalable_eps: f64,
+    scalable_counters: SchedStats,
+}
+
+/// Run one `(algorithm, pool)` matrix cell: both pool implementations,
+/// bitwise cross-check, best-of-REPS timing each.
+fn run_cell(
+    algo: &str,
+    g: &Graph,
+    sym: &Graph,
+    weighted: &Graph,
+    threads: usize,
+    merged: &mut SchedStats,
+) -> Cell {
+    // Setup (layout + system build) happens per rep *outside* the timed
+    // section — it is identical for both pools and would only dilute the
+    // dispatch-path difference this figure measures.
+    let run = |pool_impl: PoolImpl| -> (Vec<u64>, f64, SchedStats) {
+        let mut best = f64::MAX;
+        let mut out = Vec::new();
+        let mut counters = SchedStats::default();
+        for _ in 0..REPS {
+            let _ = tufast::take_sched_counters(); // clear residue
+            let (result, secs) = match algo {
+                "BFS" => {
+                    let built = algos::setup(g, algos::bfs::BfsSpace::alloc);
+                    let sched = TuFast::new(Arc::clone(&built.sys));
+                    time(|| {
+                        algos::bfs::parallel_with_pool(
+                            g,
+                            &sched,
+                            &built.sys,
+                            &built.space,
+                            0,
+                            threads,
+                            pool_impl,
+                        )
+                    })
+                }
+                "Components" => {
+                    let built = algos::setup(sym, algos::wcc::WccSpace::alloc);
+                    let sched = TuFast::new(Arc::clone(&built.sys));
+                    time(|| {
+                        algos::wcc::parallel_with_pool(
+                            sym,
+                            &sched,
+                            &built.sys,
+                            &built.space,
+                            threads,
+                            pool_impl,
+                        )
+                    })
+                }
+                "SSSP-fifo" | "SSSP-delta" => {
+                    let kind = if algo == "SSSP-fifo" {
+                        algos::sssp::QueueKind::Fifo
+                    } else {
+                        algos::sssp::QueueKind::Priority
+                    };
+                    let built = algos::setup(weighted, algos::sssp::SsspSpace::alloc);
+                    let sched = TuFast::new(Arc::clone(&built.sys));
+                    time(|| {
+                        algos::sssp::parallel_with_pool(
+                            weighted,
+                            &sched,
+                            &built.sys,
+                            &built.space,
+                            0,
+                            threads,
+                            kind,
+                            pool_impl,
+                        )
+                    })
+                }
+                other => panic!("unknown algorithm {other}"),
+            };
+            tufast::take_sched_counters().fold_into(&mut counters);
+            if secs < best {
+                best = secs;
+            }
+            out = result;
+        }
+        (out, best, counters)
+    };
+
+    let (r_central, t_central, c_central) = run(PoolImpl::Centralized);
+    let (r_scalable, t_scalable, c_scalable) = run(PoolImpl::Scalable);
+    assert_eq!(
+        r_central, r_scalable,
+        "{algo}: pool implementations disagree"
+    );
+
+    let edges = match algo {
+        "Components" => sym.num_edges(),
+        _ => g.num_edges(),
+    };
+    merged.merge(&c_central);
+    merged.merge(&c_scalable);
+    Cell {
+        edges,
+        centralized_secs: t_central,
+        centralized_eps: edges as f64 / t_central.max(1e-9),
+        centralized_counters: c_central,
+        scalable_secs: t_scalable,
+        scalable_eps: edges as f64 / t_scalable.max(1e-9),
+        scalable_counters: c_scalable,
+    }
+}

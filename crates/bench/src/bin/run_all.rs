@@ -22,6 +22,7 @@ fn main() {
         "fig15_mode_breakdown",
         "fig16_param_sensitivity",
         "fig17_adaptive_period",
+        "fig18_drivers",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current_exe")

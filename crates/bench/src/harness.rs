@@ -16,6 +16,10 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Transactions per microbenchmark measurement (`--txns`).
     pub txns: usize,
+    /// Destination for machine-readable benchmark records (`--json
+    /// <path>`); each figure binary that supports it appends its results
+    /// to the JSON array at this path. `None` disables JSON output.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -27,6 +31,7 @@ impl Default for BenchArgs {
             scale_delta: -3,
             threads: available.clamp(4, 8),
             txns: 200_000,
+            json: None,
         }
     }
 }
@@ -51,8 +56,9 @@ pub fn parse_args() -> BenchArgs {
                 out.threads = take("--threads").parse().expect("--threads takes a count")
             }
             "--txns" => out.txns = take("--txns").parse().expect("--txns takes a count"),
+            "--json" => out.json = Some(take("--json").into()),
             "--help" | "-h" => {
-                eprintln!("flags: --scale <int ≤ 0> --threads <n> --txns <n>");
+                eprintln!("flags: --scale <int ≤ 0> --threads <n> --txns <n> --json <path>");
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other:?} (try --help)"),
@@ -156,6 +162,16 @@ pub fn print_robustness(stats: &tufast::TuFastStats) {
     println!(
         "  checkpointing: checkpoints written={} recoveries={} snapshot fallbacks={}",
         stats.checkpoints_written, stats.recoveries, stats.snapshot_fallbacks,
+    );
+    print_sched_counters(&stats.sched);
+}
+
+/// Print the work-distribution counters (nonzero only for runs driven
+/// through the stealing/bucketed pools).
+pub fn print_sched_counters(sched: &tufast_txn::SchedStats) {
+    println!(
+        "  scheduling: steals={} steal-fails={} bucket-advances={} parked-wakeups={}",
+        sched.steals, sched.steal_fails, sched.bucket_advances, sched.parked_wakeups,
     );
 }
 

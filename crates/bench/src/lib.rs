@@ -15,6 +15,7 @@
 
 pub mod datasets;
 pub mod harness;
+pub mod json;
 pub mod workloads;
 
 pub use datasets::{dataset, dataset_names, Dataset};

@@ -58,6 +58,52 @@ fn crash_then_recover_is_bitwise_identical_for_every_algorithm() {
 }
 
 #[test]
+fn late_crash_over_stealing_and_bucketed_drivers_resumes_exactly() {
+    // The checkpointed drivers now run on the work-stealing pool (BFS,
+    // WCC, SSSP-FIFO) and the delta-stepping bucket pool (SSSP-priority).
+    // Crash late into larger graphs so the frontier being snapshotted and
+    // recovered lives spread across per-worker deques / priority buckets,
+    // not just the seed injector — the `pending_items` contract under
+    // stealing is what this exercises.
+    for algo in RecoveryAlgo::ALL {
+        let g = match algo {
+            RecoveryAlgo::Bfs | RecoveryAlgo::Wcc => gen::grid2d(40, 40),
+            RecoveryAlgo::SsspFifo | RecoveryAlgo::SsspPriority => {
+                gen::with_random_weights(&gen::grid2d(36, 36), 50, 23)
+            }
+        };
+        let dir = temp_dir(&format!("late-crash-{}", algo.label()));
+        // Under stealing the per-worker load split is nondeterministic
+        // (one owner deque can hog a whole subtree of re-pushes), so the
+        // crash is seeded on *whichever* worker reaches the probe first.
+        // Every graph has ≥ 1296 vertices over 3 workers, so some worker
+        // always reaches probe 400 — and by then the pool has processed
+        // an order of magnitude more than `every_items`, so epochs have
+        // closed and recovery must find a snapshot, not cold-restart.
+        let spec = FaultSpec {
+            crash_worker: tufast_txn::CRASH_ANY_WORKER,
+            crash_at_probe: 400,
+            ..FaultSpec::default()
+        };
+        let out = crash_and_recover(algo, &g, THREADS, 40, spec, &dir).unwrap();
+        assert!(out.crashed, "{}: seeded crash never fired", algo.label());
+        assert!(
+            !out.cold_restart,
+            "{}: late crash must find a valid snapshot",
+            algo.label()
+        );
+        assert_eq!(
+            out.final_result,
+            out.baseline,
+            "{}: resume over stealing/bucketed pool diverged",
+            algo.label()
+        );
+        assert_eq!(out.report.recoveries, 1, "{}", algo.label());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn crash_at_first_transaction_cold_restarts_cleanly() {
     // Probe 1: worker 1 dies at its very first transaction, before any
     // epoch can close. Recovery finds no snapshot and must fall back to a

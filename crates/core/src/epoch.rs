@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use tufast_txn::{GraphScheduler, TxnSystem};
 
-use crate::par::{DoneGuard, WorkPool};
+use crate::par::{fold_sched_counters, idle_backoff, DoneGuard, WorkPool};
 
 /// The serial-token value reserved for the epoch coordinator. Worker
 /// claims are `worker_id + 1`, far below this.
@@ -190,33 +190,33 @@ where
     let barrier = &barrier;
     let f = &f;
     let checkpoint = &checkpoint;
-    std::thread::scope(|s| {
+    let workers = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let mut worker = sched.worker();
                 s.spawn(move || {
                     let _active = ActiveGuard(&barrier.active);
-                    let mut idle_spins = 0u32;
+                    let mut idle = 0u32;
                     loop {
                         barrier.park_if_paused();
                         match pool.pop() {
                             Some(v) => {
-                                idle_spins = 0;
+                                idle = 0;
                                 let guard = DoneGuard(pool);
                                 f(&mut worker, pool, v);
                                 drop(guard);
                                 barrier.maybe_coordinate(sys, checkpoint);
                             }
                             None => {
-                                if pool.pending() == 0 {
+                                if pool.quiescent() {
                                     break;
                                 }
-                                idle_spins += 1;
-                                if idle_spins > 64 {
-                                    std::thread::yield_now();
-                                } else {
-                                    std::hint::spin_loop();
-                                }
+                                // The pool park is bounded (timed), so a
+                                // worker parked here still reaches
+                                // `park_if_paused` within PARK_TIMEOUT
+                                // when a coordinator raises the pause flag
+                                // — the barrier never waits on a wakeup.
+                                idle_backoff(pool, &mut idle);
                             }
                         }
                     }
@@ -229,7 +229,9 @@ where
             // Re-raise a worker panic with its original payload.
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
-    })
+    });
+    fold_sched_counters(&pool.counters());
+    workers
 }
 
 #[cfg(test)]

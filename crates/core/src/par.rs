@@ -7,20 +7,31 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crossbeam::queue::SegQueue;
 use tufast_txn::GraphScheduler;
 
-/// Dynamic chunk size for `parallel_for` (grabbed atomically by idle
-/// threads, so stragglers on hub vertices don't stall the range).
-const CHUNK: usize = 256;
+use crate::pad::CachePadded;
+
+/// Floor for guided self-scheduling chunks: below this the fetch_add
+/// traffic on the cursor outweighs the balance win.
+const MIN_CHUNK: usize = 16;
+
+/// Ceiling for guided chunks: one grab never exceeds this, so even the
+/// first chunks of a huge range leave work for late-starting threads.
+const MAX_CHUNK: usize = 4096;
 
 /// Run `f(worker, v)` for every `v in 0..n` on `threads` threads, each with
 /// its own scheduler worker. Returns one worker per thread after the loop,
 /// so callers can harvest statistics.
+///
+/// Chunking is guided self-scheduling: each grab takes
+/// `remaining / (2·threads)` (clamped) — big chunks early for low cursor
+/// traffic, shrinking toward the tail so a straggler stuck on a hub vertex
+/// strands at most a small chunk, not a fixed 256-wide one.
 pub fn parallel_for<S, F>(sched: &S, threads: usize, n: usize, f: F) -> Vec<S::Worker>
 where
     S: GraphScheduler,
     F: Fn(&mut S::Worker, u32) + Sync,
 {
     let threads = threads.max(1);
-    let cursor = AtomicUsize::new(0);
+    let cursor = CachePadded::new(AtomicUsize::new(0));
     let f = &f;
     let cursor = &cursor;
     std::thread::scope(|s| {
@@ -29,11 +40,17 @@ where
                 let mut worker = sched.worker();
                 s.spawn(move || {
                     loop {
-                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        // The load races other grabs, so `remaining` can be
+                        // stale — that only perturbs the chunk size; the
+                        // fetch_add below is what claims indices.
+                        let seen = cursor.load(Ordering::Relaxed);
+                        let remaining = n.saturating_sub(seen);
+                        let chunk = (remaining / (2 * threads)).clamp(MIN_CHUNK, MAX_CHUNK);
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
-                        let end = (start + CHUNK).min(n);
+                        let end = (start + chunk).min(n);
                         for v in start..end {
                             f(&mut worker, v as u32);
                         }
@@ -51,6 +68,88 @@ where
     })
 }
 
+/// Scheduler-internal event counters a [`WorkPool`] can expose; folded
+/// into `SchedStats` by the drain drivers and printed by the bench
+/// harness. All zeros for pools without the corresponding machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Items migrated between workers by successful steals.
+    pub steals: u64,
+    /// Steal attempts that lost a race (`Retry` outcomes).
+    pub steal_fails: u64,
+    /// Lazy cursor advances past drained priority buckets.
+    pub bucket_advances: u64,
+    /// Completed parked waits of idle workers.
+    pub parked_wakeups: u64,
+}
+
+impl PoolCounters {
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &PoolCounters) {
+        self.steals += other.steals;
+        self.steal_fails += other.steal_fails;
+        self.bucket_advances += other.bucket_advances;
+        self.parked_wakeups += other.parked_wakeups;
+    }
+
+    /// Fold these counters into a stats record for harness reporting.
+    pub fn fold_into(&self, stats: &mut tufast_txn::SchedStats) {
+        stats.steals += self.steals;
+        stats.steal_fails += self.steal_fails;
+        stats.bucket_advances += self.bucket_advances;
+        stats.parked_wakeups += self.parked_wakeups;
+    }
+}
+
+/// Process-wide accumulator the drain drivers fold [`PoolCounters`] into;
+/// harvested by [`take_sched_counters`]. A global (rather than a return
+/// value) because the drains' signatures return workers, and the bench
+/// harness aggregates across many independent drain calls anyway.
+static DRIVER_STEALS: AtomicU64 = AtomicU64::new(0);
+static DRIVER_STEAL_FAILS: AtomicU64 = AtomicU64::new(0);
+static DRIVER_BUCKET_ADVANCES: AtomicU64 = AtomicU64::new(0);
+static DRIVER_PARKED_WAKEUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Fold one pool's counters into the process-wide accumulator. Called by
+/// the drain drivers after the workers join; public so external drivers
+/// composing their own loops can participate.
+pub fn fold_sched_counters(c: &PoolCounters) {
+    if *c == PoolCounters::default() {
+        return;
+    }
+    DRIVER_STEALS.fetch_add(c.steals, Ordering::Relaxed);
+    DRIVER_STEAL_FAILS.fetch_add(c.steal_fails, Ordering::Relaxed);
+    DRIVER_BUCKET_ADVANCES.fetch_add(c.bucket_advances, Ordering::Relaxed);
+    DRIVER_PARKED_WAKEUPS.fetch_add(c.parked_wakeups, Ordering::Relaxed);
+}
+
+/// Drain and reset the process-wide scheduler counters accumulated by the
+/// drain drivers since the last call. The bench binaries call this after a
+/// run and fold the result into the run's `SchedStats`.
+pub fn take_sched_counters() -> PoolCounters {
+    PoolCounters {
+        steals: DRIVER_STEALS.swap(0, Ordering::Relaxed),
+        steal_fails: DRIVER_STEAL_FAILS.swap(0, Ordering::Relaxed),
+        bucket_advances: DRIVER_BUCKET_ADVANCES.swap(0, Ordering::Relaxed),
+        parked_wakeups: DRIVER_PARKED_WAKEUPS.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Which work-distribution implementation a drain driver should build.
+///
+/// The algorithm drivers default to [`Scalable`](PoolImpl::Scalable); the
+/// bench harness runs both so every PR's JSON records the head-to-head.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolImpl {
+    /// One shared queue / mutexed heap — the pre-work-stealing baseline,
+    /// kept as the benchmark comparison point.
+    Centralized,
+    /// Per-worker stealing deques ([`StealPool`](crate::steal::StealPool))
+    /// and delta buckets ([`BucketPool`](crate::bucket::BucketPool)).
+    #[default]
+    Scalable,
+}
+
 /// A concurrent work pool with quiescence detection: the processing loop
 /// ends only when the queue is empty *and* no in-flight task might push
 /// more (the asynchronous-algorithm driver behind BFS/SSSP/components).
@@ -59,21 +158,46 @@ pub trait WorkPool: Sync {
     fn push(&self, v: u32);
     /// Take one unit, or `None` if currently empty.
     fn pop(&self) -> Option<u32>;
-    /// Units pushed but not yet fully processed.
+    /// Units pushed but not yet fully processed (racy estimate; fine for
+    /// progress reporting, but termination should ask [`Self::quiescent`]).
     fn pending(&self) -> usize;
     /// Mark one unit fully processed (after any re-pushes it triggered).
     fn done(&self);
+    /// Sound termination check: `true` only if nothing is queued and
+    /// nothing is in flight. Default delegates to `pending() == 0`, which
+    /// is sound for pools whose count lives in one atomic word; striped
+    /// pools override with a snapshot-validated fold (DESIGN.md §7).
+    fn quiescent(&self) -> bool {
+        self.pending() == 0
+    }
+    /// Block the calling idle worker briefly (bounded wait) until new work
+    /// is likely. Pools with a parking gate override this; the default
+    /// yields so spin-only pools keep their old behaviour.
+    fn park_idle(&self) {
+        std::thread::yield_now();
+    }
     /// Snapshot the queued items as `(vertex, priority-key)` pairs without
     /// consuming them. **Quiescence only**: callers must guarantee no
     /// concurrent push/pop (the epoch barrier does) — FIFO pools observe
     /// the frontier by draining and re-inserting.
     fn pending_items(&self) -> Vec<(u32, u64)>;
+    /// Scheduler-internal event counters for the bench harness. Default:
+    /// all zeros.
+    fn counters(&self) -> PoolCounters {
+        PoolCounters::default()
+    }
 }
 
 /// FIFO pool (Bellman-Ford flavour).
 pub struct FifoPool {
     queue: SegQueue<u32>,
-    pending: AtomicUsize,
+    /// Queued + in-flight items, all ±1s on this one padded word. A
+    /// single-word counter needs no `SeqCst`: its own modification order
+    /// serializes the updates, and an in-flight item's `-1` is ordered
+    /// after the `+1` of any child it re-pushed, so a zero read proves
+    /// quiescence (full argument in DESIGN.md §7). `Release`/`Acquire`
+    /// documents the publish/observe pairing.
+    pending: CachePadded<AtomicUsize>,
 }
 
 impl FifoPool {
@@ -81,7 +205,7 @@ impl FifoPool {
     pub fn new() -> Self {
         FifoPool {
             queue: SegQueue::new(),
-            pending: AtomicUsize::new(0),
+            pending: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -94,7 +218,7 @@ impl Default for FifoPool {
 
 impl WorkPool for FifoPool {
     fn push(&self, v: u32) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.fetch_add(1, Ordering::Release);
         self.queue.push(v);
     }
 
@@ -103,11 +227,11 @@ impl WorkPool for FifoPool {
     }
 
     fn pending(&self) -> usize {
-        self.pending.load(Ordering::SeqCst)
+        self.pending.load(Ordering::Acquire)
     }
 
     fn done(&self) {
-        self.pending.fetch_sub(1, Ordering::SeqCst);
+        self.pending.fetch_sub(1, Ordering::Release);
     }
 
     fn pending_items(&self) -> Vec<(u32, u64)> {
@@ -127,9 +251,16 @@ impl WorkPool for FifoPool {
 
 /// Priority pool (SPFA flavour): lowest key first — e.g. tentative
 /// distance, so relaxation work flows outward from the source.
+///
+/// This is the *centralized* baseline: one mutexed binary heap, total
+/// order, global serialization. The scalable replacement is
+/// [`BucketPool`](crate::bucket::BucketPool); this stays as the
+/// comparison point the bench harness measures against.
 pub struct PriorityPool {
     heap: parking_lot_shim::Mutex<BinaryHeap<std::cmp::Reverse<(u64, u32)>>>,
-    pending: AtomicUsize,
+    /// Single-word in-flight count; same ordering argument as
+    /// [`FifoPool::pending`].
+    pending: CachePadded<AtomicUsize>,
     /// Keys for pushes made through the keyless [`WorkPool::push`].
     default_key: AtomicU64,
 }
@@ -159,14 +290,14 @@ impl PriorityPool {
     pub fn new() -> Self {
         PriorityPool {
             heap: parking_lot_shim::Mutex::new(BinaryHeap::new()),
-            pending: AtomicUsize::new(0),
+            pending: CachePadded::new(AtomicUsize::new(0)),
             default_key: AtomicU64::new(0),
         }
     }
 
     /// Add work with an explicit priority key (smaller = sooner).
     pub fn push_with_key(&self, v: u32, key: u64) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.fetch_add(1, Ordering::Release);
         self.heap.lock().push(std::cmp::Reverse((key, v)));
     }
 }
@@ -189,11 +320,11 @@ impl WorkPool for PriorityPool {
     }
 
     fn pending(&self) -> usize {
-        self.pending.load(Ordering::SeqCst)
+        self.pending.load(Ordering::Acquire)
     }
 
     fn done(&self) {
-        self.pending.fetch_sub(1, Ordering::SeqCst);
+        self.pending.fetch_sub(1, Ordering::Release);
     }
 
     fn pending_items(&self) -> Vec<(u32, u64)> {
@@ -202,6 +333,29 @@ impl WorkPool for PriorityPool {
             .iter()
             .map(|&std::cmp::Reverse((key, v))| (v, key))
             .collect()
+    }
+}
+
+/// Spins of pure busy-wait before an idle worker starts yielding.
+const IDLE_SPINS: u32 = 16;
+
+/// Yields before an idle worker escalates to a parked wait.
+const IDLE_YIELDS: u32 = 48;
+
+/// One step of the idle backoff ladder: spin → yield → park. The ladder
+/// resets whenever work is found; the park is bounded
+/// ([`PARK_TIMEOUT`](crate::steal::PARK_TIMEOUT) for parking pools, one
+/// yield for the default), so termination and the epoch barrier are never
+/// gated on a wakeup actually arriving.
+#[inline]
+pub(crate) fn idle_backoff<P: WorkPool>(pool: &P, idle: &mut u32) {
+    *idle = idle.saturating_add(1);
+    if *idle <= IDLE_SPINS {
+        std::hint::spin_loop();
+    } else if *idle <= IDLE_SPINS + IDLE_YIELDS {
+        std::thread::yield_now();
+    } else {
+        pool.park_idle();
     }
 }
 
@@ -216,16 +370,16 @@ where
 {
     let threads = threads.max(1);
     let f = &f;
-    std::thread::scope(|s| {
+    let workers = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let mut worker = sched.worker();
                 s.spawn(move || {
-                    let mut idle_spins = 0u32;
+                    let mut idle = 0u32;
                     loop {
                         match pool.pop() {
                             Some(v) => {
-                                idle_spins = 0;
+                                idle = 0;
                                 // `done()` must run even if `f` panics —
                                 // otherwise the in-flight count never drops
                                 // and the surviving peers spin forever
@@ -235,15 +389,10 @@ where
                                 drop(guard);
                             }
                             None => {
-                                if pool.pending() == 0 {
-                                    break; // quiescent: nothing queued or in flight
+                                if pool.quiescent() {
+                                    break; // nothing queued or in flight
                                 }
-                                idle_spins += 1;
-                                if idle_spins > 64 {
-                                    std::thread::yield_now();
-                                } else {
-                                    std::hint::spin_loop();
-                                }
+                                idle_backoff(pool, &mut idle);
                             }
                         }
                     }
@@ -256,7 +405,9 @@ where
             // Re-raise a worker panic with its original payload.
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
-    })
+    });
+    fold_sched_counters(&pool.counters());
+    workers
 }
 
 /// Calls [`WorkPool::done`] on drop so the in-flight count stays accurate
@@ -272,6 +423,8 @@ impl<P: WorkPool> Drop for DoneGuard<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bucket::BucketPool;
+    use crate::steal::StealPool;
     use std::sync::Arc;
     use tufast_htm::MemoryLayout;
     use tufast_txn::{TwoPhaseLocking, TxnSystem, TxnWorker};
@@ -362,5 +515,84 @@ mod tests {
             });
         });
         assert_eq!(sys.mem().load_direct(data.addr(0)), 500);
+    }
+
+    #[test]
+    fn drain_counts_every_token_exactly_once_under_stealing() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = StealPool::new(6);
+        for v in 0..500u32 {
+            pool.push(v);
+        }
+        parallel_drain(&sched, &pool, 6, |w, _pool, _v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(0, data.addr(0))?;
+                ops.write(0, data.addr(0), x + 1)
+            });
+        });
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 500);
+        assert!(pool.quiescent());
+    }
+
+    #[test]
+    fn steal_pool_drains_with_repushes_to_quiescence() {
+        // Re-pushes land in per-worker deques; quiescence must still be
+        // exact (the striped double-fold, not a racy sum).
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = StealPool::new(4);
+        pool.push(0);
+        parallel_drain(&sched, &pool, 4, |w, pool, v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(0, data.addr(0))?;
+                ops.write(0, data.addr(0), x + 1)
+            });
+            if v < 200 {
+                pool.push(v * 2 + 201);
+                pool.push(v * 2 + 202);
+            }
+        });
+        assert!(pool.quiescent());
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 3);
+    }
+
+    #[test]
+    fn drain_works_over_bucket_pool() {
+        let (sys, data) = system(8, 1);
+        let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+        let pool = BucketPool::new(4);
+        for v in 0..300u32 {
+            pool.push_with_key(v, u64::from(v % 37));
+        }
+        parallel_drain(&sched, &pool, 4, |w, _pool, _v| {
+            w.execute(2, &mut |ops| {
+                let x = ops.read(0, data.addr(0))?;
+                ops.write(0, data.addr(0), x + 1)
+            });
+        });
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 300);
+        assert!(pool.quiescent());
+    }
+
+    #[test]
+    fn sched_counters_accumulate_and_drain() {
+        let _ = take_sched_counters(); // reset cross-test residue
+        fold_sched_counters(&PoolCounters {
+            steals: 3,
+            steal_fails: 1,
+            bucket_advances: 2,
+            parked_wakeups: 5,
+        });
+        fold_sched_counters(&PoolCounters {
+            steals: 1,
+            ..PoolCounters::default()
+        });
+        let got = take_sched_counters();
+        assert_eq!(got.steals, 4);
+        assert_eq!(got.steal_fails, 1);
+        assert_eq!(got.bucket_advances, 2);
+        assert_eq!(got.parked_wakeups, 5);
+        assert_eq!(take_sched_counters(), PoolCounters::default());
     }
 }

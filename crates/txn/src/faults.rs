@@ -102,6 +102,11 @@ impl FaultKind {
     }
 }
 
+/// Sentinel for [`FaultSpec::crash_worker`]: arm the crash probe on
+/// every worker, so whichever reaches the probe count first crashes the
+/// run. Useful when per-worker load is nondeterministic (stealing pools).
+pub const CRASH_ANY_WORKER: u32 = u32::MAX;
+
 /// Declarative description of a fault plan: a seed plus per-site rates.
 ///
 /// Rates are in permille (0–1000); 1000 fires on every probe. The spin
@@ -128,7 +133,10 @@ pub struct FaultSpec {
     /// Spin iterations of one injected preemption delay.
     pub preempt_spins: u32,
     /// Worker whose crash probe is armed (ignored while
-    /// [`FaultSpec::crash_at_probe`] is 0).
+    /// [`FaultSpec::crash_at_probe`] is 0). [`CRASH_ANY_WORKER`] arms the
+    /// probe on every worker, so the *first* worker to reach
+    /// [`FaultSpec::crash_at_probe`] dies — the right choice for drivers
+    /// whose per-worker load split is nondeterministic (work stealing).
     pub crash_worker: u32,
     /// Probe count at which the seeded worker crashes the run
     /// ([`FaultHandle::crash_point`] panics with [`InjectedCrash`]; every
@@ -475,8 +483,9 @@ impl FaultHandle {
                 if spec.crash_at_probe == 0 {
                     return;
                 }
-                let seeded_hit =
-                    self.worker == spec.crash_worker && self.seq >= spec.crash_at_probe;
+                let seeded_worker =
+                    spec.crash_worker == CRASH_ANY_WORKER || self.worker == spec.crash_worker;
+                let seeded_hit = seeded_worker && self.seq >= spec.crash_at_probe;
                 if seeded_hit && !plan.crashed.swap(true, Ordering::SeqCst) {
                     plan.record(FaultKind::Crash);
                 }
@@ -656,6 +665,38 @@ mod tests {
         let mut exempt = FaultHandle::attached(Some(Arc::clone(&plan)), 1);
         exempt.set_exempt(true);
         exempt.crash_point();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn wildcard_crash_takes_the_first_worker_to_reach_the_probe() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash_worker: CRASH_ANY_WORKER,
+            crash_at_probe: 3,
+            ..FaultSpec::default()
+        });
+        // Two workers race the probe count; whichever probes third dies,
+        // regardless of id.
+        let mut a = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        let mut b = FaultHandle::attached(Some(Arc::clone(&plan)), 7);
+        a.crash_point();
+        a.crash_point();
+        b.crash_point();
+        assert!(!plan.crash_armed());
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.crash_point();
+        }));
+        let payload = died.expect_err("third probe on any worker must crash");
+        assert!(is_injected_crash(payload.as_ref()));
+        assert_eq!(
+            payload.downcast_ref::<InjectedCrash>(),
+            Some(&InjectedCrash {
+                worker: 0,
+                probe: 3
+            })
+        );
+        assert!(plan.crash_armed());
+        assert_eq!(plan.injected(FaultKind::Crash), 1);
     }
 
     #[cfg(feature = "faults")]

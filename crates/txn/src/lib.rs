@@ -38,7 +38,10 @@ mod tpl;
 mod traits;
 
 pub use deadlock::WaitConfig;
-pub use faults::{is_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec, InjectedCrash};
+pub use faults::{
+    is_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec, InjectedCrash,
+    CRASH_ANY_WORKER,
+};
 pub use hsync::HSyncLike;
 pub use hto::HTimestampOrdering;
 pub use locks::{LockWord, VertexLocks};

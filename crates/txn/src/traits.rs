@@ -89,6 +89,14 @@ pub struct SchedStats {
     /// [`FaultPlan`](crate::faults::FaultPlan). HTM-level injected aborts
     /// are counted on the plan itself.
     pub injected_faults: u64,
+    /// Work items migrated between workers by the work-stealing pool.
+    pub steals: u64,
+    /// Steal attempts that lost a race with the owner or another thief.
+    pub steal_fails: u64,
+    /// Lazy cursor advances past drained buckets in the priority pool.
+    pub bucket_advances: u64,
+    /// Completed parked waits of idle drain workers.
+    pub parked_wakeups: u64,
 }
 
 impl SchedStats {
@@ -103,6 +111,10 @@ impl SchedStats {
         self.anon_wait_victims += other.anon_wait_victims;
         self.panics += other.panics;
         self.injected_faults += other.injected_faults;
+        self.steals += other.steals;
+        self.steal_fails += other.steal_fails;
+        self.bucket_advances += other.bucket_advances;
+        self.parked_wakeups += other.parked_wakeups;
     }
 
     /// Committed transactions per attempt — 1.0 means no wasted work.
@@ -201,6 +213,10 @@ mod tests {
             anon_wait_victims: 2,
             panics: 3,
             injected_faults: 4,
+            steals: 5,
+            steal_fails: 6,
+            bucket_advances: 7,
+            parked_wakeups: 8,
             ..Default::default()
         };
         a.merge(&b);
@@ -211,6 +227,10 @@ mod tests {
         assert_eq!(a.anon_wait_victims, 2);
         assert_eq!(a.panics, 3);
         assert_eq!(a.injected_faults, 4);
+        assert_eq!(a.steals, 5);
+        assert_eq!(a.steal_fails, 6);
+        assert_eq!(a.bucket_advances, 7);
+        assert_eq!(a.parked_wakeups, 8);
     }
 
     #[test]

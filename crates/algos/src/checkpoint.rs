@@ -218,19 +218,21 @@ pub fn run_checkpointed<S, P, F>(
             };
             match store.write(&snap) {
                 Ok(_) => {
-                    written.fetch_add(1, Ordering::SeqCst);
-                    last.store(epoch + 1, Ordering::SeqCst);
+                    // Relaxed: the final reads below happen after the
+                    // drain's thread join, which already orders them.
+                    written.fetch_add(1, Ordering::Relaxed);
+                    last.store(epoch + 1, Ordering::Relaxed);
                 }
                 Err(_) => {
-                    failures.fetch_add(1, Ordering::SeqCst);
+                    failures.fetch_add(1, Ordering::Relaxed);
                 }
             }
         },
         f,
     );
-    report.checkpoints_written += written.load(Ordering::SeqCst);
-    report.checkpoint_failures += failures.load(Ordering::SeqCst);
-    if let Some(epoch) = last.load(Ordering::SeqCst).checked_sub(1) {
+    report.checkpoints_written += written.load(Ordering::Relaxed);
+    report.checkpoint_failures += failures.load(Ordering::Relaxed);
+    if let Some(epoch) = last.load(Ordering::Relaxed).checked_sub(1) {
         report.last_epoch = Some(epoch);
     }
 }

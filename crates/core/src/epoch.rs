@@ -66,7 +66,9 @@ struct ActiveGuard<'a>(&'a AtomicUsize);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        // Release publishes this thread's final item work to the
+        // coordinator, whose park-wait loads `active` with Acquire.
+        self.0.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -85,12 +87,18 @@ impl EpochBarrier {
     /// Park until the coordinator reopens the world. Called only between
     /// items, holding nothing.
     fn park_if_paused(&self) {
-        if !self.pause.load(Ordering::SeqCst) {
+        // This check runs once per drained item: Acquire/Release is all
+        // the hand-off needs, and it keeps SeqCst fences off the hot
+        // path. The Release increment publishes this peer's finished
+        // item to the coordinator (which Acquire-loads `parked`); the
+        // Acquire re-check of `pause` pairs with the coordinator's
+        // Release store, making the checkpoint visible before resuming.
+        if !self.pause.load(Ordering::Acquire) {
             return;
         }
-        self.parked.fetch_add(1, Ordering::SeqCst);
+        self.parked.fetch_add(1, Ordering::Release);
         let mut spins = 0u32;
-        while self.pause.load(Ordering::SeqCst) {
+        while self.pause.load(Ordering::Acquire) {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
                 std::thread::yield_now();
@@ -98,24 +106,31 @@ impl EpochBarrier {
                 std::hint::spin_loop();
             }
         }
-        self.parked.fetch_sub(1, Ordering::SeqCst);
+        self.parked.fetch_sub(1, Ordering::Release);
     }
 
     /// After finishing an item: close the epoch if this item crossed the
     /// target and no other thread got there first.
     fn maybe_coordinate(&self, sys: &TxnSystem, checkpoint: &(impl Fn(u64) + Sync)) {
-        let every = self.next_target.load(Ordering::SeqCst);
+        // Relaxed is enough for the counters: they only decide *when* to
+        // try closing an epoch, and the pause CAS is the real gate. A
+        // stale `next_target` in a losing thread at worst delays its
+        // next attempt by one item.
+        let every = self.next_target.load(Ordering::Relaxed);
         if every == 0 {
             return;
         }
-        let done = self.items_done.fetch_add(1, Ordering::SeqCst) + 1;
+        let done = self.items_done.fetch_add(1, Ordering::Relaxed) + 1;
         if done < every {
             return;
         }
         // Elect exactly one coordinator; losers just park at the barrier.
+        // AcqRel: success synchronizes with the previous coordinator's
+        // Release un-pause, so `epoch`/`next_target` reads below are
+        // ordered without SeqCst.
         if self
             .pause
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
             return;
@@ -124,7 +139,7 @@ impl EpochBarrier {
         //    only between items, so when the counts meet, nothing is
         //    mid-transaction.
         let mut spins = 0u32;
-        while self.parked.load(Ordering::SeqCst) < self.active.load(Ordering::SeqCst) - 1 {
+        while self.parked.load(Ordering::Acquire) < self.active.load(Ordering::Acquire) - 1 {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
                 std::thread::yield_now();
@@ -136,21 +151,25 @@ impl EpochBarrier {
         //    first; nothing new can start while we hold it).
         let token = sys.serial_token();
         let mem = sys.mem();
+        // tufast-lint: lock-acquire(serial_token)
         while mem.cas_direct(token, 0, COORDINATOR_CLAIM).is_err() {
             std::hint::spin_loop();
         }
-        // 3. Checkpoint under full quiescence.
-        let epoch = self.epoch.load(Ordering::SeqCst);
+        // 3. Checkpoint under full quiescence. Only the elected
+        //    coordinator ever touches `epoch`/`next_target`, and
+        //    coordinators are serialized by the pause CAS above, so
+        //    Relaxed suffices; the Release un-pause publishes both.
+        let epoch = self.epoch.load(Ordering::Relaxed);
         checkpoint(epoch);
         // 4. Reopen the world.
         mem.store_direct(token, 0);
-        self.epoch.store(epoch + 1, Ordering::SeqCst);
-        let done_now = self.items_done.load(Ordering::SeqCst);
+        self.epoch.store(epoch + 1, Ordering::Relaxed);
+        let done_now = self.items_done.load(Ordering::Relaxed);
         self.next_target.store(
             done_now.max(every).saturating_add(every.max(1)),
-            Ordering::SeqCst,
+            Ordering::Relaxed,
         );
-        self.pause.store(false, Ordering::SeqCst);
+        self.pause.store(false, Ordering::Release);
     }
 }
 

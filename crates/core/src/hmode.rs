@@ -61,6 +61,7 @@ pub(crate) struct HModeOps<'a> {
     ops: u64,
 }
 
+// tufast-lint: htm-scope
 impl<'a> HModeOps<'a> {
     fn new(
         ctx: &'a mut HtmCtx,
@@ -102,6 +103,7 @@ impl<'a> HModeOps<'a> {
             let code = self.ctx.abort_explicit(ABORT_LOCK_BUSY);
             return Err(self.fail(code));
         }
+        // tufast-lint: allow(htm-hazard) -- scratch WordMap is presized at construction; insert never reallocates
         self.scratch.subscribed.insert(Addr(u64::from(v)), 1);
         Ok(())
     }
@@ -121,11 +123,13 @@ impl<'a> HModeOps<'a> {
         self.ctx
             .write(addr, lw.bumped().0)
             .map_err(|c| self.fail(c))?;
+        // tufast-lint: allow(htm-hazard) -- scratch WordMap is presized at construction; insert never reallocates
         self.scratch.bumped.insert(Addr(u64::from(v)), 1);
         Ok(())
     }
 }
 
+// tufast-lint: htm-scope
 impl TxnOps for HModeOps<'_> {
     fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
         self.ops += 1;

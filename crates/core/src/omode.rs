@@ -143,6 +143,7 @@ impl<'a> OModeOps<'a> {
     /// Close the current HTM piece and open the next once `period`
     /// operations have accumulated (the `counter = period → XEND; XBEGIN`
     /// step of Algorithm 2).
+    // tufast-lint: htm-scope
     fn maybe_rollover(&mut self) -> Result<(), TxInterrupt> {
         if self.piece_ops < self.period {
             return Ok(());
@@ -164,6 +165,8 @@ impl<'a> OModeOps<'a> {
 }
 
 impl TxnOps for OModeOps<'_> {
+    // Only `read` runs inside an HTM piece; `write` buffers privately.
+    // tufast-lint: htm-scope
     fn read(&mut self, v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
         self.ops += 1;
         if let Some(val) = self.scratch.writes.get(addr) {
@@ -174,6 +177,7 @@ impl TxnOps for OModeOps<'_> {
         }
         self.maybe_rollover()?;
         self.piece_ops += 1;
+        // tufast-lint: allow(htm-hazard) -- read_seen is presized; growth would merely abort the piece, which the O retry ladder absorbs
         if self.scratch.read_seen.insert(Addr(u64::from(v)), 1) {
             // First touch: subscribe the lock word in this piece and record
             // the commit version for end-of-transaction validation.
@@ -185,6 +189,7 @@ impl TxnOps for OModeOps<'_> {
                 self.ctx.abort_explicit(ABORT_LOCK_BUSY);
                 return Err(self.fail(OFailCode::LockBusy));
             }
+            // tufast-lint: allow(htm-hazard) -- reads is presized for typical degree; a growth realloc aborts the piece, it cannot corrupt it
             self.scratch.reads.push((v, lw.version()));
         }
         let val = match self.ctx.read(addr) {
@@ -192,6 +197,7 @@ impl TxnOps for OModeOps<'_> {
             Err(code) => return Err(self.fail(OFailCode::Htm(code))),
         };
         if self.value_validation {
+            // tufast-lint: allow(htm-hazard) -- read_values is presized; growth aborts the piece and the retry ladder absorbs it
             self.scratch.read_values.push((addr, val));
         }
         Ok(val)

@@ -123,6 +123,7 @@ impl StealDeque {
         // The SeqCst fence orders the speculative bottom decrement before
         // the top read: either a concurrent thief sees the decrement and
         // gives up, or we see its CAS — never both taking the last item.
+        // tufast-lint: allow(memory-ordering) -- Chase-Lev owner/thief fence; Acquire/Release cannot order a store before a load
         std::sync::atomic::fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
@@ -135,6 +136,7 @@ impl StealDeque {
             // Last item: race the thieves for it via the top CAS.
             let won = self
                 .top
+                // tufast-lint: allow(memory-ordering) -- last-item race with thieves must totally order against the steal CAS
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
             self.bottom.store(b + 1, Ordering::Relaxed);
@@ -148,6 +150,7 @@ impl StealDeque {
         let t = self.top.load(Ordering::Acquire);
         // Order the top read before the bottom read (pairs with the fence
         // in `pop`), so a racing owner pop is always detected.
+        // tufast-lint: allow(memory-ordering) -- pairs with the SeqCst fence in pop; the classic Chase-Lev correctness argument needs it
         std::sync::atomic::fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
@@ -160,6 +163,7 @@ impl StealDeque {
         // has moved past `t`).
         if self
             .top
+            // tufast-lint: allow(memory-ordering) -- the linearization point of steal; totally ordered with pop's last-item CAS
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
         {
@@ -301,6 +305,7 @@ impl IdleGate {
 
     /// Park the calling worker until a wake or the timeout.
     pub fn park(&self) {
+        // tufast-lint: allow(memory-ordering) -- Dekker with wake_one: the count increment must be totally ordered against the waker's read
         self.parked.fetch_add(1, Ordering::SeqCst);
         let guard = self
             .lock
@@ -310,12 +315,14 @@ impl IdleGate {
             .cond
             .wait_timeout(guard, PARK_TIMEOUT)
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // tufast-lint: allow(memory-ordering) -- Dekker with wake_one; keeps the parked count conservatively high for wakers
         self.parked.fetch_sub(1, Ordering::SeqCst);
         self.wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Wake one parked worker, if any (called after a push).
     pub fn wake_one(&self) {
+        // tufast-lint: allow(memory-ordering) -- Dekker with park: must observe any increment ordered before this wake
         if self.parked.load(Ordering::SeqCst) > 0 {
             // Taking the lock orders this wake after a concurrent parker's
             // registration, so the notify cannot slip between its check
@@ -331,6 +338,7 @@ impl IdleGate {
 
     /// Wake every parked worker (termination broadcast).
     pub fn wake_all(&self) {
+        // tufast-lint: allow(memory-ordering) -- Dekker with park, as in wake_one; missing a parker here would strand it until the timeout
         if self.parked.load(Ordering::SeqCst) > 0 {
             drop(
                 self.lock
@@ -343,7 +351,8 @@ impl IdleGate {
 
     /// Workers currently parked (racy snapshot).
     pub fn parked(&self) -> usize {
-        self.parked.load(Ordering::SeqCst)
+        // A monitoring snapshot orders nothing; Relaxed is enough.
+        self.parked.load(Ordering::Relaxed)
     }
 
     /// Total parked waits that have completed.

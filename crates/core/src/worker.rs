@@ -199,6 +199,7 @@ impl TuFastWorker {
         let mem = self.sys.mem();
         let claim = u64::from(self.me) + 1;
         let mut spins = 0u32;
+        // tufast-lint: lock-acquire(serial_token)
         while mem.cas_direct(token, 0, claim).is_err() {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(256) {
@@ -213,6 +214,7 @@ impl TuFastWorker {
         // that path too — a leaked token permanently gates every worker's
         // `execute` entry — so catch, clean up, then re-raise.
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // tufast-lint: allow(lock-order) -- l_worker is the embedded TplWorker, whose execute never re-enters the serial token; name-based resolution conflates it with TuFastWorker::execute
             self.l_worker.execute(hint, body)
         }));
         self.l_worker.set_fault_exempt(false);

@@ -70,7 +70,10 @@ pub fn for_each(
     let queue = SegQueue::new();
     let pending = AtomicU64::new(0);
     for v in initial {
-        pending.fetch_add(1, Ordering::SeqCst);
+        // Increments may be Relaxed: the SegQueue push publishes the item,
+        // and the termination check pairs Acquire with the Release
+        // decrement below.
+        pending.fetch_add(1, Ordering::Relaxed);
         queue.push(v);
     }
     let ownership = Ownership::new(g.num_vertices());
@@ -108,15 +111,15 @@ pub fn for_each(
                                 continue;
                             }
                             let push = |u: VertexId| {
-                                pending.fetch_add(1, Ordering::SeqCst);
+                                pending.fetch_add(1, Ordering::Relaxed);
                                 queue.push(u);
                             };
                             operator(v, &push);
                             ownership.release(&neighborhood);
-                            pending.fetch_sub(1, Ordering::SeqCst);
+                            pending.fetch_sub(1, Ordering::Release);
                         }
                         None => {
-                            if pending.load(Ordering::SeqCst) == 0 {
+                            if pending.load(Ordering::Acquire) == 0 {
                                 break;
                             }
                             idle += 1;

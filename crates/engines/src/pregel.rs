@@ -72,12 +72,15 @@ pub fn run<P: Program>(
         let threads_used = threads.max(1).min(active.len());
         let chunk = active.len().div_ceil(threads_used);
         let results: Vec<SliceResult<P::Msg>> = std::thread::scope(|s| {
-            let handles: Vec<_> = active
-                .chunks(chunk)
-                .map(|slice| {
+            // Spawn every worker before joining any (a collect-free
+            // map would interleave spawn with join and serialize the
+            // superstep).
+            let mut handles = Vec::with_capacity(threads_used);
+            for slice in active.chunks(chunk) {
+                {
                     let values = &values;
                     let inbox = &inbox;
-                    s.spawn(move || {
+                    handles.push(s.spawn(move || {
                         let mut updates = Vec::with_capacity(slice.len());
                         let mut outgoing: Vec<(VertexId, P::Msg)> = Vec::new();
                         for &v in slice {
@@ -95,9 +98,9 @@ pub fn run<P: Program>(
                             updates.push((v, value, halt));
                         }
                         (updates, outgoing)
-                    })
-                })
-                .collect();
+                    }));
+                }
+            }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("pregel worker panicked"))

@@ -159,7 +159,10 @@ impl HtmCtx {
             self.depth += 1;
             return Ok(());
         }
-        if !self.available.load(std::sync::atomic::Ordering::Relaxed) {
+        // Acquire pairs with the Release store in `set_htm_available`:
+        // a begin that sees HTM enabled also sees the enabling thread's
+        // prior writes.
+        if !self.available.load(std::sync::atomic::Ordering::Acquire) {
             return Err(HtmStateError::Unavailable);
         }
         self.depth = 1;

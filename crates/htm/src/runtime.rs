@@ -64,14 +64,16 @@ impl HtmRuntime {
     /// survive on their software fallback paths alone. Transactions already
     /// in flight are unaffected; the switch only gates new `begin`s.
     pub fn set_htm_available(&self, available: bool) {
-        self.available.store(available, Ordering::Relaxed);
+        // Release/Acquire: a thread that observes the flip also observes
+        // whatever configuration the flipping thread wrote before it.
+        self.available.store(available, Ordering::Release);
     }
 
     /// Whether emulated HTM is currently enabled (true unless switched off
     /// via [`set_htm_available`](Self::set_htm_available)).
     #[inline]
     pub fn htm_available(&self) -> bool {
-        self.available.load(Ordering::Relaxed)
+        self.available.load(Ordering::Acquire)
     }
 
     /// The shared transactional memory.

@@ -1,0 +1,23 @@
+//! Known-bad: every class of HTM hazard, inside both kinds of scope
+//! (an `HtmCtx` parameter and an `htm-scope` marker).
+
+pub fn attempt(ctx: &mut HtmCtx, items: &[u64]) -> Result<(), ()> {
+    let label = format!("attempt-{}", items.len()); // alloc-in-htm (macro)
+    let boxed = Box::new(items.len()); // alloc-in-htm (path)
+    let mut log = Vec::new();
+    log.push(label); // alloc-in-htm (method)
+    println!("entered with {boxed:?}"); // io-in-htm
+    let first = items.first().unwrap(); // panic-in-htm
+    ctx.write(*first)
+}
+
+// tufast-lint: htm-scope
+fn commit_piece(&mut self) {
+    self.scratch.clone(); // alloc-in-htm via marker-scoped fn
+}
+
+fn unscoped_helper(items: &[u64]) -> String {
+    // Not an HTM scope: identical patterns must NOT be flagged here.
+    let s = format!("{items:?}");
+    s.clone()
+}

@@ -1,0 +1,20 @@
+//! Known-bad: two functions take the same two mutexes in opposite
+//! orders — the classic AB/BA deadlock.
+
+pub fn transfer(&self) {
+    let a = self.accounts.lock().unwrap_or_default();
+    let b = self.audit.lock().unwrap_or_default();
+    drop((a, b));
+}
+
+pub fn reconcile(&self) {
+    let b = self.audit.lock().unwrap_or_default();
+    let a = self.accounts.lock().unwrap_or_default();
+    drop((a, b));
+}
+
+pub fn reenter(&self) {
+    let first = self.accounts.lock().unwrap_or_default();
+    let again = self.accounts.lock().unwrap_or_default(); // self-cycle
+    drop((first, again));
+}

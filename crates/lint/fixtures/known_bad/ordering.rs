@@ -1,0 +1,11 @@
+//! Known-bad: both memory-ordering defect classes.
+
+pub fn publish(&self, result: u64) {
+    self.slot.store(result, Ordering::Release);
+    self.done.store(true, Ordering::Relaxed); // relaxed-handoff-flag
+}
+
+pub fn poll(&self) -> bool {
+    self.counter.fetch_add(1, Ordering::SeqCst); // seqcst-hot-path
+    self.done.load(Ordering::Relaxed) // relaxed-handoff-flag
+}

@@ -1,0 +1,23 @@
+//! Known-bad: scheduler entry points that never contain a panic.
+
+pub fn execute(&mut self, hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    loop {
+        match self.attempt_once(hint, body) {
+            Ok(out) => return out,
+            Err(_) => continue,
+        }
+    }
+}
+
+pub fn parallel_drain_naive(&self, pool: &WorkPool) {
+    while let Some(item) = pool.pop() {
+        self.process(item);
+    }
+}
+
+// tufast-lint: unwind-entry
+pub fn run_round(&mut self, visitor: &mut dyn FnMut(u32)) {
+    for v in 0..self.n {
+        visitor(v);
+    }
+}

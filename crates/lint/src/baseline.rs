@@ -1,0 +1,182 @@
+//! Findings, their JSON rendering, and the committed-baseline diff.
+//!
+//! A finding's *identity* deliberately excludes its line number: the
+//! baseline must survive unrelated edits that shift code up or down.
+//! Identity is `rule|file|function|code|detail`, counted as a multiset
+//! so two identical hazards in one function are two findings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{esc, parse, Value};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function (or `<file>` for module-level findings).
+    pub function: String,
+    /// Short machine code, e.g. `alloc-in-htm`.
+    pub code: String,
+    pub detail: String,
+}
+
+impl Finding {
+    pub fn identity(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.rule, self.file, self.function, self.code, self.detail
+        )
+    }
+
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}/{}] in `{}`: {}",
+            self.file, self.line, self.rule, self.code, self.function, self.detail
+        )
+    }
+}
+
+/// Render findings as the canonical JSON document (sorted, stable).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"function\": \"{}\", \"code\": \"{}\", \"detail\": \"{}\"}}",
+            esc(&f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.function),
+            esc(&f.code),
+            esc(&f.detail)
+        );
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parse a findings document (baseline or golden fixture file).
+pub fn findings_from_json(src: &str) -> Result<Vec<Finding>, String> {
+    let v = parse(src)?;
+    let arr = v
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("missing `findings` array")?;
+    let mut out = Vec::new();
+    for item in arr {
+        let s = |k: &str| -> Result<String, String> {
+            item.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("finding missing string field `{k}`"))
+        };
+        out.push(Finding {
+            rule: s("rule")?,
+            file: s("file")?,
+            line: item
+                .get("line")
+                .and_then(Value::as_u32)
+                .ok_or("finding missing `line`")?,
+            function: s("function")?,
+            code: s("code")?,
+            detail: s("detail")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Identity multiset of a finding list.
+pub fn identity_counts(findings: &[Finding]) -> BTreeMap<String, u32> {
+    let mut m = BTreeMap::new();
+    for f in findings {
+        *m.entry(f.identity()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Baseline comparison result.
+pub struct Diff<'a> {
+    /// Live findings beyond the baselined count for their identity.
+    pub new: Vec<&'a Finding>,
+    /// Baseline identities no longer present live (stale entries).
+    pub stale: Vec<String>,
+}
+
+/// Diff live findings against the baseline: CI fails only on `new`.
+pub fn diff<'a>(live: &'a [Finding], baseline: &[Finding]) -> Diff<'a> {
+    let mut budget = identity_counts(baseline);
+    let mut new = Vec::new();
+    let mut sorted: Vec<&Finding> = live.iter().collect();
+    sorted.sort();
+    for f in sorted {
+        let id = f.identity();
+        match budget.get_mut(&id) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f),
+        }
+    }
+    let stale = budget
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(id, _)| id)
+        .collect();
+    Diff { new, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, file: &str, line: u32, detail: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            function: "g".into(),
+            code: "c".into(),
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let fs = vec![f("r", "a.rs", 3, "x \"quoted\""), f("r", "b.rs", 9, "y")];
+        let back = findings_from_json(&findings_to_json(&fs)).unwrap();
+        assert_eq!(identity_counts(&fs), identity_counts(&back));
+    }
+
+    #[test]
+    fn line_moves_do_not_break_the_baseline() {
+        let base = vec![f("r", "a.rs", 3, "x")];
+        let live = vec![f("r", "a.rs", 40, "x")];
+        let d = diff(&live, &base);
+        assert!(d.new.is_empty() && d.stale.is_empty());
+    }
+
+    #[test]
+    fn extra_copies_and_stale_entries_are_reported() {
+        let base = vec![f("r", "a.rs", 3, "x"), f("r", "a.rs", 5, "gone")];
+        let live = vec![f("r", "a.rs", 3, "x"), f("r", "a.rs", 4, "x")];
+        let d = diff(&live, &base);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_flags_everything() {
+        let live = vec![f("r", "a.rs", 1, "x")];
+        assert_eq!(diff(&live, &[]).new.len(), 1);
+    }
+}

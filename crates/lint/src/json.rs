@@ -1,0 +1,264 @@
+//! Minimal JSON support (the lint is dependency-free by design): an
+//! escaping emitter plus a small recursive-descent parser — just enough
+//! for the baseline file, the lock-order artifact, and the golden
+//! fixture diagnostics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are kept as `f64`; the lint only ever
+/// stores small counts and line numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Num(n) => Some(*n as u32),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Escape `s` as the inside of a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSON document.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    b: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some('{') => self.obj(),
+            Some('[') => self.arr(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.lit("true", Value::Bool(true)),
+            Some('f') => self.lit("false", Value::Bool(false)),
+            Some('n') => self.lit("null", Value::Null),
+            Some(c) if *c == '-' || c.is_ascii_digit() => self.num(),
+            _ => Err(format!("unexpected character at offset {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn num(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.i += 1;
+        }
+        let s: String = self.b[start..self.i].iter().collect();
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(&e) = self.b.get(self.i) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex: String = self.b.iter().skip(self.i).take(4).collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            self.i += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn arr(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&']') {
+            self.i += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(',') => {
+                    self.i += 1;
+                }
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn obj(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&'}') {
+            self.i += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(',') => {
+                    self.i += 1;
+                }
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basics() {
+        let v = parse(r#"{"a": [1, "x\n", true, null], "b": {"c": -2.5}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("x\n")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Num(-2.5)));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let round = format!("\"{}\"", esc("a\"b\\c\nd"));
+        assert_eq!(parse(&round).unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace sources
+//! with line numbers, while getting the hard cases right — nested block
+//! comments, raw/byte strings, and the `'a` lifetime vs `'a'` char
+//! ambiguity. Comments are captured separately because they carry the
+//! `tufast-lint:` directives.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (multi-char operators arrive as
+    /// consecutive tokens; the scanners only ever match single chars).
+    Punct(char),
+    /// Any string literal (regular, raw, byte); contents discarded so
+    /// pattern text inside strings can never trip a rule.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Tokenize `src`, returning code tokens and comments separately.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                let l = line;
+                i = skip_string(&b, i, &mut line);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: l,
+                });
+            }
+            '\'' => {
+                // Lifetime iff `'ident` NOT followed by a closing quote.
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < n && b[i + 2] == '\'');
+                if is_lifetime {
+                    let l = line;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Lifetime,
+                        line: l,
+                    });
+                } else {
+                    let l = line;
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 2; // escape + escaped char
+                                // \x41 / \u{..} style escapes: run to the quote.
+                        while i < n && b[i] != '\'' {
+                            i += 1;
+                        }
+                    } else if i < n {
+                        i += 1;
+                    }
+                    if i < n && b[i] == '\'' {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line: l,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let l = line;
+                i += 1;
+                while i < n
+                    && (b[i].is_alphanumeric()
+                        || b[i] == '_'
+                        || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit())
+                        || ((b[i] == '+' || b[i] == '-')
+                            && matches!(b[i - 1], 'e' | 'E')
+                            && b[i - 1].is_alphabetic()))
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Num,
+                    line: l,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let l = line;
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // Raw / byte string or byte char prefixes.
+                if (ident == "r" || ident == "br") && i < n && (b[i] == '"' || b[i] == '#') {
+                    i = skip_raw_string(&b, i, &mut line);
+                    toks.push(Token {
+                        tok: Tok::Str,
+                        line: l,
+                    });
+                } else if ident == "b" && i < n && b[i] == '"' {
+                    i = skip_string(&b, i, &mut line);
+                    toks.push(Token {
+                        tok: Tok::Str,
+                        line: l,
+                    });
+                } else if ident == "b" && i < n && b[i] == '\'' {
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 2;
+                    } else if i < n {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    if i < n {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line: l,
+                    });
+                } else {
+                    toks.push(Token {
+                        tok: Tok::Ident(ident),
+                        line: l,
+                    });
+                }
+            }
+            other => {
+                toks.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Skip a regular (escape-aware) string starting at the opening quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], '"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string; `i` points at the first `#` or `"` after the `r`.
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == '"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "unwrap() panic!";"#), vec!["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"format!("{}")"#;"##), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (t, _) = lex("fn f<'a>(x: &'a u8) -> char { 'x' }");
+        let lifetimes = t.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = t.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let (t, c) = lex("a // one\n/* two\nlines */ b");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].line, 1);
+        assert_eq!(c[1].line, 2);
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 3); // `b` after the two-line block comment
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (t, c) = lex("/* outer /* inner */ still */ x");
+        assert_eq!(c.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+}

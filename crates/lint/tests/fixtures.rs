@@ -1,0 +1,105 @@
+//! Golden-fixture tests: the known-bad snippets must produce exactly the
+//! committed diagnostics (at least one true positive per rule family),
+//! and the known-clean lookalikes must produce zero findings.
+//!
+//! Regenerate the golden file after an intentional rule change with:
+//! `UPDATE_GOLDEN=1 cargo test -p tufast-lint --test fixtures`
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use tufast_lint::baseline::{findings_from_json, findings_to_json, identity_counts};
+use tufast_lint::{analyze, load_files, Config};
+
+fn fixture_config(which: &str) -> Config {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which);
+    Config {
+        root,
+        scan_dirs: vec![String::new()],
+        ordering_scope: vec![String::new()],
+        unwind_scope: vec![String::new()],
+    }
+}
+
+#[test]
+fn known_bad_matches_golden() {
+    let cfg = fixture_config("known_bad");
+    let files = load_files(&cfg).expect("fixtures readable");
+    let report = analyze(&cfg, &files);
+    let live = findings_to_json(&report.findings);
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/known_bad/expected.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &live).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file committed");
+    let expected = findings_from_json(&golden).expect("golden parses");
+    assert_eq!(
+        identity_counts(&report.findings),
+        identity_counts(&expected),
+        "known-bad diagnostics drifted from the golden file;\nlive:\n{live}"
+    );
+}
+
+#[test]
+fn known_bad_covers_every_rule_family() {
+    let cfg = fixture_config("known_bad");
+    let files = load_files(&cfg).expect("fixtures readable");
+    let report = analyze(&cfg, &files);
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    for family in [
+        "htm-hazard",
+        "lock-order",
+        "memory-ordering",
+        "unwind-containment",
+        "lint-directive",
+    ] {
+        assert!(
+            rules.contains(family),
+            "no true positive for rule family `{family}`; got {rules:?}"
+        );
+    }
+}
+
+#[test]
+fn known_bad_finds_the_deadlock_cycle() {
+    let cfg = fixture_config("known_bad");
+    let files = load_files(&cfg).expect("fixtures readable");
+    let report = analyze(&cfg, &files);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "deadlock-cycle" && f.detail.contains("accounts")),
+        "AB/BA mutex cycle not detected"
+    );
+    assert!(
+        report.findings.iter().any(|f| f.code == "self-cycle"),
+        "mutex self-cycle not detected"
+    );
+    assert!(
+        report.lock_order.order.is_empty(),
+        "a cyclic graph must not yield a topological order"
+    );
+}
+
+#[test]
+fn known_clean_is_silent() {
+    let cfg = fixture_config("known_clean");
+    let files = load_files(&cfg).expect("fixtures readable");
+    let report = analyze(&cfg, &files);
+    assert!(
+        report.findings.is_empty(),
+        "false positives on known-clean fixtures:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,84 @@
+//! Self-check: the live workspace must match the committed baseline and
+//! lock-order artifact *exactly* — byte-for-byte for the artifact,
+//! identity-for-identity for the findings. Runs in plain `cargo test`,
+//! so a drive-by hazard fails the suite even without the CI lint job.
+
+use std::path::PathBuf;
+
+use tufast_lint::baseline::{diff, findings_from_json, findings_to_json};
+use tufast_lint::rules::lockorder::artifact_json;
+use tufast_lint::Config;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn live_workspace_matches_committed_baseline() {
+    let root = workspace_root();
+    let cfg = Config::for_workspace(root.clone());
+    let report = tufast_lint::run(&cfg).expect("workspace scans");
+
+    let committed = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = findings_from_json(&committed).expect("baseline parses");
+
+    let d = diff(&report.findings, &baseline);
+    assert!(
+        d.new.is_empty(),
+        "new lint findings vs the committed baseline:\n{}",
+        d.new
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        d.stale.is_empty(),
+        "stale baseline entries (fixed findings still baselined — refresh \
+         with `cargo run -p tufast-lint -- --write-baseline`):\n{}",
+        d.stale.join("\n")
+    );
+    // The committed file must also be the canonical rendering, so the
+    // baseline cannot drift formatting-wise.
+    assert_eq!(
+        committed,
+        findings_to_json(&baseline),
+        "lint-baseline.json is not in canonical form"
+    );
+}
+
+#[test]
+fn live_lock_order_matches_committed_artifact() {
+    let root = workspace_root();
+    let cfg = Config::for_workspace(root.clone());
+    let report = tufast_lint::run(&cfg).expect("workspace scans");
+
+    let committed = std::fs::read_to_string(root.join("lint-lock-order.json"))
+        .expect("lint-lock-order.json is committed at the workspace root");
+    assert_eq!(
+        committed,
+        artifact_json(&report.lock_order),
+        "lock-order artifact is stale; refresh with \
+         `cargo run -p tufast-lint -- --write-lock-order`"
+    );
+}
+
+#[test]
+fn live_lock_order_is_acyclic() {
+    let cfg = Config::for_workspace(workspace_root());
+    let report = tufast_lint::run(&cfg).expect("workspace scans");
+    let dangerous = report
+        .lock_order
+        .edges
+        .iter()
+        .filter(|e| e.blocking_target && !e.suppressed && e.from != e.to)
+        .count();
+    assert!(
+        dangerous == 0 || !report.lock_order.order.is_empty(),
+        "dangerous lock edges exist but no topological order was derived"
+    );
+}

@@ -90,6 +90,7 @@ struct HtmOps<'a> {
     last_abort: Option<AbortCode>,
 }
 
+// tufast-lint: htm-scope
 impl TxnOps for HtmOps<'_> {
     fn read(&mut self, _v: VertexId, addr: Addr) -> Result<u64, TxInterrupt> {
         self.stats.reads += 1;
@@ -142,6 +143,7 @@ impl TxnOps for FallbackOps<'_> {
 impl HSyncWorker {
     /// One speculative attempt. `Ok(true)` = committed, `Ok(false)` = user
     /// abort, `Err(code)` = HTM abort.
+    // tufast-lint: htm-scope
     fn htm_attempt(&mut self, body: &mut TxnBody<'_>, obs: &ObsHandle) -> Result<bool, AbortCode> {
         let fallback = self.sys.fallback_word();
         let id = self.ctx.id();
@@ -215,6 +217,7 @@ impl HSyncWorker {
         let fallback = self.sys.fallback_word();
         let id = self.ctx.id();
         let mut spins = 0u32;
+        // tufast-lint: lock-acquire(hsync_fallback)
         while mem.cas_direct(fallback, 0, 1).is_err() {
             spins += 1;
             if spins.is_multiple_of(256) {

@@ -98,6 +98,7 @@ impl HtoWorker {
     }
 
     /// `wts` check + `rts` claim + value read, atomically in one HTM txn.
+    // tufast-lint: htm-scope
     fn htm_read(&mut self, v: VertexId, addr: Addr) -> HtmTry<u64> {
         let lock_addr = self.sys.locks().addr(v);
         let ts_addr = self.sys.to_ts_addr(v);
@@ -137,6 +138,7 @@ impl HtoWorker {
     }
 
     /// Validate + publish + stamp, atomically in one HTM txn.
+    // tufast-lint: htm-scope
     fn htm_commit(&mut self) -> HtmTry<()> {
         if self.ctx.begin().is_err() {
             return HtmTry::Fallback;
@@ -169,9 +171,11 @@ impl HtoWorker {
                 return HtmTry::Fallback;
             }
         }
-        let writes: Vec<(Addr, u64)> = self.writes.iter().collect();
-        for (addr, val) in writes {
-            if self.ctx.write(addr, val).is_err() {
+        // Split borrows instead of collecting the write set into a Vec:
+        // the allocation would abort a real HTM transaction mid-commit.
+        let ctx = &mut self.ctx;
+        for (addr, val) in self.writes.iter() {
+            if ctx.write(addr, val).is_err() {
                 return HtmTry::Fallback;
             }
         }

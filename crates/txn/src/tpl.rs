@@ -128,6 +128,9 @@ impl TplWorker {
         let locks = self.sys.locks();
         let mut anon_attempt = 0u32;
         let started = self.wait_start();
+        // The bounded-wait retry below makes this a *blocking*
+        // acquisition as far as lock ordering is concerned.
+        // tufast-lint: lock-acquire(vertex_lock)
         loop {
             match locks.try_shared(mem, v) {
                 Ok(_) => return Ok(()),
@@ -174,6 +177,9 @@ impl TplWorker {
         let locks = self.sys.locks();
         let mut anon_attempt = 0u32;
         let started = self.wait_start();
+        // The bounded-wait retry below makes this a *blocking*
+        // acquisition as far as lock ordering is concerned.
+        // tufast-lint: lock-acquire(vertex_lock)
         loop {
             match locks.try_exclusive(mem, v, self.id) {
                 Ok(_) => return Ok(()),

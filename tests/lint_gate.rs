@@ -1,0 +1,48 @@
+//! Lint gate: plain `cargo test` from the workspace root must fail if
+//! the tree picks up a new TM-safety finding or the committed lock-order
+//! artifact goes stale. This is the same check the CI `tm-lint` job runs
+//! via `cargo run -p tufast-lint -- --json`, wired into the default
+//! suite so it cannot be skipped locally.
+
+use std::path::PathBuf;
+
+use tufast_lint::baseline::{diff, findings_from_json};
+use tufast_lint::rules::lockorder::artifact_json;
+use tufast_lint::Config;
+
+#[test]
+fn tree_is_lint_clean_against_committed_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::for_workspace(root.clone());
+    let report = tufast_lint::run(&cfg).expect("workspace scans");
+
+    let committed = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = findings_from_json(&committed).expect("baseline parses");
+
+    let d = diff(&report.findings, &baseline);
+    assert!(
+        d.new.is_empty(),
+        "new TM-safety findings (fix them or suppress with a reasoned \
+         `// tufast-lint: allow(..)` — see DESIGN.md §11):\n{}",
+        d.new
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        d.stale.is_empty(),
+        "stale lint-baseline.json entries:\n{}",
+        d.stale.join("\n")
+    );
+
+    let artifact = std::fs::read_to_string(root.join("lint-lock-order.json"))
+        .expect("lint-lock-order.json is committed at the workspace root");
+    assert_eq!(
+        artifact,
+        artifact_json(&report.lock_order),
+        "lock-order artifact is stale; refresh with \
+         `cargo run -p tufast-lint -- --write-lock-order`"
+    );
+}

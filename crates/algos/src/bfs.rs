@@ -138,7 +138,7 @@ fn relax<P: WorkPool>(
 ) {
     let degree = g.degree(v);
     let mut improved: Vec<VertexId> = Vec::new();
-    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+    let out = worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
         improved.clear();
         let dv = ops.read(v, dist.addr(u64::from(v)))?;
         if dv == UNREACHED {
@@ -153,6 +153,15 @@ fn relax<P: WorkPool>(
         }
         Ok(())
     });
+    if !out.committed {
+        // A job-level stop aborted the attempt: none of the writes
+        // landed, so `v` still owns its relaxations. Re-queue it so an
+        // abort snapshot's frontier keeps every outstanding relaxation
+        // owned by a queued item — that invariant is what makes resume
+        // bitwise exact.
+        pool.push(v);
+        return;
+    }
     for &u in &improved {
         pool.push(u);
     }

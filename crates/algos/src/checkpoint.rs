@@ -27,7 +27,7 @@ use tufast::par::WorkPool;
 use tufast::TuFastStats;
 use tufast_graph::snapshot::{Section, Snapshot, SnapshotError, SnapshotStore};
 use tufast_htm::{MemRegion, TxMemory};
-use tufast_txn::{GraphScheduler, TxnSystem};
+use tufast_txn::{AbortReason, GraphScheduler, JobAborted, TxnSystem};
 
 /// Name of the section carrying the work-pool frontier.
 pub const FRONTIER_SECTION: &str = "frontier";
@@ -161,6 +161,15 @@ pub struct CkptReport {
     pub snapshot_fallbacks: u64,
     /// Epoch of the last snapshot written, if any.
     pub last_epoch: Option<u64>,
+    /// Why the health subsystem stopped this run early (cancel, deadline,
+    /// or shed), or `None` for a run-to-completion.
+    pub aborted: Option<AbortReason>,
+    /// Pool items fully processed by this run — on an aborted run, the
+    /// partial-progress figure carried into [`JobAborted`].
+    pub items_done: u64,
+    /// Final snapshots written while unwinding a health stop (at most one
+    /// per run): the durable record of the aborted run's partial progress.
+    pub final_snapshots: u64,
 }
 
 impl CkptReport {
@@ -169,6 +178,16 @@ impl CkptReport {
         stats.checkpoints_written += self.checkpoints_written;
         stats.recoveries += self.recoveries;
         stats.snapshot_fallbacks += self.snapshot_fallbacks;
+    }
+
+    /// The typed abort error, when the health subsystem stopped this run.
+    /// Callers that want `Result`-style handling match on this; the `Ok`
+    /// payload still carries the partial state and this report.
+    pub fn job_aborted(&self) -> Option<JobAborted> {
+        self.aborted.map(|reason| JobAborted {
+            reason,
+            items_done: self.items_done,
+        })
     }
 }
 
@@ -179,6 +198,12 @@ impl CkptReport {
 /// Write failures are *counted, not fatal*: the store's previous
 /// generation is untouched, so a failed write costs at most one epoch of
 /// recoverable progress, and the computation itself continues.
+///
+/// If the system's health token stops the job mid-drain (cancel, deadline,
+/// or shed), the workers unwind cleanly, one *final* snapshot of `(state,
+/// frontier)` is written under the post-join quiescence, and the stop is
+/// recorded in `report.aborted` / `report.items_done` — so `resume` on a
+/// later run continues from exactly where the cancelled run let go.
 #[allow(clippy::too_many_arguments)]
 pub fn run_checkpointed<S, P, F>(
     sched: &S,
@@ -201,6 +226,7 @@ pub fn run_checkpointed<S, P, F>(
     let failures = AtomicU64::new(0);
     // last epoch + 1; 0 means "none written yet".
     let last = AtomicU64::new(0);
+    let items = AtomicU64::new(0);
     parallel_drain_epochs(
         sched,
         sys,
@@ -228,12 +254,39 @@ pub fn run_checkpointed<S, P, F>(
                 }
             }
         },
-        f,
+        |worker, pool, v| {
+            f(worker, pool, v);
+            items.fetch_add(1, Ordering::Relaxed);
+        },
     );
     report.checkpoints_written += written.load(Ordering::Relaxed);
     report.checkpoint_failures += failures.load(Ordering::Relaxed);
+    report.items_done += items.load(Ordering::Relaxed);
     if let Some(epoch) = last.load(Ordering::Relaxed).checked_sub(1) {
         report.last_epoch = Some(epoch);
+    }
+    if let Some(reason) = sys.health().token().reason() {
+        // The drain unwound early. All workers have joined, so the pool is
+        // quiescent and nothing is mid-transaction: capture one final
+        // snapshot so the aborted run's partial progress is durable and
+        // resumable. The next epoch number keeps generations advancing.
+        report.aborted = Some(reason);
+        sys.health().note_job_outcome(reason);
+        let final_epoch = last.load(Ordering::Relaxed).max(start_epoch);
+        let mut sections = ckpt.capture(mem);
+        sections.push(frontier_section(&pool.pending_items()));
+        let snap = Snapshot {
+            algo: ckpt.tag().to_string(),
+            epoch: final_epoch,
+            sections,
+        };
+        match store.write(&snap) {
+            Ok(_) => {
+                report.final_snapshots += 1;
+                report.last_epoch = Some(final_epoch);
+            }
+            Err(_) => report.checkpoint_failures += 1,
+        }
     }
 }
 
@@ -308,6 +361,61 @@ mod tests {
                 v * 3 + 1
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_run_snapshots_partial_progress_and_resumes() {
+        use std::sync::Arc;
+        use tufast_txn::{AbortReason, TwoPhaseLocking};
+        let g = gen::grid2d(12, 12);
+        let expected = crate::bfs::sequential(&g, 0);
+        let dir = temp_dir("cancel-resume");
+        let store = SnapshotStore::open(&dir, "bfs").unwrap();
+
+        // Cancel before the drain starts: the workers unwind at their first
+        // health checkpoint and the run still leaves a durable snapshot.
+        let built = crate::setup(&g, BfsSpace::alloc);
+        built.sys.health().token().cancel();
+        let sched = TwoPhaseLocking::new(Arc::clone(&built.sys));
+        let (_, report) = crate::bfs::parallel_ckpt(
+            &g,
+            &sched,
+            &built.sys,
+            &built.space,
+            0,
+            2,
+            &store,
+            16,
+            false,
+        )
+        .unwrap();
+        assert_eq!(report.aborted, Some(AbortReason::Cancelled));
+        assert_eq!(report.final_snapshots, 1);
+        let aborted = report.job_aborted().expect("typed abort");
+        assert_eq!(aborted.reason, AbortReason::Cancelled);
+        assert_eq!(aborted.items_done, report.items_done);
+        assert_eq!(built.sys.health().counters().jobs_cancelled, 1);
+
+        // Resume on a rebuilt system with a live token: the run picks up
+        // the final snapshot's frontier and reaches the exact fixpoint.
+        let rebuilt = crate::setup(&g, BfsSpace::alloc);
+        let sched = TwoPhaseLocking::new(Arc::clone(&rebuilt.sys));
+        let (dist, report) = crate::bfs::parallel_ckpt(
+            &g,
+            &sched,
+            &rebuilt.sys,
+            &rebuilt.space,
+            0,
+            2,
+            &store,
+            16,
+            true,
+        )
+        .unwrap();
+        assert_eq!(report.aborted, None);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(dist, expected);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

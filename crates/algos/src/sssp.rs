@@ -225,12 +225,14 @@ fn relax<P: WorkPool>(
 ) {
     let degree = g.degree(v);
     let mut improved: Vec<(VertexId, u64)> = Vec::new();
-    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+    let mut dv_key = 0u64;
+    let out = worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
         improved.clear();
         let dv = ops.read(v, dist.addr(u64::from(v)))?;
         if dv == UNREACHED {
             return Ok(());
         }
+        dv_key = dv;
         for (u, w) in g.weighted_neighbors(v) {
             let cand = dv + u64::from(w);
             let du = ops.read(u, dist.addr(u64::from(u)))?;
@@ -241,6 +243,15 @@ fn relax<P: WorkPool>(
         }
         Ok(())
     });
+    if !out.committed {
+        // A job-level stop aborted the attempt: nothing landed, so `v`
+        // still owns its relaxations — re-queue it (the key is the last
+        // distance the attempt observed; a stale key only affects bucket
+        // ordering) so an abort snapshot's frontier keeps every
+        // outstanding relaxation owned by a queued item.
+        push(pool, v, dv_key);
+        return;
+    }
     for &(u, d) in &improved {
         push(pool, u, d);
     }

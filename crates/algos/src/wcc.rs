@@ -150,7 +150,7 @@ fn propagate<P: WorkPool>(
 ) {
     let degree = g.degree(v) + g.reverse().map_or(0, |_| g.in_degree(v));
     let mut improved: Vec<VertexId> = Vec::new();
-    worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
+    let out = worker.execute(TxnSystem::neighborhood_hint(degree), &mut |ops| {
         improved.clear();
         let lv = ops.read(v, label.addr(u64::from(v)))?;
         let relax = |ops: &mut dyn tufast_txn::TxnOps,
@@ -174,6 +174,14 @@ fn propagate<P: WorkPool>(
         }
         Ok(())
     });
+    if !out.committed {
+        // A job-level stop aborted the attempt: nothing landed, so `v`
+        // still owns its label pushes. Re-queue it so an abort snapshot's
+        // frontier keeps every outstanding propagation owned by a queued
+        // item — that invariant is what makes resume bitwise exact.
+        pool.push(v);
+        return;
+    }
     for &u in &improved {
         pool.push(u);
     }

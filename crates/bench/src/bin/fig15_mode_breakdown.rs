@@ -11,6 +11,7 @@ use std::sync::Arc;
 use tufast::{ModeClass, TuFast};
 use tufast_bench::datasets::dataset;
 use tufast_bench::harness::{banner, parse_args, print_robustness, Table};
+use tufast_bench::json::{append_record, JsonRecord};
 use tufast_bench::workloads::{run_micro, setup_micro, uniform_picker, MicroWorkload};
 
 fn main() {
@@ -71,5 +72,16 @@ fn main() {
             stats.sched.restarts,
         );
         print_robustness(&stats);
+        if let Some(path) = &args.json {
+            let rec = JsonRecord::new()
+                .str("figure", "fig15_mode_breakdown")
+                .str("workload", workload.label())
+                .num_u("threads", args.threads as u64)
+                .num_u("commits", result.stats.commits)
+                .num_u("restarts", stats.sched.restarts)
+                .num_u("serial_commits", stats.serial_commits)
+                .with_health(&stats);
+            append_record(path, &rec).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        }
     }
 }

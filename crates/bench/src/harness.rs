@@ -163,6 +163,14 @@ pub fn print_robustness(stats: &tufast::TuFastStats) {
         "  checkpointing: checkpoints written={} recoveries={} snapshot fallbacks={}",
         stats.checkpoints_written, stats.recoveries, stats.snapshot_fallbacks,
     );
+    println!(
+        "  health: watchdog escalations={} cancelled={} shed={} deadline aborts={} health stops={}",
+        stats.watchdog_escalations,
+        stats.jobs_cancelled,
+        stats.jobs_shed,
+        stats.deadline_aborts,
+        stats.sched.health_stops,
+    );
     print_sched_counters(&stats.sched);
 }
 

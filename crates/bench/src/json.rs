@@ -62,6 +62,19 @@ impl JsonRecord {
         self.raw(key, rendered)
     }
 
+    /// Add the runtime-health counters (DESIGN.md §12) from a merged
+    /// [`tufast::TuFastStats`]: watchdog escalations, cancelled / shed /
+    /// deadline-aborted jobs, and attempt-boundary health stops. All zero
+    /// on a healthy run, so their trajectory across PRs flags runs that
+    /// only finished because the watchdog or a deadline intervened.
+    pub fn with_health(self, stats: &tufast::TuFastStats) -> Self {
+        self.num_u("watchdog_escalations", stats.watchdog_escalations)
+            .num_u("jobs_cancelled", stats.jobs_cancelled)
+            .num_u("jobs_shed", stats.jobs_shed)
+            .num_u("deadline_aborts", stats.deadline_aborts)
+            .num_u("health_stops", stats.sched.health_stops)
+    }
+
     /// Render as a single-line JSON object.
     pub fn render(&self) -> String {
         let parts: Vec<String> = self

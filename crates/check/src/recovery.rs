@@ -230,6 +230,20 @@ pub fn crash_and_recover(
     })
 }
 
+/// Forge the on-disk residue of a process dying *inside*
+/// [`SnapshotStore::write`]'s temp window: the next rotation slot's
+/// `.tmp` file exists (torn to half length when `torn`, fully written
+/// when not — the crash landed before the rename either way) while both
+/// generation slots still hold whatever they held before the write
+/// started. Recovery must ignore the temp file entirely and fall back to
+/// the newest durable generation.
+pub fn forge_write_temp_crash(store: &SnapshotStore, torn: bool) -> std::io::Result<()> {
+    let source = latest_valid_slot(store).expect("need one durable generation to forge from");
+    let bytes = std::fs::read(store.generation_path(source))?;
+    let len = if torn { bytes.len() / 2 } else { bytes.len() };
+    std::fs::write(store.temp_path(1 - source), &bytes[..len])
+}
+
 /// Flip one byte in the middle of generation `slot`, simulating on-disk
 /// corruption. The CRC layer must reject the file afterwards.
 pub fn corrupt_generation(store: &SnapshotStore, slot: usize) -> std::io::Result<()> {

@@ -8,12 +8,12 @@
 use std::path::PathBuf;
 
 use tufast_check::recovery::{
-    baseline_result, corrupt_generation, crash_and_recover, latest_valid_slot, run_ckpt,
-    truncate_generation, RecoveryAlgo,
+    baseline_result, corrupt_generation, crash_and_recover, forge_write_temp_crash,
+    latest_valid_slot, run_ckpt, truncate_generation, RecoveryAlgo,
 };
 use tufast_graph::snapshot::{SnapshotError, SnapshotStore};
 use tufast_graph::{gen, Graph};
-use tufast_txn::FaultSpec;
+use tufast_txn::{is_injected_crash, FaultPlan, FaultSpec};
 
 const THREADS: usize = 3;
 
@@ -99,6 +99,53 @@ fn late_crash_over_stealing_and_bucketed_drivers_resumes_exactly() {
             algo.label()
         );
         assert_eq!(out.report.recoveries, 1, "{}", algo.label());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_inside_the_write_temp_window_falls_back_and_resumes_exactly() {
+    // The crash-during-snapshot-write row: a seeded `FaultKind::Crash`
+    // kills the run mid-algorithm, and the on-disk state is then forged
+    // into exactly what dying *inside* `SnapshotStore::write`'s temp
+    // window leaves behind — a `.tmp{slot}` file (torn and fully-written
+    // variants) beside untouched generation slots, the rename never
+    // having happened. The two-generation store must ignore the residue,
+    // fall back to the newest durable snapshot, and resume to a bitwise
+    // identical answer.
+    for torn in [true, false] {
+        let algo = RecoveryAlgo::Bfs;
+        let g = graph_for(algo);
+        let baseline = baseline_result(algo, &g, THREADS);
+        let dir = temp_dir(&format!("tmp-window-torn-{torn}"));
+        let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+        let spec = FaultSpec {
+            crash_worker: tufast_txn::CRASH_ANY_WORKER,
+            crash_at_probe: 200,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::new(spec);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ckpt(algo, &g, THREADS, &store, 24, false, Some(plan))
+        }));
+        let payload = crashed.expect_err("seeded crash never fired");
+        assert!(is_injected_crash(payload.as_ref()));
+        let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+        assert!(
+            latest_valid_slot(&store).is_some(),
+            "crash at probe 200 must land after the first epoch closed"
+        );
+        forge_write_temp_crash(&store, torn).unwrap();
+        // A fresh "process" resumes: the temp residue is inert, the
+        // fallback generation seeds the run, and the fixpoint is exact.
+        let store = SnapshotStore::open(&dir, algo.label()).unwrap();
+        let (resumed, report) = run_ckpt(algo, &g, THREADS, &store, 24, true, None).unwrap();
+        assert_eq!(resumed, baseline, "torn={torn}: resume diverged");
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(
+            report.snapshot_fallbacks, 0,
+            "a temp file is not a generation and must not count as a fallback"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -216,6 +216,10 @@ impl WorkPool for BucketPool {
         self.idle.park();
     }
 
+    fn interrupt(&self) {
+        self.idle.wake_all();
+    }
+
     fn pending_items(&self) -> Vec<(u32, u64)> {
         let hi = usize::try_from(self.hi.load(Ordering::Acquire))
             .unwrap_or(NUM_BANDS - 1)

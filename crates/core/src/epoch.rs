@@ -35,7 +35,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use tufast_txn::{GraphScheduler, TxnSystem};
+use tufast_txn::{GraphScheduler, TxnSystem, TxnWorker};
 
 use crate::par::{fold_sched_counters, idle_backoff, DoneGuard, WorkPool};
 
@@ -217,10 +217,22 @@ where
                     let _active = ActiveGuard(&barrier.active);
                     let mut idle = 0u32;
                     loop {
+                        // Job-level stop (cancel / deadline / shed),
+                        // checked between items while holding nothing. The
+                        // exit runs through the ActiveGuard drop, so a
+                        // coordinator waiting for `parked == active - 1`
+                        // observes the departure instead of hanging.
+                        if worker.health().is_some_and(|h| h.checkpoint().is_some()) {
+                            pool.interrupt();
+                            break;
+                        }
                         barrier.park_if_paused();
                         match pool.pop() {
                             Some(v) => {
                                 idle = 0;
+                                if let Some(h) = worker.health() {
+                                    h.set_idle(false);
+                                }
                                 let guard = DoneGuard(pool);
                                 f(&mut worker, pool, v);
                                 drop(guard);
@@ -230,6 +242,11 @@ where
                                 if pool.quiescent() {
                                     break;
                                 }
+                                // Parked-idle is legitimate quiet, not a
+                                // stall — tell the watchdog before waiting.
+                                if let Some(h) = worker.health() {
+                                    h.set_idle(true);
+                                }
                                 // The pool park is bounded (timed), so a
                                 // worker parked here still reaches
                                 // `park_if_paused` within PARK_TIMEOUT
@@ -238,6 +255,9 @@ where
                                 idle_backoff(pool, &mut idle);
                             }
                         }
+                    }
+                    if let Some(h) = worker.health() {
+                        h.set_idle(true);
                     }
                     worker
                 })

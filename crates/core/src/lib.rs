@@ -77,6 +77,7 @@
 pub mod bucket;
 mod config;
 pub mod epoch;
+pub mod health;
 mod hmode;
 mod monitor;
 mod omode;
@@ -89,6 +90,10 @@ mod worker;
 pub use bucket::BucketPool;
 pub use config::TuFastConfig;
 pub use epoch::{parallel_drain_epochs, COORDINATOR_CLAIM};
+pub use health::{
+    AdmissionConfig, AdmissionGate, AdmitPermit, ShedPolicy, Watchdog, WatchdogConfig,
+    WatchdogReport,
+};
 pub use monitor::{expected_committed_work, ContentionMonitor};
 pub use pad::CachePadded;
 pub use par::{fold_sched_counters, take_sched_counters, PoolCounters};
@@ -98,7 +103,10 @@ pub use worker::{TuFast, TuFastWorker};
 
 // The user-facing transaction vocabulary (paper Table I) re-exported so a
 // single `use tufast::...` suffices for application code.
-pub use tufast_txn::{GraphScheduler, TxInterrupt, TxnOps, TxnOutcome, TxnSystem, TxnWorker};
+pub use tufast_txn::{
+    AbortReason, CancelToken, GraphScheduler, HealthCounters, JobAborted, JobDeadline, TxInterrupt,
+    TxnOps, TxnOutcome, TxnSystem, TxnWorker,
+};
 
 /// Vertex identifier (shared with `tufast-graph` / `tufast-txn`).
 pub type VertexId = u32;

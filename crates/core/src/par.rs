@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam::queue::SegQueue;
-use tufast_txn::GraphScheduler;
+use tufast_txn::{GraphScheduler, TxnWorker};
 
 use crate::pad::CachePadded;
 
@@ -176,6 +176,11 @@ pub trait WorkPool: Sync {
     fn park_idle(&self) {
         std::thread::yield_now();
     }
+    /// Wake every parked idle worker so it re-checks its exit conditions
+    /// promptly (used when a job is cancelled or sheds mid-drain). Default:
+    /// no-op — the default [`Self::park_idle`] is a bounded yield, so
+    /// parked workers wake on their own.
+    fn interrupt(&self) {}
     /// Snapshot the queued items as `(vertex, priority-key)` pairs without
     /// consuming them. **Quiescence only**: callers must guarantee no
     /// concurrent push/pop (the epoch barrier does) — FIFO pools observe
@@ -377,9 +382,20 @@ where
                 s.spawn(move || {
                     let mut idle = 0u32;
                     loop {
+                        // Dequeue boundary: heartbeat for the watchdog and
+                        // job-level stop check (cancel / deadline / shed).
+                        // Nothing is popped yet, so stopping loses no item;
+                        // the interrupt wakes parked peers to re-check too.
+                        if worker.health().is_some_and(|h| h.checkpoint().is_some()) {
+                            pool.interrupt();
+                            break;
+                        }
                         match pool.pop() {
                             Some(v) => {
                                 idle = 0;
+                                if let Some(h) = worker.health() {
+                                    h.set_idle(false);
+                                }
                                 // `done()` must run even if `f` panics —
                                 // otherwise the in-flight count never drops
                                 // and the surviving peers spin forever
@@ -392,9 +408,17 @@ where
                                 if pool.quiescent() {
                                     break; // nothing queued or in flight
                                 }
+                                // Parked-idle is legitimate quiet, not a
+                                // stall — tell the watchdog before waiting.
+                                if let Some(h) = worker.health() {
+                                    h.set_idle(true);
+                                }
                                 idle_backoff(pool, &mut idle);
                             }
                         }
+                    }
+                    if let Some(h) = worker.health() {
+                        h.set_idle(true);
                     }
                     worker
                 })

@@ -125,6 +125,16 @@ pub struct TuFastStats {
     /// Recoveries that fell back past a corrupt/torn latest generation to
     /// the previous one.
     pub snapshot_fallbacks: u64,
+    /// Watchdog escalation-ladder steps taken (backoff boost, forced
+    /// deadlock victims, forced serial fallback, job cancel).
+    pub watchdog_escalations: u64,
+    /// Jobs stopped by an explicit [`CancelToken`](tufast_txn::CancelToken)
+    /// cancellation.
+    pub jobs_cancelled: u64,
+    /// Jobs rejected or redirected by admission control under overload.
+    pub jobs_shed: u64,
+    /// Jobs stopped because their wall-clock deadline expired.
+    pub deadline_aborts: u64,
 }
 
 impl TuFastStats {
@@ -150,6 +160,10 @@ impl TuFastStats {
         self.checkpoints_written += other.checkpoints_written;
         self.recoveries += other.recoveries;
         self.snapshot_fallbacks += other.snapshot_fallbacks;
+        self.watchdog_escalations += other.watchdog_escalations;
+        self.jobs_cancelled += other.jobs_cancelled;
+        self.jobs_shed += other.jobs_shed;
+        self.deadline_aborts += other.deadline_aborts;
     }
 }
 

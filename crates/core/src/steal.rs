@@ -601,6 +601,10 @@ impl WorkPool for StealPool {
         self.idle.park();
     }
 
+    fn interrupt(&self) {
+        self.idle.wake_all();
+    }
+
     fn pending_items(&self) -> Vec<(u32, u64)> {
         // Quiescence only (the epoch barrier guarantees it): drain every
         // deque through the steal end plus the injector, then re-seed the

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use tufast_htm::AbortCode;
 use tufast_txn::{
-    FaultHandle, GraphScheduler, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome, TxnSystem,
-    TxnWorker,
+    FaultHandle, GraphScheduler, HealthHandle, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome,
+    TxnSystem, TxnWorker,
 };
 
 use crate::config::TuFastConfig;
@@ -65,6 +65,7 @@ impl GraphScheduler for TuFast {
         TuFastWorker {
             me,
             faults: self.sys.fault_handle(me),
+            health: self.sys.health_handle(me),
             h_skip_streak: 0,
             ctx: self.sys.htm_ctx(),
             monitor: ContentionMonitor::new(self.config.min_period, self.config.max_period),
@@ -91,6 +92,7 @@ pub struct TuFastWorker {
     config: TuFastConfig,
     me: u32,
     faults: FaultHandle,
+    health: HealthHandle,
     /// Consecutive H-eligible transactions skipped in degraded mode
     /// (drives the periodic reprobe).
     h_skip_streak: u32,
@@ -116,6 +118,14 @@ impl TuFastWorker {
     pub fn take_tufast_stats(&mut self) -> TuFastStats {
         let mut out = std::mem::take(&mut self.stats);
         out.htm = self.ctx.take_stats();
+        // Drain the system-wide health counters with take-semantics: the
+        // first worker drained gets them, every later drain sees zero, so
+        // merging per-worker stats stays additive.
+        let health = self.sys.health().take_counters();
+        out.watchdog_escalations = health.watchdog_escalations;
+        out.jobs_cancelled = health.jobs_cancelled;
+        out.jobs_shed = health.jobs_shed;
+        out.deadline_aborts = health.deadline_aborts;
         out
     }
 
@@ -163,11 +173,14 @@ impl TuFastWorker {
         let delta = self.l_worker.take_stats();
         let ops = delta.reads + delta.writes;
         let user_aborted = delta.user_aborts > 0;
+        // A health stop (cancel / deadline / shed) is a clean rollback, not
+        // a liveness failure: it must NOT escalate to the serial token.
+        let health_stopped = delta.health_stops > 0;
         self.stats.sched.merge(&delta);
         if out.committed {
             self.stats.modes.record(class, ops);
         }
-        if out.committed || user_aborted {
+        if out.committed || user_aborted || health_stopped {
             return TxnOutcome {
                 committed: out.committed,
                 attempts: attempts_so_far + out.attempts,
@@ -255,10 +268,36 @@ impl TxnWorker for TuFastWorker {
         while self.sys.mem().load_direct(token) != 0 {
             gate_spins = gate_spins.wrapping_add(1);
             if gate_spins.is_multiple_of(256) {
+                // The holder may itself be health-stopped; a cancelled job
+                // must not wait out the drain. Nothing is held here.
+                if self.health.checkpoint().is_some() {
+                    self.stats.sched.health_stops += 1;
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
+                }
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
             }
+        }
+
+        // Job-level stop (cancel / deadline / shed): bail before doing any
+        // work. Every later mode loop re-probes at its own attempt
+        // boundaries; the L path probes inside the embedded 2PL worker.
+        if self.health.checkpoint().is_some() {
+            self.stats.sched.health_stops += 1;
+            return TxnOutcome {
+                committed: false,
+                attempts,
+            };
+        }
+
+        // Watchdog escalation rung 3: collapse to the single-writer serial
+        // path so a livelocked mix drains behind the global token.
+        if self.health.board().force_serial() {
+            return self.serial_commit(hint, ModeClass::L, attempts, body);
         }
 
         // Injected scheduling delay (no-op without the `faults` feature).
@@ -267,6 +306,9 @@ impl TxnWorker for TuFastWorker {
         // at a transaction boundary, holding no locks — modelling process
         // death for crash-recovery testing.
         self.faults.crash_point();
+        // Seeded stall site: a wedged worker spins here with no heartbeats,
+        // which is exactly what the watchdog's stall detector looks for.
+        self.faults.stall_point();
 
         // Entry decision (Figure 10): size hints beyond O-mode reach go
         // straight to L mode. (The embedded 2PL worker carries its own
@@ -296,6 +338,15 @@ impl TxnWorker for TuFastWorker {
             } else {
                 let mut tries = 0;
                 while tries < self.config.h_retries {
+                    // Attempt boundary: the previous hardware transaction
+                    // aborted (or none ran yet), so nothing is open or held.
+                    if self.health.checkpoint().is_some() {
+                        self.stats.sched.health_stops += 1;
+                        return TxnOutcome {
+                            committed: false,
+                            attempts,
+                        };
+                    }
                     tries += 1;
                     attempts += 1;
                     obs.attempt_begin(self.me);
@@ -312,6 +363,7 @@ impl TxnWorker for TuFastWorker {
                             self.monitor.observe_h(true);
                             self.stats.modes.record(ModeClass::H, ops);
                             self.stats.sched.commits += 1;
+                            self.health.note_commit();
                             // Slow recovery of the learned H bound.
                             if hint * 2 > self.h_hint_cap {
                                 self.h_hint_cap = (self.h_hint_cap + self.h_hint_cap / 16)
@@ -332,6 +384,7 @@ impl TxnWorker for TuFastWorker {
                         }
                         HAttempt::Aborted(code) => {
                             self.stats.sched.restarts += 1;
+                            self.health.note_restart();
                             obs.abort(self.me, false);
                             if code == AbortCode::Capacity {
                                 // Deterministic on retry: proceed to O now,
@@ -363,13 +416,24 @@ impl TxnWorker for TuFastWorker {
         let mut adjusted = false;
         let mut o_tries = 0;
         while o_tries < self.config.o_retries && period >= self.config.min_period {
+            // Attempt boundary: the previous O attempt either committed
+            // (returned) or rolled back every piece, so nothing is held.
+            if self.health.checkpoint().is_some() {
+                self.stats.sched.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             o_tries += 1;
             attempts += 1;
             obs.attempt_begin(self.me);
             // Injected O-mode failure (validation / commit-lock), decided
             // here at the router so `omode` stays fault-agnostic; HTM-level
             // faults inside pieces flow through the real abort paths.
-            let injected = self.faults.validation_fails() || self.faults.lock_acquisition_fails();
+            let injected = self.faults.validation_fails()
+                || self.faults.lock_acquisition_fails()
+                || self.faults.livelock_restart();
             let result = if injected {
                 self.stats.sched.injected_faults += 1;
                 OAttempt::Failed {
@@ -404,6 +468,7 @@ impl TxnWorker for TuFastWorker {
                     };
                     self.stats.modes.record(class, ops);
                     self.stats.sched.commits += 1;
+                    self.health.note_commit();
                     let _ = pieces;
                     return TxnOutcome {
                         committed: true,
@@ -424,6 +489,7 @@ impl TxnWorker for TuFastWorker {
                     fit_period,
                 } => {
                     self.stats.sched.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(self.me, false);
                     self.stats.sched.reads += ops;
                     // Capacity overflow is deterministic in the piece size,
@@ -479,6 +545,10 @@ impl TxnWorker for TuFastWorker {
         // reads all run inside emulated hardware transactions.
         let h = self.ctx.stats();
         h.reads + h.writes
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 
@@ -578,6 +648,67 @@ mod tests {
             stats.modes.txns(ModeClass::O) + stats.modes.txns(ModeClass::OPlus),
             1
         );
+    }
+
+    #[test]
+    fn wall_clock_deadlines_end_a_blocked_router_transaction() {
+        use std::time::{Duration, Instant};
+        use tufast_txn::{HealthConfig, JobDeadline, SystemConfig, WaitConfig};
+        // A foreign holder keeps vertex 0 exclusively locked for the whole
+        // run: H aborts on the subscribed lock word, O fails LockBusy
+        // (try-only — O never waits), and the L fallback's anonymous waits
+        // victimise on the WaitConfig wall-clock deadline. Only the
+        // job-level deadline can end the retry ladder, so this proves both
+        // clocks thread through the router.
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("data", 8);
+        let sys = TxnSystem::build(
+            2,
+            layout,
+            SystemConfig {
+                wait: WaitConfig {
+                    spins: u32::MAX,
+                    deadline: Some(Duration::from_millis(2)),
+                },
+                health: HealthConfig {
+                    deadline: Some(JobDeadline(Duration::from_millis(20))),
+                },
+                ..SystemConfig::default()
+            },
+        );
+        let blocker = sys.new_worker_id();
+        sys.locks().try_exclusive(sys.mem(), 0, blocker).unwrap();
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let t0 = Instant::now();
+        let out = w.execute(4, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(!out.committed);
+        let stats = w.take_tufast_stats();
+        assert!(stats.sched.health_stops >= 1);
+        assert!(
+            stats.sched.anon_wait_victims >= 1,
+            "the L fallback's lock waits never hit the WaitConfig deadline"
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "gave up before the job deadline"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "deadline never fired"
+        );
+        // Release the lock and re-arm the job: the same worker commits.
+        sys.locks().unlock_exclusive(sys.mem(), 0, blocker, false);
+        sys.begin_job(None);
+        let out = w.execute(4, &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 1);
     }
 
     #[test]

@@ -177,7 +177,6 @@ pub fn path(n: usize) -> Graph {
 /// (the paper generates SSSP weights randomly). The reverse adjacency and
 /// symmetry of the input are preserved edge-by-edge via re-building.
 pub fn with_random_weights(g: &Graph, max_weight: u32, seed: u64) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(g.num_vertices())
         .with_edge_capacity(g.num_edges() as usize)
         .keep_duplicates()
@@ -195,7 +194,6 @@ pub fn with_random_weights(g: &Graph, max_weight: u32, seed: u64) -> Graph {
         let w = (h % u64::from(max_weight)) as u32 + 1;
         builder.add_weighted_edge(s, d, w);
     }
-    let _ = &mut rng; // rng reserved for future jitter; weights are hash-derived
     builder.build()
 }
 

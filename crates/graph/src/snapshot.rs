@@ -394,6 +394,20 @@ impl SnapshotStore {
         self.dir.join(format!("{}.gen{slot}.tfsn", self.prefix))
     }
 
+    /// Path of the in-flight temp file for `slot` — the write-temp window
+    /// residue a crash between the temp write and the rename leaves
+    /// behind. `write` truncates it on the next rotation into the same
+    /// slot, so stale residue is inert; exposed so the recovery harness
+    /// can forge and inspect exactly that state.
+    pub fn temp_path(&self, slot: usize) -> PathBuf {
+        self.dir.join(format!("{}.tmp{slot}", self.prefix))
+    }
+
+    /// The slot the next [`Self::write`] will rotate into.
+    pub fn next_slot(&self) -> usize {
+        self.next_slot.load(Ordering::Relaxed)
+    }
+
     fn probe(&self) -> [Result<Snapshot, SnapshotError>; 2] {
         [
             load(&self.generation_path(0)),
@@ -409,7 +423,7 @@ impl SnapshotStore {
     pub fn write(&self, snap: &Snapshot) -> Result<PathBuf, SnapshotError> {
         let slot = self.next_slot.load(Ordering::Relaxed);
         let bytes = to_bytes(snap)?;
-        let tmp = self.dir.join(format!("{}.tmp{slot}", self.prefix));
+        let tmp = self.temp_path(slot);
         {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(&bytes)?;

@@ -28,7 +28,7 @@
 //! anonymous waits scale their spin budget the same way. Counts reset on
 //! the worker's next commit.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 /// Result of a blocking wait attempt.
@@ -74,6 +74,11 @@ pub struct WaitForTable {
     /// Recent victimizations per worker (reset on commit): the priority
     /// used for victim-selection fairness.
     victims: Box<[AtomicU32]>,
+    /// Watchdog escalation 2: when set, every bounded wait victimizes
+    /// immediately — the heavy hammer that breaks waits the cycle
+    /// detector cannot see (anonymous reader-held locks, cross-scheduler
+    /// stalls).
+    force_victims: AtomicBool,
     config: WaitConfig,
 }
 
@@ -84,8 +89,22 @@ impl WaitForTable {
         WaitForTable {
             waits: (0..max_workers).map(|_| AtomicU32::new(0)).collect(),
             victims: (0..max_workers).map(|_| AtomicU32::new(0)).collect(),
+            force_victims: AtomicBool::new(false),
             config,
         }
+    }
+
+    /// Set (or clear) the watchdog's force-victim flag: while set, every
+    /// [`bounded_anonymous_wait`](Self::bounded_anonymous_wait) returns
+    /// [`WaitOutcome::Victim`] at once.
+    pub fn set_force_victims(&self, on: bool) {
+        self.force_victims.store(on, Ordering::Release);
+    }
+
+    /// Whether the watchdog's force-victim flag is set.
+    #[inline]
+    pub fn force_victims(&self) -> bool {
+        self.force_victims.load(Ordering::Relaxed)
     }
 
     /// Number of workers the table covers.
@@ -155,6 +174,10 @@ impl WaitForTable {
         attempt: u32,
         started: Option<Instant>,
     ) -> WaitOutcome {
+        if self.force_victims() {
+            self.record_victim(me);
+            return WaitOutcome::Victim;
+        }
         if let (Some(deadline), Some(t0)) = (self.config.deadline, started) {
             if t0.elapsed() >= deadline {
                 self.record_victim(me);
@@ -279,6 +302,18 @@ mod tests {
             );
         }
         assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn force_victims_short_circuits_every_bounded_wait() {
+        let t = table(2);
+        assert_eq!(t.bounded_anonymous_wait(0, 0, None), WaitOutcome::Retry);
+        t.set_force_victims(true);
+        assert_eq!(t.bounded_anonymous_wait(0, 0, None), WaitOutcome::Victim);
+        t.set_force_victims(false);
+        // Aging from the forced victimization scales the budget; attempt 0
+        // is still within it.
+        assert_eq!(t.bounded_anonymous_wait(0, 0, None), WaitOutcome::Retry);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! | [`FaultKind::ValidationFail`] | an optimistic commit validation reports failure |
 //! | [`FaultKind::Preempt`] | a bounded spin delay at an attempt boundary |
 //! | [`FaultKind::Crash`] | the run dies at a seeded probe (panics with [`InjectedCrash`]) |
+//! | [`FaultKind::Stall`] | a seeded worker wedges (long bounded spin) at attempt boundaries |
+//! | [`FaultKind::Livelock`] | commit/validation sites report failure, forcing endless restarts |
 //!
 //! Injected failures are indistinguishable from real ones to the
 //! scheduler, which is the point: the chaos matrix in `tufast-check`
@@ -61,11 +63,19 @@ pub enum FaultKind {
     /// The whole run dies at a seeded probe: a [`InjectedCrash`] panic
     /// models process death for crash-recovery testing.
     Crash,
+    /// A seeded worker wedges — a long (but bounded) spin at every attempt
+    /// boundary past the seeded probe count, with no heartbeats. Models a
+    /// descheduled or page-faulting worker for watchdog testing.
+    Stall,
+    /// Commit/validation sites report failure at the given rate, so
+    /// attempts restart without anyone committing. Models livelock for
+    /// watchdog testing.
+    Livelock,
 }
 
 impl FaultKind {
     /// All kinds, in counter-index order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::SpuriousAbort,
         FaultKind::CapacityAbort,
         FaultKind::LockFail,
@@ -73,6 +83,8 @@ impl FaultKind {
         FaultKind::ValidationFail,
         FaultKind::Preempt,
         FaultKind::Crash,
+        FaultKind::Stall,
+        FaultKind::Livelock,
     ];
 
     /// Short label for reports.
@@ -85,6 +97,8 @@ impl FaultKind {
             FaultKind::ValidationFail => "validation-fail",
             FaultKind::Preempt => "preempt",
             FaultKind::Crash => "crash",
+            FaultKind::Stall => "stall",
+            FaultKind::Livelock => "livelock",
         }
     }
 
@@ -98,6 +112,8 @@ impl FaultKind {
             FaultKind::ValidationFail => 4,
             FaultKind::Preempt => 5,
             FaultKind::Crash => 6,
+            FaultKind::Stall => 7,
+            FaultKind::Livelock => 8,
         }
     }
 }
@@ -143,6 +159,20 @@ pub struct FaultSpec {
     /// other worker's next crash probe then dies too, modelling whole
     /// process death). 0 disables crashing.
     pub crash_at_probe: u64,
+    /// Worker whose stall probe is armed ([`CRASH_ANY_WORKER`] arms every
+    /// worker; ignored while [`FaultSpec::stall_at_probe`] is 0).
+    pub stall_worker: u32,
+    /// Probe count at (and past) which the seeded worker wedges for
+    /// [`FaultSpec::stall_spins`] at every attempt boundary, with no
+    /// heartbeats while wedged. 0 disables stalling.
+    pub stall_at_probe: u64,
+    /// Spin iterations of one injected wedge — deliberately huge by
+    /// default so a watchdog scanning every few milliseconds sees the
+    /// heartbeat flat across several scans.
+    pub stall_spins: u32,
+    /// Permille rate of forced restarts at optimistic commit/validation
+    /// sites (models livelock: every attempt aborts, nobody commits).
+    pub livelock_permille: u32,
 }
 
 impl Default for FaultSpec {
@@ -159,6 +189,10 @@ impl Default for FaultSpec {
             preempt_spins: 512,
             crash_worker: 0,
             crash_at_probe: 0,
+            stall_worker: 0,
+            stall_at_probe: 0,
+            stall_spins: 20_000_000,
+            livelock_permille: 0,
         }
     }
 }
@@ -173,6 +207,7 @@ impl FaultSpec {
             ("lock_stall", self.lock_stall_permille),
             ("validation_fail", self.validation_fail_permille),
             ("preempt", self.preempt_permille),
+            ("livelock", self.livelock_permille),
         ] {
             assert!(rate <= 1000, "{name}_permille must be <= 1000, got {rate}");
         }
@@ -189,7 +224,7 @@ impl FaultSpec {
 /// and the [`AbortSource`] installed into the HTM config.
 pub struct FaultPlan {
     spec: FaultSpec,
-    injected: [AtomicU64; 7],
+    injected: [AtomicU64; 9],
     /// Set once the seeded crash fires; all workers' subsequent crash
     /// probes then die too (process death takes every thread with it).
     crashed: AtomicBool,
@@ -317,6 +352,8 @@ const SITE_LOCK_STALL: u64 = 0x33;
 const SITE_VALIDATION: u64 = 0x44;
 #[cfg(feature = "faults")]
 const SITE_PREEMPT: u64 = 0x55;
+#[cfg(feature = "faults")]
+const SITE_LIVELOCK: u64 = 0x77;
 
 /// splitmix64 finalizer: decisions are pure in the mixed key.
 #[inline]
@@ -499,6 +536,60 @@ impl FaultHandle {
         }
     }
 
+    /// Probe the stall site at an attempt boundary: the seeded worker
+    /// wedges in a long bounded spin (no heartbeats) at every probe past
+    /// the seeded count, so a watchdog scanning the heartbeat board sees a
+    /// flat beat on a non-idle worker.
+    ///
+    /// Unlike [`FaultHandle::preempt`] (a short random delay modelling a
+    /// lost scheduling quantum), this is a deterministic, *persistent*
+    /// wedge — the deadlock-free kind of liveness failure the watchdog's
+    /// stall detector exists to catch.
+    #[inline]
+    pub fn stall_point(&mut self) {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.stall_at_probe == 0 {
+                    return;
+                }
+                let seeded =
+                    spec.stall_worker == CRASH_ANY_WORKER || self.worker == spec.stall_worker;
+                if seeded && self.seq >= spec.stall_at_probe {
+                    plan.record(FaultKind::Stall);
+                    stall(spec.stall_spins);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Probe the livelock site inside an optimistic commit/validation:
+    /// `true` forces the attempt to restart. At high rates nobody ever
+    /// commits while everyone keeps aborting — the signature the
+    /// watchdog's livelock detector (commits flat, restarts climbing)
+    /// exists to catch.
+    #[inline]
+    pub fn livelock_restart(&mut self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.seq += 1;
+                let spec = plan.spec();
+                if spec.livelock_permille > 0
+                    && permille_roll(spec.seed, SITE_LIVELOCK, self.worker, self.seq)
+                        < spec.livelock_permille
+                {
+                    plan.record(FaultKind::Livelock);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     #[cfg(feature = "faults")]
     #[inline]
     fn active_plan(&self) -> Option<Arc<FaultPlan>> {
@@ -618,8 +709,56 @@ mod tests {
         assert!(!h.is_active());
         assert!(!h.lock_acquisition_fails());
         assert!(!h.validation_fails());
+        assert!(!h.livelock_restart());
         h.preempt();
         h.crash_point();
+        h.stall_point();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn stall_wedges_only_the_seeded_worker_past_its_probe() {
+        let plan = FaultPlan::new(FaultSpec {
+            stall_worker: 1,
+            stall_at_probe: 2,
+            stall_spins: 8, // keep the test quick; duration is not under test
+            ..FaultSpec::default()
+        });
+        let mut seeded = FaultHandle::attached(Some(Arc::clone(&plan)), 1);
+        seeded.stall_point(); // probe 1: below the threshold
+        assert_eq!(plan.injected(FaultKind::Stall), 0);
+        seeded.stall_point(); // probe 2: wedges
+        seeded.stall_point(); // probe 3: persistent — wedges again
+        assert_eq!(plan.injected(FaultKind::Stall), 2);
+        let mut other = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        for _ in 0..5 {
+            other.stall_point();
+        }
+        assert_eq!(plan.injected(FaultKind::Stall), 2, "only worker 1 stalls");
+        let mut exempt = FaultHandle::attached(Some(Arc::clone(&plan)), 1);
+        exempt.set_exempt(true);
+        for _ in 0..5 {
+            exempt.stall_point();
+        }
+        assert_eq!(plan.injected(FaultKind::Stall), 2, "exempt never stalls");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn livelock_fires_at_full_rate_and_counts() {
+        let plan = FaultPlan::new(FaultSpec {
+            livelock_permille: 1000,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        for _ in 0..10 {
+            assert!(h.livelock_restart());
+        }
+        assert_eq!(plan.injected(FaultKind::Livelock), 10);
+        let quiet = FaultPlan::new(FaultSpec::default());
+        let mut h = FaultHandle::attached(Some(Arc::clone(&quiet)), 0);
+        assert!(!h.livelock_restart());
+        assert_eq!(quiet.total_injected(), 0);
     }
 
     #[cfg(feature = "faults")]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use tufast_htm::{AbortCode, Addr, HtmCtx};
 
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -58,9 +59,11 @@ impl GraphScheduler for HSyncLike {
     fn worker(&self) -> HSyncWorker {
         let ctx = self.sys.htm_ctx();
         let faults = self.sys.fault_handle(ctx.id());
+        let health = self.sys.health_handle(ctx.id());
         HSyncWorker {
             ctx,
             faults,
+            health,
             sys: Arc::clone(&self.sys),
             retries: self.retries,
             undo: Vec::with_capacity(32),
@@ -78,6 +81,7 @@ pub struct HSyncWorker {
     sys: Arc<TxnSystem>,
     ctx: HtmCtx,
     faults: FaultHandle,
+    health: HealthHandle,
     retries: u32,
     undo: Vec<(Addr, u64)>,
     stats: SchedStats,
@@ -268,14 +272,25 @@ impl TxnWorker for HSyncWorker {
         let mut attempts = 0u32;
         let mut htm_tries = 0u32;
         loop {
+            // Attempt boundary: neither the fallback lock nor an HTM
+            // transaction is held here — the clean stop point.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             self.faults.preempt();
+            self.faults.stall_point();
             if htm_tries < self.retries {
                 htm_tries += 1;
                 obs.attempt_begin(id);
                 match self.htm_attempt(body, &obs) {
                     Ok(true) => {
                         self.stats.commits += 1;
+                        self.health.note_commit();
                         return TxnOutcome {
                             committed: true,
                             attempts,
@@ -291,6 +306,7 @@ impl TxnWorker for HSyncWorker {
                     }
                     Err(code) => {
                         self.stats.restarts += 1;
+                        self.health.note_restart();
                         obs.abort(id, false);
                         if code == AbortCode::Capacity {
                             // Deterministic: skip the remaining retries.
@@ -306,6 +322,7 @@ impl TxnWorker for HSyncWorker {
                 let committed = self.fallback_attempt(body, &obs);
                 if committed {
                     self.stats.commits += 1;
+                    self.health.note_commit();
                 } else {
                     self.stats.user_aborts += 1;
                     obs.abort(id, true);
@@ -329,6 +346,10 @@ impl TxnWorker for HSyncWorker {
     fn htm_ops(&self) -> u64 {
         let h = self.ctx.stats();
         h.reads + h.writes
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use tufast_htm::{Addr, HtmCtx, WordMap};
 
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::locks::LockWord;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
@@ -50,6 +51,7 @@ impl GraphScheduler for HTimestampOrdering {
         HtoWorker {
             id,
             faults: self.sys.fault_handle(id),
+            health: self.sys.health_handle(id),
             ctx: self.sys.htm_ctx(),
             sys: Arc::clone(&self.sys),
             ts: 0,
@@ -69,6 +71,7 @@ impl GraphScheduler for HTimestampOrdering {
 pub struct HtoWorker {
     id: u32,
     faults: FaultHandle,
+    health: HealthHandle,
     sys: Arc<TxnSystem>,
     ctx: HtmCtx,
     ts: u32,
@@ -186,7 +189,10 @@ impl HtoWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
-        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+        if self.faults.validation_fails()
+            || self.faults.lock_acquisition_fails()
+            || self.faults.livelock_restart()
+        {
             self.stats.injected_faults += 1;
             return Err(TxInterrupt::Restart);
         }
@@ -255,8 +261,19 @@ impl TxnWorker for HtoWorker {
         let id = self.id;
         let mut attempts = 0u32;
         loop {
+            // Attempt boundary: every HTM piece begins and ends inside a
+            // single op and no locks are held here, so a stopped job
+            // unwinds with nothing to release.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             self.faults.preempt();
+            self.faults.stall_point();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -265,6 +282,7 @@ impl TxnWorker for HtoWorker {
                     match self.try_commit(&obs) {
                         Ok(()) => {
                             self.stats.commits += 1;
+                            self.health.note_commit();
                             return TxnOutcome {
                                 committed: true,
                                 attempts,
@@ -272,6 +290,7 @@ impl TxnWorker for HtoWorker {
                         }
                         Err(_) => {
                             self.stats.restarts += 1;
+                            self.health.note_restart();
                             obs.abort(id, false);
                             backoff(attempts, self.id);
                         }
@@ -279,6 +298,7 @@ impl TxnWorker for HtoWorker {
                 }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
@@ -314,6 +334,10 @@ impl TxnWorker for HtoWorker {
         let h = self.ctx.stats();
         h.reads + h.writes
     }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +368,63 @@ mod tests {
         assert_eq!(sys.mem().load_direct(acc.addr(0)), 105);
         let (wts, rts) = unpack(sys.mem().load_direct(sys.to_ts_addr(0)));
         assert!(wts > 0 && rts > 0);
+    }
+
+    #[test]
+    fn wall_clock_deadline_ends_a_blocked_transaction() {
+        use crate::deadlock::WaitConfig;
+        use crate::health::{HealthConfig, JobDeadline};
+        use crate::system::SystemConfig;
+        use std::time::{Duration, Instant};
+        // H-TO never parks on the wait table — its lock waits are bounded
+        // spins that restart the attempt — so a blocked vertex turns into
+        // an unbounded retry storm. The job-level wall-clock deadline is
+        // what must end it, through the attempt-boundary health probe.
+        let mut layout = MemoryLayout::new();
+        let acc = layout.alloc("acc", 1);
+        let sys = TxnSystem::build(
+            1,
+            layout,
+            SystemConfig {
+                wait: WaitConfig {
+                    spins: u32::MAX,
+                    deadline: Some(Duration::from_millis(2)),
+                },
+                health: HealthConfig {
+                    deadline: Some(JobDeadline(Duration::from_millis(20))),
+                },
+                ..SystemConfig::default()
+            },
+        );
+        sys.mem().store_direct(acc.addr(0), 100);
+        let sched = HTimestampOrdering::new(Arc::clone(&sys));
+        let mut w = sched.worker();
+        let blocker = sys.new_worker_id();
+        sys.locks().try_exclusive(sys.mem(), 0, blocker).unwrap();
+        let t0 = Instant::now();
+        let out = w.execute(2, &mut |ops| {
+            let v = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), v + 1)
+        });
+        assert!(!out.committed);
+        assert!(w.stats().health_stops >= 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "gave up before the job deadline"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "deadline never fired"
+        );
+        // Release the lock and re-arm the job: the same worker commits.
+        sys.locks().unlock_exclusive(sys.mem(), 0, blocker, false);
+        sys.begin_job(None);
+        let out = w.execute(2, &mut |ops| {
+            let v = ops.read(0, acc.addr(0))?;
+            ops.write(0, acc.addr(0), v + 1)
+        });
+        assert!(out.committed);
+        assert_eq!(sys.mem().load_direct(acc.addr(0)), 101);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod deadlock;
 pub mod faults;
+pub mod health;
 mod hsync;
 mod hto;
 mod locks;
@@ -41,6 +42,10 @@ pub use deadlock::WaitConfig;
 pub use faults::{
     is_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec, InjectedCrash,
     CRASH_ANY_WORKER,
+};
+pub use health::{
+    AbortReason, CancelToken, HealthBoard, HealthConfig, HealthCounters, HealthHandle,
+    HeartbeatView, JobAborted, JobDeadline,
 };
 pub use hsync::HSyncLike;
 pub use hto::HTimestampOrdering;

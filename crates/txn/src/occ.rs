@@ -12,6 +12,7 @@ use std::sync::Arc;
 use tufast_htm::{Addr, WordMap};
 
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -44,6 +45,7 @@ impl GraphScheduler for Occ {
         OccWorker {
             id,
             faults: self.sys.fault_handle(id),
+            health: self.sys.health_handle(id),
             sys: Arc::clone(&self.sys),
             reads: Vec::with_capacity(32),
             read_seen: WordMap::with_capacity(32),
@@ -63,6 +65,7 @@ impl GraphScheduler for Occ {
 pub struct OccWorker {
     id: u32,
     faults: FaultHandle,
+    health: HealthHandle,
     sys: Arc<TxnSystem>,
     /// `(vertex, version at first read)`.
     reads: Vec<(VertexId, u32)>,
@@ -110,7 +113,10 @@ impl OccWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
-        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+        if self.faults.validation_fails()
+            || self.faults.lock_acquisition_fails()
+            || self.faults.livelock_restart()
+        {
             self.stats.injected_faults += 1;
             return Err(TxInterrupt::Restart);
         }
@@ -215,8 +221,19 @@ impl TxnWorker for OccWorker {
         let id = self.id;
         let mut attempts = 0u32;
         loop {
+            // Attempt boundary: no locks held, nothing buffered that the
+            // next `reset` wouldn't drop — the clean place to stop a
+            // cancelled or past-deadline job.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             self.faults.preempt();
+            self.faults.stall_point();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -225,6 +242,7 @@ impl TxnWorker for OccWorker {
                     match self.try_commit(&obs) {
                         Ok(()) => {
                             self.stats.commits += 1;
+                            self.health.note_commit();
                             return TxnOutcome {
                                 committed: true,
                                 attempts,
@@ -232,6 +250,7 @@ impl TxnWorker for OccWorker {
                         }
                         Err(_) => {
                             self.stats.restarts += 1;
+                            self.health.note_restart();
                             obs.abort(id, false);
                             backoff(attempts, self.id);
                         }
@@ -239,6 +258,7 @@ impl TxnWorker for OccWorker {
                 }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
@@ -268,6 +288,10 @@ impl TxnWorker for OccWorker {
 
     fn take_stats(&mut self) -> SchedStats {
         std::mem::take(&mut self.stats)
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 

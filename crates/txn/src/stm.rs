@@ -18,6 +18,7 @@ use std::sync::Arc;
 use tufast_htm::{Addr, LineSet, LineState, WordMap};
 
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -62,6 +63,7 @@ impl GraphScheduler for SoftwareTm {
         let owner = self.sys.htm_ctx().id();
         StmWorker {
             faults: self.sys.fault_handle(owner),
+            health: self.sys.health_handle(owner),
             sys: Arc::clone(&self.sys),
             owner,
             penalty_spins: self.penalty_spins,
@@ -82,6 +84,7 @@ impl GraphScheduler for SoftwareTm {
 /// Per-thread STM state.
 pub struct StmWorker {
     faults: FaultHandle,
+    health: HealthHandle,
     sys: Arc<TxnSystem>,
     owner: u32,
     penalty_spins: u32,
@@ -118,7 +121,10 @@ impl StmWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
-        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+        if self.faults.validation_fails()
+            || self.faults.lock_acquisition_fails()
+            || self.faults.livelock_restart()
+        {
             self.stats.injected_faults += 1;
             return Err(TxInterrupt::Restart);
         }
@@ -252,8 +258,18 @@ impl TxnWorker for StmWorker {
         let id = self.owner;
         let mut attempts = 0u32;
         loop {
+            // Attempt boundary: no line is locked between attempts, so a
+            // stopped job unwinds with nothing to release.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             self.faults.preempt();
+            self.faults.stall_point();
             self.begin();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -262,6 +278,7 @@ impl TxnWorker for StmWorker {
                     match self.try_commit(&obs) {
                         Ok(()) => {
                             self.stats.commits += 1;
+                            self.health.note_commit();
                             return TxnOutcome {
                                 committed: true,
                                 attempts,
@@ -269,6 +286,7 @@ impl TxnWorker for StmWorker {
                         }
                         Err(_) => {
                             self.stats.restarts += 1;
+                            self.health.note_restart();
                             obs.abort(id, false);
                             backoff(attempts, self.owner);
                         }
@@ -276,6 +294,7 @@ impl TxnWorker for StmWorker {
                 }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(id, false);
                     backoff(attempts, self.owner);
                 }
@@ -304,6 +323,10 @@ impl TxnWorker for StmWorker {
 
     fn take_stats(&mut self) -> SchedStats {
         std::mem::take(&mut self.stats)
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 

@@ -7,6 +7,7 @@ use tufast_htm::{Addr, HtmConfig, HtmCtx, HtmRuntime, MemRegion, MemoryLayout, T
 
 use crate::deadlock::{WaitConfig, WaitForTable};
 use crate::faults::FaultHandle;
+use crate::health::{CancelToken, HealthBoard, HealthConfig, HealthHandle, JobDeadline};
 use crate::locks::VertexLocks;
 use crate::obs::ObsHandle;
 use crate::VertexId;
@@ -23,6 +24,10 @@ pub struct SystemConfig {
     pub max_workers: usize,
     /// Budget of the bounded wait on anonymous (reader-held) locks.
     pub wait: WaitConfig,
+    /// Runtime-health knobs: the job deadline armed at build (cooperative
+    /// cancellation is always available via the system's
+    /// [`CancelToken`]).
+    pub health: HealthConfig,
 }
 
 impl Default for SystemConfig {
@@ -32,6 +37,7 @@ impl Default for SystemConfig {
             padded_locks: false,
             max_workers: 512,
             wait: WaitConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -57,6 +63,9 @@ pub struct TxnSystem {
     /// TuFast worker runs its stop-the-world single-writer commit.
     serial_token: Addr,
     wait_table: WaitForTable,
+    /// Heartbeat slots + cancel token + watchdog escalation flags, one
+    /// slot per worker id.
+    health: Arc<HealthBoard>,
     ts_counter: AtomicU64,
     next_worker: AtomicU32,
     num_vertices: usize,
@@ -81,6 +90,10 @@ impl TxnSystem {
         let fallback = layout.alloc("hsync-fallback", 1);
         let serial = layout.alloc("serial-token", 1);
         let htm = HtmRuntime::new(layout, config.htm);
+        let health = Arc::new(HealthBoard::new(config.max_workers));
+        if let Some(deadline) = config.health.deadline {
+            health.token().arm_deadline(deadline);
+        }
         Arc::new(TxnSystem {
             htm,
             locks,
@@ -88,6 +101,7 @@ impl TxnSystem {
             fallback_word: fallback.addr(0),
             serial_token: serial.addr(0),
             wait_table: WaitForTable::new(config.max_workers, config.wait),
+            health,
             ts_counter: AtomicU64::new(1),
             next_worker: AtomicU32::new(0),
             num_vertices,
@@ -163,6 +177,35 @@ impl TxnSystem {
         {
             FaultHandle::none()
         }
+    }
+
+    /// The shared health board (heartbeats, cancel token, escalation
+    /// flags).
+    #[inline]
+    pub fn health(&self) -> &Arc<HealthBoard> {
+        &self.health
+    }
+
+    /// The current job's cancel token — clone it to cancel from another
+    /// thread.
+    #[inline]
+    pub fn cancel_token(&self) -> &CancelToken {
+        self.health.token()
+    }
+
+    /// Re-arm the health board for a fresh job: clear any latched cancel
+    /// or escalation state and install `deadline` (if any).
+    pub fn begin_job(&self, deadline: Option<JobDeadline>) {
+        self.health.begin_job(deadline);
+        self.wait_table.set_force_victims(false);
+    }
+
+    /// A per-worker health probe writing into `worker`'s heartbeat slot.
+    /// Every scheduler worker carries one and probes it at attempt
+    /// boundaries.
+    #[inline]
+    pub fn health_handle(&self, worker: u32) -> HealthHandle {
+        HealthHandle::attached(Arc::clone(&self.health), worker)
     }
 
     /// Convenience: a system with default config over `layout`.

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use tufast_htm::{Addr, WordMap};
 
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
@@ -159,6 +160,7 @@ impl GraphScheduler for TimestampOrdering {
         ToWorker {
             id,
             faults: self.sys.fault_handle(id),
+            health: self.sys.health_handle(id),
             sys: Arc::clone(&self.sys),
             ts: 0,
             writes: WordMap::with_capacity(32),
@@ -177,6 +179,7 @@ impl GraphScheduler for TimestampOrdering {
 pub struct ToWorker {
     id: u32,
     faults: FaultHandle,
+    health: HealthHandle,
     sys: Arc<TxnSystem>,
     /// This attempt's timestamp.
     ts: u32,
@@ -197,7 +200,10 @@ impl ToWorker {
     }
 
     fn try_commit(&mut self, obs: &ObsHandle) -> Result<(), TxInterrupt> {
-        if self.faults.validation_fails() || self.faults.lock_acquisition_fails() {
+        if self.faults.validation_fails()
+            || self.faults.lock_acquisition_fails()
+            || self.faults.livelock_restart()
+        {
             self.stats.injected_faults += 1;
             return Err(TxInterrupt::Restart);
         }
@@ -243,8 +249,18 @@ impl TxnWorker for ToWorker {
         let id = self.id;
         let mut attempts = 0u32;
         loop {
+            // Attempt boundary: no locks held, writes still buffered —
+            // the clean stop point for a cancelled/past-deadline job.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             self.faults.preempt();
+            self.faults.stall_point();
             self.reset();
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -253,6 +269,7 @@ impl TxnWorker for ToWorker {
                     match self.try_commit(&obs) {
                         Ok(()) => {
                             self.stats.commits += 1;
+                            self.health.note_commit();
                             return TxnOutcome {
                                 committed: true,
                                 attempts,
@@ -260,6 +277,7 @@ impl TxnWorker for ToWorker {
                         }
                         Err(_) => {
                             self.stats.restarts += 1;
+                            self.health.note_restart();
                             obs.abort(id, false);
                             backoff(attempts, self.id);
                         }
@@ -267,6 +285,7 @@ impl TxnWorker for ToWorker {
                 }
                 Err(TxInterrupt::Restart) => {
                     self.stats.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(id, false);
                     backoff(attempts, self.id);
                 }
@@ -294,6 +313,10 @@ impl TxnWorker for ToWorker {
 
     fn take_stats(&mut self) -> SchedStats {
         std::mem::take(&mut self.stats)
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 

@@ -20,6 +20,7 @@ use tufast_htm::{Addr, WordMap};
 
 use crate::deadlock::WaitOutcome;
 use crate::faults::FaultHandle;
+use crate::health::HealthHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
     backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
@@ -61,6 +62,7 @@ impl GraphScheduler for TwoPhaseLocking {
         TplWorker {
             id,
             faults: self.sys.fault_handle(id),
+            health: self.sys.health_handle(id),
             sys: Arc::clone(&self.sys),
             ordered: self.ordered,
             held: WordMap::with_capacity(32),
@@ -85,6 +87,7 @@ pub struct TplWorker {
     sys: Arc<TxnSystem>,
     ordered: bool,
     faults: FaultHandle,
+    health: HealthHandle,
     /// vertex id → HELD_* mode.
     held: WordMap,
     held_order: Vec<VertexId>,
@@ -302,6 +305,15 @@ impl TplWorker {
         let id = self.id;
         let mut attempts = 0u32;
         loop {
+            // Attempt boundary: the previous attempt rolled back and
+            // released every lock, so a stopped job unwinds cleanly here.
+            if self.health.checkpoint().is_some() {
+                self.stats.health_stops += 1;
+                return TxnOutcome {
+                    committed: false,
+                    attempts,
+                };
+            }
             attempts += 1;
             obs.attempt_begin(id);
             match obs.run_body(self, id, body) {
@@ -316,6 +328,7 @@ impl TplWorker {
                     obs.commit_ticketed(id, || self.sys.mem().clock_tick_pub());
                     self.release_all(false);
                     self.stats.commits += 1;
+                    self.health.note_commit();
                     self.sys.wait_table().record_commit(id);
                     return TxnOutcome {
                         committed: true,
@@ -325,6 +338,7 @@ impl TplWorker {
                 Err(TxInterrupt::Restart) => {
                     self.rollback();
                     self.stats.restarts += 1;
+                    self.health.note_restart();
                     obs.abort(id, false);
                     if attempts >= max_attempts {
                         return TxnOutcome {
@@ -368,6 +382,10 @@ impl TxnWorker for TplWorker {
 
     fn take_stats(&mut self) -> SchedStats {
         std::mem::take(&mut self.stats)
+    }
+
+    fn health(&self) -> Option<&HealthHandle> {
+        Some(&self.health)
     }
 }
 

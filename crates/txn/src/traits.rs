@@ -97,6 +97,11 @@ pub struct SchedStats {
     pub bucket_advances: u64,
     /// Completed parked waits of idle drain workers.
     pub parked_wakeups: u64,
+    /// Transactions abandoned at an attempt boundary because the job's
+    /// [`CancelToken`](crate::health::CancelToken) was stopped (cancel,
+    /// deadline, or shed). Each is a clean rollback: no locks held, no
+    /// hardware transaction open.
+    pub health_stops: u64,
 }
 
 impl SchedStats {
@@ -115,6 +120,7 @@ impl SchedStats {
         self.steal_fails += other.steal_fails;
         self.bucket_advances += other.bucket_advances;
         self.parked_wakeups += other.parked_wakeups;
+        self.health_stops += other.health_stops;
     }
 
     /// Committed transactions per attempt — 1.0 means no wasted work.
@@ -164,6 +170,15 @@ pub trait TxnWorker {
     /// schedulers that never issue hardware transactions.
     fn htm_ops(&self) -> u64 {
         0
+    }
+
+    /// The worker's health probe, when it carries one. Drain loops use it
+    /// to beat heartbeats at dequeue boundaries and to stop pulling work
+    /// once the job's cancel token latches. The default (`None`) keeps
+    /// lightweight test doubles compiling; every real scheduler worker
+    /// overrides this.
+    fn health(&self) -> Option<&crate::health::HealthHandle> {
+        None
     }
 }
 
@@ -217,6 +232,7 @@ mod tests {
             steal_fails: 6,
             bucket_advances: 7,
             parked_wakeups: 8,
+            health_stops: 9,
             ..Default::default()
         };
         a.merge(&b);
@@ -231,6 +247,7 @@ mod tests {
         assert_eq!(a.steal_fails, 6);
         assert_eq!(a.bucket_advances, 7);
         assert_eq!(a.parked_wakeups, 8);
+        assert_eq!(a.health_stops, 9);
     }
 
     #[test]

@@ -76,6 +76,28 @@ pub fn restore_region(
     Ok(())
 }
 
+/// The mutable graph overlay checkpoints exactly like an algorithm's
+/// property arrays: its four overlay regions become named sections
+/// (`delta.*`), restored onto an identically carved layout. This is what
+/// lets `DurableGraph` fold the overlay into the same two-generation
+/// [`SnapshotStore`] the algorithms use — and lets a workload snapshot
+/// *graph state and algorithm state together* in one store when both
+/// implement the trait.
+impl Checkpointable for tufast_graph::MutableGraph {
+    fn tag(&self) -> &'static str {
+        "mutgraph"
+    }
+
+    fn capture(&self, mem: &TxMemory) -> Vec<Section> {
+        self.capture_sections(mem)
+    }
+
+    fn restore(&self, mem: &TxMemory, snap: &Snapshot) -> Result<(), SnapshotError> {
+        self.restore_sections(mem, snap)
+            .map_err(SnapshotError::Format)
+    }
+}
+
 /// Encode a frontier (from [`WorkPool::pending_items`]) as a section of
 /// `(vertex, key)` word pairs.
 pub fn frontier_section(items: &[(u32, u64)]) -> Section {
@@ -327,6 +349,56 @@ mod tests {
             frontier_items(&snap),
             Err(SnapshotError::Format(_))
         ));
+    }
+
+    #[test]
+    fn mutable_graph_overlay_roundtrips_through_the_trait() {
+        use tufast_graph::mutable::OverlayConfig;
+        use tufast_graph::MutableGraph;
+        use tufast_htm::MemoryLayout;
+        use tufast_txn::{GraphScheduler, SystemConfig, TwoPhaseLocking, TxnSystem};
+
+        let g = gen::grid2d(4, 4);
+        let overlay = OverlayConfig {
+            slot_cap: 64,
+            stripes: 4,
+        };
+        let mut layout = MemoryLayout::new();
+        let mg = MutableGraph::carve(g.clone(), 20, overlay, &mut layout);
+        let sys = TxnSystem::build(20, layout, SystemConfig::default());
+        mg.init(sys.mem());
+        let sched = TwoPhaseLocking::new(std::sync::Arc::clone(&sys));
+        let mut w = sched.worker();
+        mg.add_edge(&mut w, 3, 0, 0);
+        mg.remove_edge(&mut w, 0, 1);
+        let before = mg.materialize(sys.mem());
+
+        let dir = temp_dir("mutgraph");
+        let store = SnapshotStore::open(&dir, mg.tag()).unwrap();
+        store
+            .write(&Snapshot {
+                algo: mg.tag().into(),
+                epoch: 2,
+                sections: mg.capture(sys.mem()),
+            })
+            .unwrap();
+
+        // "Crash": identical carve on a fresh layout, restore, compare.
+        let mut layout2 = MemoryLayout::new();
+        let mg2 = MutableGraph::carve(g, 20, overlay, &mut layout2);
+        let sys2 = TxnSystem::build(20, layout2, SystemConfig::default());
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.snapshot.algo, mg2.tag());
+        mg2.restore(sys2.mem(), &loaded.snapshot).unwrap();
+        assert_eq!(mg2.materialize(sys2.mem()), before);
+
+        // A BFS snapshot must not restore into the overlay.
+        let wrong = Snapshot {
+            algo: "bfs".into(),
+            epoch: 1,
+            sections: vec![],
+        };
+        assert!(mg2.restore(sys2.mem(), &wrong).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() {
         "fig16_param_sensitivity",
         "fig17_adaptive_period",
         "fig18_drivers",
+        "fig19_mutations",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current_exe")

@@ -449,7 +449,7 @@ fn shortest_cycle(edges: &[DepEdge]) -> Option<Vec<DepEdge>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::{ReadEvent, TxnRecord, WriteEvent};
+    use crate::history::{ReadEvent, TxnKind, TxnRecord, WriteEvent};
 
     fn txn(
         worker: u32,
@@ -479,6 +479,7 @@ mod tests {
                     val: v,
                 })
                 .collect(),
+            kind: TxnKind::default(),
         }
     }
 
@@ -531,6 +532,50 @@ mod tests {
         assert!(r.anomalies.iter().any(
             |a| matches!(a, Anomaly::LostUpdate { first: 1, second: 0, addr } if addr.0 == 1)
         ));
+    }
+
+    #[test]
+    fn lost_update_between_mutation_and_relaxation_is_attributable() {
+        // A WW conflict between an `add_edge` mutation (writes overlay
+        // words at 1000+) and a relaxation that read-modified the same
+        // word without seeing the mutation's write. After tagging, the
+        // anomaly's indices resolve to one Mutation and one Analytics
+        // record — the coverage the durable-graph oracle needs.
+        let mut h = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(20), &[(1000, 0)], &[(1000, 100)]), // relaxation
+                txn(1, Some(10), &[(1000, 0)], &[(1000, 200)]), // add_edge
+            ],
+        };
+        assert_eq!(h.tag_mutations(1000..1100), 2, "both wrote overlay words");
+
+        // A relaxation that only *reads* the overlay (txn_neighbors) and
+        // writes its distance word elsewhere stays analytics.
+        let mut h2 = History {
+            initial: 0,
+            txns: vec![
+                txn(0, Some(20), &[(1000, 0)], &[(7, 100)]), // relaxation
+                txn(1, Some(10), &[(1000, 0)], &[(1000, 200)]), // add_edge
+            ],
+        };
+        assert_eq!(h2.tag_mutations(1000..1100), 1);
+        assert_eq!(h2.mutations().collect::<Vec<_>>(), vec![1]);
+
+        let r = check(&h);
+        assert!(!r.ok());
+        let lost = r
+            .anomalies
+            .iter()
+            .find_map(|a| match a {
+                Anomaly::LostUpdate { first, second, .. } => Some((*first, *second)),
+                _ => None,
+            })
+            .expect("WW conflict on the overlay word is a lost update");
+        assert_eq!(
+            (h.txns[lost.0].kind, h.txns[lost.1].kind),
+            (TxnKind::Mutation, TxnKind::Mutation),
+        );
     }
 
     #[test]
@@ -616,6 +661,7 @@ mod tests {
                     addr: Addr(1),
                     val: 7,
                 }],
+                kind: TxnKind::default(),
             }],
         };
         let r = check(&h);

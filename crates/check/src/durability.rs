@@ -1,0 +1,365 @@
+//! Durability matrix harness (feature `faults`).
+//!
+//! Proves the `DurableGraph` recovery invariant fault by fault: for
+//! every seeded crash point — a torn WAL append, an fsync the disk lied
+//! about, a death between the commit record becoming durable and its
+//! effects applying, a death on either side of checkpoint log
+//! truncation — crash → recover yields **precisely the committed-prefix
+//! graph**, verified two ways:
+//!
+//! 1. *bitwise*: the recovered graph's materialisation equals an
+//!    **independent model** of the durable prefix — a plain
+//!    hash-map edge set fed the same mutation script, sharing no code
+//!    with the overlay/WAL/snapshot machinery it is checking;
+//! 2. *behaviourally*: BFS and WCC run on the recovered graph match
+//!    the same algorithms run on the model graph, i.e. an uninterrupted
+//!    execution over the committed prefix.
+//!
+//! Mutations are issued from a single scripted mutator (the durable
+//! commit lock serializes mutators anyway, so extra mutator threads add
+//! nothing to durability semantics; mutation/analytics concurrency is
+//! covered by the DSG oracle tests). The script is deterministic per
+//! seed, so LSN `i` is exactly `script[i - 1]` and "the committed
+//! prefix" is a well-defined prefix of the script.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tufast_graph::durable::{self, DurableGraph, DurableOpen, RecoveryReport};
+use tufast_graph::mutable::{MutationOutcome, OverlayConfig};
+use tufast_graph::wal::{Mutation, SyncPolicy};
+use tufast_graph::{Graph, GraphBuilder, VertexId};
+use tufast_htm::MemoryLayout;
+use tufast_txn::{
+    is_injected_crash, FaultPlan, FaultSpec, GraphScheduler, SystemConfig, TwoPhaseLocking,
+    TxnSystem,
+};
+
+use crate::recovery::{baseline_result, RecoveryAlgo};
+
+/// One cell of the durability matrix: a fault plan plus the workload
+/// shape it is seeded against.
+#[derive(Clone, Debug)]
+pub struct DurabilityCell {
+    /// Seeded faults (only the WAL fields should be non-zero).
+    pub fault: FaultSpec,
+    /// WAL sync policy for the faulted run.
+    pub policy: SyncPolicy,
+    /// Checkpoint (snapshot + log truncation) after every N acked
+    /// mutations. `None` never checkpoints.
+    pub checkpoint_every: Option<usize>,
+    /// After the run (crashed or not), simulate a power cut: truncate the
+    /// log file to its *really-durable* length, making any fsync lie
+    /// observable. Without this, lost fsyncs are invisible — the page
+    /// cache survived.
+    pub power_cut: bool,
+}
+
+impl Default for DurabilityCell {
+    fn default() -> Self {
+        DurabilityCell {
+            fault: FaultSpec::default(),
+            policy: SyncPolicy::EveryCommit,
+            checkpoint_every: None,
+            power_cut: false,
+        }
+    }
+}
+
+/// What one matrix cell observed.
+#[derive(Debug)]
+pub struct DurabilityOutcome {
+    /// Whether the seeded crash fired (torn appends count as crashes).
+    pub crashed: bool,
+    /// Mutations acknowledged to the mutator before the crash.
+    pub acked: usize,
+    /// Length of the committed prefix recovery reconstructed (its LSN
+    /// high-water; every LSN is one script entry).
+    pub recovered_lsn: u64,
+    /// What recovery found on disk.
+    pub recovery: RecoveryReport,
+    /// The recovered graph, materialised.
+    pub recovered: Graph,
+    /// The independent model of `script[..recovered_lsn]`.
+    pub expected: Graph,
+    /// BFS distances match between recovered and model graphs.
+    pub bfs_match: bool,
+    /// WCC labels match between recovered and model graphs.
+    pub wcc_match: bool,
+}
+
+impl DurabilityOutcome {
+    /// The full invariant for a green cell.
+    pub fn prefix_exact(&self) -> bool {
+        self.recovered == self.expected && self.bfs_match && self.wcc_match
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic mutation script over a base of `base_nv` vertices:
+/// ~60% edge adds, ~25% removes (of base or previously added edges),
+/// ~15% vertex adds, never a self-loop, never a vertex ≥ the live count,
+/// never more than `capacity` vertices. Every entry is guaranteed to be
+/// accepted by the overlay (callers size `slot_cap` ≥ `count`).
+pub fn scripted_mutations(
+    base_nv: usize,
+    capacity: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Mutation> {
+    assert!(base_nv >= 2, "need two vertices to form edges");
+    let mut rng = seed;
+    let mut live = base_nv as u32;
+    let mut script = Vec::with_capacity(count);
+    let mut added: Vec<(VertexId, VertexId)> = Vec::new();
+    while script.len() < count {
+        let roll = splitmix(&mut rng) % 100;
+        if roll < 60 || live < 2 {
+            let src = (splitmix(&mut rng) % u64::from(live)) as VertexId;
+            let mut dst = (splitmix(&mut rng) % u64::from(live)) as VertexId;
+            if dst == src {
+                dst = (dst + 1) % live;
+            }
+            added.push((src, dst));
+            script.push(Mutation::AddEdge {
+                src,
+                dst,
+                weight: 0,
+            });
+        } else if roll < 85 {
+            // Remove something plausibly present: alternate between the
+            // add log and arbitrary pairs (removing an absent edge is a
+            // legal no-op commit).
+            let (src, dst) = if !added.is_empty() && roll.is_multiple_of(2) {
+                added[(splitmix(&mut rng) as usize) % added.len()]
+            } else {
+                let src = (splitmix(&mut rng) % u64::from(live)) as VertexId;
+                let mut dst = (splitmix(&mut rng) % u64::from(live)) as VertexId;
+                if dst == src {
+                    dst = (dst + 1) % live;
+                }
+                (src, dst)
+            };
+            script.push(Mutation::RemoveEdge { src, dst });
+        } else if (live as usize) < capacity {
+            live += 1;
+            script.push(Mutation::AddVertex);
+        }
+    }
+    script
+}
+
+/// The independent oracle: fold `script[..prefix]` over `base`'s edge
+/// set with a plain hash set — last mutation per edge wins, exactly the
+/// committed-state semantics — and build a fresh CSR from it. Shares no
+/// code with the overlay, WAL, or snapshot machinery.
+pub fn model_graph(base: &Graph, script: &[Mutation], prefix: usize) -> Graph {
+    let mut live = base.num_vertices() as u32;
+    let mut edges: HashSet<(VertexId, VertexId)> = (0..base.num_vertices())
+        .flat_map(|u| {
+            base.neighbors(u as VertexId)
+                .iter()
+                .map(move |&v| (u as VertexId, v))
+        })
+        .collect();
+    for m in &script[..prefix] {
+        match *m {
+            Mutation::AddEdge { src, dst, .. } => {
+                edges.insert((src, dst));
+            }
+            Mutation::RemoveEdge { src, dst } => {
+                edges.remove(&(src, dst));
+            }
+            Mutation::AddVertex => live += 1,
+        }
+    }
+    let mut b = GraphBuilder::new(live as usize);
+    for (src, dst) in edges {
+        b.add_edge(src, dst);
+    }
+    b.build()
+}
+
+fn open_durable(
+    dir: &Path,
+    policy: SyncPolicy,
+    plan: Option<Arc<FaultPlan>>,
+) -> (DurableGraph, RecoveryReport) {
+    let mut layout = MemoryLayout::new();
+    let prep = DurableOpen::begin(dir, policy, &mut layout).expect("durable open");
+    let system = TxnSystem::build(prep.capacity(), layout, SystemConfig::default());
+    system.set_fault_plan(plan);
+    prep.finish(&system).expect("durable recovery")
+}
+
+/// Run one matrix cell end to end:
+///
+/// 1. `init_dir` a fresh durable directory for `base`.
+/// 2. Replay `script` through the durable commit path under the cell's
+///    fault plan, checkpointing as configured, until the script ends or
+///    the seeded crash kills the "process" (the panic is caught,
+///    [`is_injected_crash`]-verified, and all in-memory state dropped).
+/// 3. If `power_cut`, truncate the log to its really-durable length.
+/// 4. Reopen fault-free (redo recovery), materialise, and compare —
+///    bitwise and through BFS/WCC — against the independent model of
+///    the recovered prefix.
+pub fn run_cell(
+    dir: &Path,
+    base: &Graph,
+    capacity: usize,
+    overlay: OverlayConfig,
+    script: &[Mutation],
+    cell: &DurabilityCell,
+) -> DurabilityOutcome {
+    durable::init_dir(dir, base, capacity, overlay).expect("init durable dir");
+    let plan = FaultPlan::new(cell.fault.clone());
+    let (dg, _) = open_durable(dir, cell.policy, Some(Arc::clone(&plan)));
+    let durable_len = dg.wal_durable_len();
+
+    let acked = AtomicUsize::new(0);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let sched = TwoPhaseLocking::new(Arc::clone(dg.system()));
+        let mut w = sched.worker();
+        for (i, m) in script.iter().enumerate() {
+            let outcome = match *m {
+                Mutation::AddEdge { src, dst, weight } => {
+                    dg.add_edge(&mut w, src, dst, weight).expect("wal io")
+                }
+                Mutation::RemoveEdge { src, dst } => {
+                    dg.remove_edge(&mut w, src, dst).expect("wal io")
+                }
+                Mutation::AddVertex => dg
+                    .add_vertex(&mut w)
+                    .expect("wal io")
+                    .map_or(MutationOutcome::OverlayFull, |_| MutationOutcome::Applied),
+            };
+            assert_eq!(
+                outcome,
+                MutationOutcome::Applied,
+                "matrix scripts are sized to never reject (entry {i})"
+            );
+            acked.fetch_add(1, Ordering::SeqCst);
+            if let Some(every) = cell.checkpoint_every {
+                if (i + 1) % every == 0 {
+                    dg.checkpoint().expect("checkpoint io");
+                }
+            }
+        }
+    }));
+    let crashed = match run {
+        Ok(()) => false,
+        Err(payload) => {
+            if !is_injected_crash(payload.as_ref()) {
+                std::panic::resume_unwind(payload);
+            }
+            true
+        }
+    };
+    let acked = acked.load(Ordering::SeqCst);
+    // The "process" dies here: every in-memory structure is dropped; only
+    // the files survive. A poisoned commit lock is part of what dies.
+    drop(dg);
+
+    if cell.power_cut {
+        // What a real power cut leaves: everything the device acked is
+        // there, everything it lied about is gone.
+        let keep = durable_len.load(Ordering::SeqCst);
+        let wal_path = dir.join(durable::WAL_FILE);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .expect("open wal for power cut");
+        file.set_len(keep).expect("power-cut truncation");
+        file.sync_all().expect("power-cut sync");
+    }
+
+    let (dg2, recovery) = open_durable(dir, SyncPolicy::EveryCommit, None);
+    let recovered_lsn = dg2.last_lsn();
+    let recovered = dg2.materialize();
+    let expected = model_graph(base, script, recovered_lsn as usize);
+
+    let bfs_match = baseline_result(RecoveryAlgo::Bfs, &recovered, 2)
+        == baseline_result(RecoveryAlgo::Bfs, &expected, 2);
+    let wcc_match = baseline_result(RecoveryAlgo::Wcc, &recovered, 2)
+        == baseline_result(RecoveryAlgo::Wcc, &expected, 2);
+
+    DurabilityOutcome {
+        crashed,
+        acked,
+        recovered_lsn,
+        recovery,
+        recovered,
+        expected,
+        bfs_match,
+        wcc_match,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_in_bounds() {
+        let a = scripted_mutations(6, 16, 40, 7);
+        let b = scripted_mutations(6, 16, 40, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, scripted_mutations(6, 16, 40, 8));
+        let mut live = 6u32;
+        for m in &a {
+            match *m {
+                Mutation::AddEdge { src, dst, .. } | Mutation::RemoveEdge { src, dst } => {
+                    assert!(src < live && dst < live && src != dst);
+                }
+                Mutation::AddVertex => live += 1,
+            }
+        }
+        assert!(live as usize <= 16);
+    }
+
+    #[test]
+    fn model_graph_applies_last_writer_wins() {
+        let g = base();
+        let script = [
+            Mutation::AddEdge {
+                src: 3,
+                dst: 1,
+                weight: 0,
+            },
+            Mutation::RemoveEdge { src: 3, dst: 1 },
+            Mutation::AddEdge {
+                src: 3,
+                dst: 1,
+                weight: 0,
+            },
+            Mutation::RemoveEdge { src: 0, dst: 1 }, // base edge
+            Mutation::AddVertex,
+        ];
+        let m = model_graph(&g, &script, script.len());
+        assert_eq!(m.num_vertices(), 7);
+        assert_eq!(m.neighbors(3), &[1, 4]);
+        assert!(m.neighbors(0).is_empty());
+        // Prefix 2: the re-add and the base-edge removal haven't happened.
+        let m2 = model_graph(&g, &script, 2);
+        assert_eq!(m2.num_vertices(), 6);
+        assert_eq!(m2.neighbors(3), &[4]);
+        assert_eq!(m2.neighbors(0), &[1]);
+    }
+}

@@ -50,6 +50,25 @@ pub struct WriteEvent {
     pub val: u64,
 }
 
+/// What kind of transaction a record is, for anomaly attribution.
+///
+/// The recorder itself cannot tell a graph *mutation* (an
+/// `add_edge`/`remove_edge`/`add_vertex` transaction on the delta
+/// overlay) from an analytics transaction — both are just reads and
+/// writes. [`History::tag_mutations`] classifies records afterwards by
+/// address: any transaction that wrote into the overlay's word range is
+/// a mutation. With the tag in place, a lost-update or write-write
+/// anomaly between an `add_edge` and a relaxation names which side was
+/// the mutation instead of reporting two anonymous transactions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Algorithm transaction (relaxation, pull/push step, …).
+    #[default]
+    Analytics,
+    /// Graph mutation through the delta overlay.
+    Mutation,
+}
+
 /// One recorded transaction attempt.
 #[derive(Clone, Debug)]
 pub struct TxnRecord {
@@ -71,6 +90,9 @@ pub struct TxnRecord {
     pub reads: Vec<ReadEvent>,
     /// Writes in program order.
     pub writes: Vec<WriteEvent>,
+    /// Classification, assigned by [`History::tag_mutations`]
+    /// (defaults to [`TxnKind::Analytics`]).
+    pub kind: TxnKind,
 }
 
 impl TxnRecord {
@@ -116,6 +138,32 @@ impl History {
     pub fn committed_count(&self) -> usize {
         self.txns.iter().filter(|t| t.committed).count()
     }
+
+    /// Classify every record that wrote into `overlay` (the delta
+    /// overlay's word-address range, from
+    /// `MutableGraph::overlay_word_range`) as a [`TxnKind::Mutation`].
+    /// Reads don't count: a relaxation that *consults* the overlay via
+    /// `txn_neighbors` is still analytics. Returns how many records were
+    /// tagged.
+    pub fn tag_mutations(&mut self, overlay: std::ops::Range<u64>) -> usize {
+        let mut tagged = 0;
+        for t in &mut self.txns {
+            if t.writes.iter().any(|w| overlay.contains(&w.addr.0)) {
+                t.kind = TxnKind::Mutation;
+                tagged += 1;
+            }
+        }
+        tagged
+    }
+
+    /// Indices of records tagged [`TxnKind::Mutation`].
+    pub fn mutations(&self) -> impl Iterator<Item = usize> + '_ {
+        self.txns
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TxnKind::Mutation)
+            .map(|(i, _)| i)
+    }
 }
 
 /// In-flight attempt state for one worker id.
@@ -138,6 +186,7 @@ impl Pending {
             ticket,
             reads: self.reads,
             writes: self.writes,
+            kind: TxnKind::default(),
         }
     }
 }
@@ -245,6 +294,31 @@ mod tests {
         assert!(!t.reads[0].own_write);
         assert!(t.reads[1].own_write);
         assert_eq!(t.published(Addr(10)), Some(6));
+    }
+
+    #[test]
+    fn tag_mutations_classifies_by_written_address() {
+        let rec = Recorder::new();
+        // Worker 0: mutation — writes an overlay word (addr 50).
+        rec.attempt_begin(0);
+        rec.op_read(0, 0, Addr(50), 0);
+        rec.op_write(0, 0, Addr(50), 1);
+        rec.commit(0, 1);
+        // Worker 1: analytics — *reads* the overlay, writes elsewhere.
+        rec.attempt_begin(1);
+        rec.op_read(1, 0, Addr(50), 1);
+        rec.op_write(1, 0, Addr(7), 9);
+        rec.commit(1, 2);
+        let mut h = rec.take_history();
+        assert!(h.txns.iter().all(|t| t.kind == TxnKind::Analytics));
+        assert_eq!(h.tag_mutations(40..60), 1);
+        assert_eq!(h.txns[0].kind, TxnKind::Mutation);
+        assert_eq!(
+            h.txns[1].kind,
+            TxnKind::Analytics,
+            "overlay reads don't tag"
+        );
+        assert_eq!(h.mutations().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

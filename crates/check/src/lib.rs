@@ -25,6 +25,12 @@
 //!    asserting crash → recover → finish is bitwise identical to an
 //!    uninterrupted run, and that corrupt/torn snapshot generations fall
 //!    back cleanly.
+//! 5. [`durability`] (feature `faults`): the durable-mutation matrix —
+//!    seeded WAL crash points (torn append, lost fsync + power cut,
+//!    crash between commit record and apply, crash during checkpoint log
+//!    truncation) against `DurableGraph`, asserting recovery yields
+//!    precisely the committed-prefix graph, bitwise against an
+//!    independent model and behaviourally through BFS/WCC re-runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +38,8 @@
 #[cfg(feature = "faults")]
 pub mod chaos;
 pub mod dsg;
+#[cfg(feature = "faults")]
+pub mod durability;
 pub mod explore;
 pub mod history;
 #[cfg(feature = "faults")]
@@ -40,7 +48,11 @@ pub mod recovery;
 #[cfg(feature = "faults")]
 pub use chaos::{panic_probe, ChaosOutcome, ChaosPlan, ChaosRunner};
 pub use dsg::{check, Anomaly, CheckReport, DepEdge, EdgeKind};
+#[cfg(feature = "faults")]
+pub use durability::{
+    model_graph, run_cell, scripted_mutations, DurabilityCell, DurabilityOutcome,
+};
 pub use explore::{ExploreOutcome, Explorer, Schedule, SchedulerKind, WorkloadSpec};
-pub use history::{History, Recorder, TxnRecord};
+pub use history::{History, Recorder, TxnKind, TxnRecord};
 #[cfg(feature = "faults")]
 pub use recovery::{crash_and_recover, RecoveryAlgo, RecoveryOutcome};

@@ -62,7 +62,10 @@ impl Csr {
 
 /// A directed graph in CSR form, with optional reverse adjacency and
 /// optional `u32` edge weights (aligned with the out-edge array).
-#[derive(Clone, Debug)]
+///
+/// Equality is structural over every array — the durability matrix in
+/// `tufast-check` relies on it to prove recovery is *bitwise* exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     out: Csr,
     rev: Option<Csr>,

@@ -18,6 +18,14 @@
 //!   reload in a few large reads).
 //! * [`snapshot`] — versioned, checksummed algorithm checkpoints (TFSN)
 //!   with a two-generation rotating store for crash recovery.
+//! * [`mutable`] — [`MutableGraph`]: CSR base plus a transactional
+//!   per-vertex delta overlay, so `add_edge`/`remove_edge`/`add_vertex`
+//!   run as transactions through any scheduler, serializable alongside
+//!   analytics.
+//! * [`wal`] — the CRC-framed write-ahead log (TFWL) mutation commits are
+//!   appended to before their effects become visible.
+//! * [`durable`] — [`DurableGraph`]: the WAL + snapshot + redo-recovery
+//!   commit protocol tying the two together (DESIGN.md §13).
 //! * [`partition`] — vertex partitioners (hash, range, hybrid-cut) for the
 //!   simulated distributed engines.
 
@@ -27,11 +35,16 @@
 pub mod binio;
 mod builder;
 mod csr;
+pub mod durable;
 pub mod gen;
 pub mod load;
+pub mod mutable;
 pub mod partition;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, Graph, VertexId};
+pub use durable::{DurableGraph, DurableOpen, RecoveryReport};
+pub use mutable::{MutableGraph, OverlayConfig};

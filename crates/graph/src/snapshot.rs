@@ -337,8 +337,30 @@ pub fn from_reader<R: Read>(reader: R) -> Result<Snapshot, SnapshotError> {
 }
 
 /// Load and validate the snapshot at `path`.
+///
+/// Unlike [`from_reader`] (which streams and can only check the
+/// whole-file CRC *after* consuming every field), this reads the file
+/// once and validates the trailing whole-file CRC **first**. Ordering
+/// matters for the generation store: a torn or bit-flipped file whose
+/// header bytes — including the epoch the store sorts generations by —
+/// still parse must be rejected outright, never half-trusted. It also
+/// rejects trailing garbage past the checksummed prefix, which the
+/// streaming parser cannot see.
 pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
-    from_reader(io::BufReader::new(std::fs::File::open(path)?))
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 4 {
+        return Err(SnapshotError::Format(
+            "file shorter than its checksum".into(),
+        ));
+    }
+    let (prefix, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(prefix) != stored {
+        return Err(SnapshotError::Format("file checksum mismatch".into()));
+    }
+    // The CRC pins the exact file length, so the streaming parser below
+    // cannot run past the trailer or leave garbage unexamined.
+    from_reader(&bytes[..])
 }
 
 // ------------------------------------------------------- generation store
@@ -500,6 +522,52 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.section("dist").unwrap().words.len(), 100);
         assert!(back.section("missing").is_none());
+    }
+
+    /// `load` must reject any corruption via the trailing whole-file CRC
+    /// *before* parsing a single field — in particular before trusting
+    /// the epoch the generation store sorts by, and before a corrupted
+    /// section length can steer the parser.
+    #[test]
+    fn load_validates_whole_file_crc_before_parsing() {
+        let dir =
+            std::env::temp_dir().join(format!("tufast-snapshot-crcfirst-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tfsn");
+        let good = to_bytes(&sample(9)).unwrap();
+
+        // Pristine file loads.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(load(&path).unwrap().epoch, 9);
+
+        // Flip one bit in every byte position that matters structurally:
+        // magic, version, epoch, a section length, section payload.
+        for pos in [0usize, 5, 9, 30, good.len() / 2] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(load(&path), Err(SnapshotError::Format(_))),
+                "bit flip at byte {pos} must be rejected"
+            );
+        }
+
+        // Truncation (torn write) is rejected, including below 4 bytes.
+        for keep in [0usize, 3, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..keep]).unwrap();
+            assert!(
+                matches!(load(&path), Err(SnapshotError::Format(_))),
+                "truncation to {keep} bytes must be rejected"
+            );
+        }
+
+        // Trailing garbage past the checksummed prefix is rejected too —
+        // the streaming parser alone cannot see it.
+        let mut padded = good.clone();
+        padded.extend_from_slice(b"junk");
+        std::fs::write(&path, &padded).unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Format(_))));
     }
 
     #[test]

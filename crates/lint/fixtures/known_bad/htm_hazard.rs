@@ -21,3 +21,16 @@ fn unscoped_helper(items: &[u64]) -> String {
     let s = format!("{items:?}");
     s.clone()
 }
+
+pub fn durable_commit(ctx: &mut HtmCtx, wal: &mut WalWriter, m: Mutation) -> Result<(), ()> {
+    wal.append(m); // io-in-htm: WAL frame write inside the transaction
+    wal.commit_sync(); // io-in-htm: group-commit fsync inside the transaction
+    wal.file.sync_data(); // io-in-htm: raw fdatasync inside the transaction
+    ctx.write(0)
+}
+
+// tufast-lint: htm-scope
+fn reopen_log(&mut self) {
+    self.wal = WalWriter::open(&self.dir); // io-in-htm via marker-scoped fn
+    self.wal.sync_now(); // io-in-htm
+}

@@ -136,6 +136,31 @@ const METHOD_BAN: &[(&str, &str, &str)] = &[
         "alloc-in-htm",
         "`.extend_from_slice()` may reallocate inside the transaction",
     ),
+    (
+        "append",
+        "io-in-htm",
+        "`.append()` writes a WAL frame (or splices a buffer); durable I/O aborts HTM",
+    ),
+    (
+        "commit_sync",
+        "io-in-htm",
+        "`.commit_sync()` may fsync the WAL; syscalls abort HTM",
+    ),
+    (
+        "sync_now",
+        "io-in-htm",
+        "`.sync_now()` fsyncs the WAL; syscalls abort HTM",
+    ),
+    (
+        "sync_data",
+        "io-in-htm",
+        "`.sync_data()` is an fdatasync syscall; syscalls abort HTM",
+    ),
+    (
+        "sync_all",
+        "io-in-htm",
+        "`.sync_all()` is an fsync syscall; syscalls abort HTM",
+    ),
 ];
 
 /// Banned paths: `A::B` → (code, why).
@@ -193,6 +218,18 @@ const PATH_BAN: &[(&str, &str, &str, &str)] = &[
         "io",
         "io-in-htm",
         "`std::io` operations are syscalls; syscalls abort HTM",
+    ),
+    (
+        "WalWriter",
+        "create",
+        "io-in-htm",
+        "`WalWriter::create` opens and syncs a log file; syscalls abort HTM",
+    ),
+    (
+        "WalWriter",
+        "open",
+        "io-in-htm",
+        "`WalWriter::open` reads and truncates a log file; syscalls abort HTM",
     ),
 ];
 

@@ -70,6 +70,11 @@ const CLASS_NOTES: &[(&str, &str)] = &[
         "hsync_fallback",
         "HSync's global fallback lock word; subscription makes it mutually safe with the HTM path",
     ),
+    (
+        "mutex:durable.wal",
+        "the durable-graph commit lock: WAL append + fsync + transactional apply happen under it, \
+         so log order is commit order; it may wait on scheduler locks but never the reverse",
+    ),
 ];
 
 /// Callee names never resolved when propagating lock summaries: common

@@ -30,6 +30,10 @@
 //! | [`FaultKind::Crash`] | the run dies at a seeded probe (panics with [`InjectedCrash`]) |
 //! | [`FaultKind::Stall`] | a seeded worker wedges (long bounded spin) at attempt boundaries |
 //! | [`FaultKind::Livelock`] | commit/validation sites report failure, forcing endless restarts |
+//! | [`FaultKind::TornWalWrite`] | a WAL append persists only a prefix of the frame, then the process dies |
+//! | [`FaultKind::LostFsync`] | a WAL fsync is acknowledged but the data never becomes durable |
+//! | [`FaultKind::CrashDuringCommit`] | the process dies after a WAL append but before the effects apply |
+//! | [`FaultKind::CrashDuringTruncation`] | the process dies inside checkpoint log truncation |
 //!
 //! Injected failures are indistinguishable from real ones to the
 //! scheduler, which is the point: the chaos matrix in `tufast-check`
@@ -71,11 +75,27 @@ pub enum FaultKind {
     /// attempts restart without anyone committing. Models livelock for
     /// watchdog testing.
     Livelock,
+    /// A write-ahead-log append persists only a prefix of its frame before
+    /// the process dies — the torn tail a crashed `write(2)` leaves behind.
+    TornWalWrite,
+    /// A WAL fsync reports success but the bytes never become durable
+    /// (lying disk / dropped page-cache flush). Observable only after a
+    /// power cut: the harness truncates the log to the last *really*
+    /// synced length before recovering.
+    LostFsync,
+    /// The process dies between a WAL append becoming durable and the
+    /// mutation's effects being applied — redo recovery must finish the
+    /// commit from the log alone.
+    CrashDuringCommit,
+    /// The process dies inside checkpoint log truncation (before or after
+    /// the `set_len`), so recovery sees either a full log alongside a
+    /// covering snapshot or an already-empty one.
+    CrashDuringTruncation,
 }
 
 impl FaultKind {
     /// All kinds, in counter-index order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::SpuriousAbort,
         FaultKind::CapacityAbort,
         FaultKind::LockFail,
@@ -85,6 +105,10 @@ impl FaultKind {
         FaultKind::Crash,
         FaultKind::Stall,
         FaultKind::Livelock,
+        FaultKind::TornWalWrite,
+        FaultKind::LostFsync,
+        FaultKind::CrashDuringCommit,
+        FaultKind::CrashDuringTruncation,
     ];
 
     /// Short label for reports.
@@ -99,6 +123,10 @@ impl FaultKind {
             FaultKind::Crash => "crash",
             FaultKind::Stall => "stall",
             FaultKind::Livelock => "livelock",
+            FaultKind::TornWalWrite => "torn-wal-write",
+            FaultKind::LostFsync => "lost-fsync",
+            FaultKind::CrashDuringCommit => "crash-during-commit",
+            FaultKind::CrashDuringTruncation => "crash-during-truncation",
         }
     }
 
@@ -114,6 +142,10 @@ impl FaultKind {
             FaultKind::Crash => 6,
             FaultKind::Stall => 7,
             FaultKind::Livelock => 8,
+            FaultKind::TornWalWrite => 9,
+            FaultKind::LostFsync => 10,
+            FaultKind::CrashDuringCommit => 11,
+            FaultKind::CrashDuringTruncation => 12,
         }
     }
 }
@@ -173,6 +205,23 @@ pub struct FaultSpec {
     /// Permille rate of forced restarts at optimistic commit/validation
     /// sites (models livelock: every attempt aborts, nobody commits).
     pub livelock_permille: u32,
+    /// WAL append index (1-based) at which the frame is torn: the writer
+    /// persists only a prefix of the frame and the process dies
+    /// ([`FaultHandle::wal_torn_append`]). 0 disables.
+    pub torn_wal_at_append: u64,
+    /// Permille rate of WAL fsyncs that report success without making the
+    /// data durable ([`FaultHandle::wal_lost_fsync`]).
+    pub lost_fsync_permille: u32,
+    /// Durable-commit index (1-based) at (and past) which the process dies
+    /// after the WAL append but before the mutation's effects apply
+    /// ([`FaultHandle::wal_commit_crash_point`]). 0 disables.
+    pub crash_at_wal_commit: u64,
+    /// Truncation-probe count (1-based) at (and past) which the process
+    /// dies inside checkpoint log truncation
+    /// ([`FaultHandle::wal_truncation_crash_point`]); the truncation path
+    /// probes both before and after its `set_len`, so 1 crashes with the
+    /// log intact and 2 crashes with it already emptied. 0 disables.
+    pub crash_at_truncation: u64,
 }
 
 impl Default for FaultSpec {
@@ -193,6 +242,10 @@ impl Default for FaultSpec {
             stall_at_probe: 0,
             stall_spins: 20_000_000,
             livelock_permille: 0,
+            torn_wal_at_append: 0,
+            lost_fsync_permille: 0,
+            crash_at_wal_commit: 0,
+            crash_at_truncation: 0,
         }
     }
 }
@@ -208,6 +261,7 @@ impl FaultSpec {
             ("validation_fail", self.validation_fail_permille),
             ("preempt", self.preempt_permille),
             ("livelock", self.livelock_permille),
+            ("lost_fsync", self.lost_fsync_permille),
         ] {
             assert!(rate <= 1000, "{name}_permille must be <= 1000, got {rate}");
         }
@@ -224,7 +278,7 @@ impl FaultSpec {
 /// and the [`AbortSource`] installed into the HTM config.
 pub struct FaultPlan {
     spec: FaultSpec,
-    injected: [AtomicU64; 9],
+    injected: [AtomicU64; 13],
     /// Set once the seeded crash fires; all workers' subsequent crash
     /// probes then die too (process death takes every thread with it).
     crashed: AtomicBool,
@@ -339,6 +393,15 @@ pub fn is_injected_crash(payload: &(dyn std::any::Any + Send)) -> bool {
     payload.is::<InjectedCrash>()
 }
 
+/// Die with an [`InjectedCrash`] payload from a fault site that must do
+/// work *between* deciding to crash and dying — the WAL writer persists a
+/// torn frame prefix first, then calls this. Callers pair it with a probe
+/// (e.g. [`FaultHandle::wal_torn_append`]) that already armed the plan, so
+/// the harness's [`is_injected_crash`] check recognises the unwind.
+pub fn raise_injected_crash(worker: u32, probe: u64) -> ! {
+    std::panic::panic_any(InjectedCrash { worker, probe })
+}
+
 // Per-site salts keep the decision streams of different sites independent.
 // All but the HTM salt are consulted only from `FaultHandle`'s active
 // (feature-gated) probes; the HTM salt also feeds the always-compiled
@@ -354,6 +417,8 @@ const SITE_VALIDATION: u64 = 0x44;
 const SITE_PREEMPT: u64 = 0x55;
 #[cfg(feature = "faults")]
 const SITE_LIVELOCK: u64 = 0x77;
+#[cfg(feature = "faults")]
+const SITE_WAL_SYNC: u64 = 0x88;
 
 /// splitmix64 finalizer: decisions are pure in the mixed key.
 #[inline]
@@ -385,6 +450,18 @@ pub struct FaultHandle {
     seq: u64,
     #[cfg(feature = "faults")]
     exempt: bool,
+    /// WAL probes count their own sites (appends / syncs / durable commits
+    /// / truncations) instead of sharing `seq`, so count-seeded durability
+    /// faults land at exact protocol steps regardless of how many other
+    /// probes fired in between.
+    #[cfg(feature = "faults")]
+    wal_appends: u64,
+    #[cfg(feature = "faults")]
+    wal_syncs: u64,
+    #[cfg(feature = "faults")]
+    wal_commits: u64,
+    #[cfg(feature = "faults")]
+    wal_truncations: u64,
 }
 
 impl FaultHandle {
@@ -404,6 +481,10 @@ impl FaultHandle {
             worker,
             seq: 0,
             exempt: false,
+            wal_appends: 0,
+            wal_syncs: 0,
+            wal_commits: 0,
+            wal_truncations: 0,
         }
     }
 
@@ -516,6 +597,14 @@ impl FaultHandle {
         {
             if let Some(plan) = self.active_plan() {
                 self.seq += 1;
+                // Once any crash fault fired (including the WAL-site ones),
+                // the process is dying: every non-exempt probe joins it.
+                if plan.crash_armed() {
+                    std::panic::panic_any(InjectedCrash {
+                        worker: self.worker,
+                        probe: self.seq,
+                    });
+                }
                 let spec = plan.spec();
                 if spec.crash_at_probe == 0 {
                     return;
@@ -588,6 +677,103 @@ impl FaultHandle {
             }
         }
         false
+    }
+
+    /// Probe the WAL append site. `true` means the seeded torn write
+    /// fires: the caller must persist only a *prefix* of the frame and
+    /// then die via [`raise_injected_crash`] — a torn write is only ever
+    /// observable because the process crashed mid-`write`. Arms the plan's
+    /// crash flag so every other worker's next crash probe dies too.
+    #[inline]
+    pub fn wal_torn_append(&mut self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.wal_appends += 1;
+                if plan.crash_armed() {
+                    raise_injected_crash(self.worker, self.wal_appends);
+                }
+                let spec = plan.spec();
+                if spec.torn_wal_at_append != 0 && self.wal_appends == spec.torn_wal_at_append {
+                    plan.record(FaultKind::TornWalWrite);
+                    plan.crashed.store(true, Ordering::SeqCst);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Probe the WAL fsync site: `true` means this fsync must be skipped
+    /// while still reporting success to the caller (the lying-disk fault).
+    /// The writer keeps its really-durable length behind, and the harness
+    /// simulates the power cut that makes the lie observable.
+    #[inline]
+    pub fn wal_lost_fsync(&mut self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.wal_syncs += 1;
+                let spec = plan.spec();
+                if spec.lost_fsync_permille > 0
+                    && permille_roll(spec.seed, SITE_WAL_SYNC, self.worker, self.wal_syncs)
+                        < spec.lost_fsync_permille
+                {
+                    plan.record(FaultKind::LostFsync);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Probe the post-append / pre-apply window of a durable commit: at
+    /// (and past) the seeded commit count the process dies with the
+    /// record already durable but its effects not yet applied — redo
+    /// recovery must finish the commit from the log alone.
+    #[inline]
+    pub fn wal_commit_crash_point(&mut self) {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.wal_commits += 1;
+                if plan.crash_armed() {
+                    raise_injected_crash(self.worker, self.wal_commits);
+                }
+                let spec = plan.spec();
+                if spec.crash_at_wal_commit != 0 && self.wal_commits >= spec.crash_at_wal_commit {
+                    if !plan.crashed.swap(true, Ordering::SeqCst) {
+                        plan.record(FaultKind::CrashDuringCommit);
+                    }
+                    raise_injected_crash(self.worker, self.wal_commits);
+                }
+            }
+        }
+    }
+
+    /// Probe checkpoint log truncation. The truncation path calls this
+    /// both before and after its `set_len`, so a seeded count of 1 dies
+    /// with the log still intact (snapshot already durable — replay must
+    /// be idempotent) and 2 dies with the log already emptied.
+    #[inline]
+    pub fn wal_truncation_crash_point(&mut self) {
+        #[cfg(feature = "faults")]
+        {
+            if let Some(plan) = self.active_plan() {
+                self.wal_truncations += 1;
+                if plan.crash_armed() {
+                    raise_injected_crash(self.worker, self.wal_truncations);
+                }
+                let spec = plan.spec();
+                if spec.crash_at_truncation != 0 && self.wal_truncations >= spec.crash_at_truncation
+                {
+                    if !plan.crashed.swap(true, Ordering::SeqCst) {
+                        plan.record(FaultKind::CrashDuringTruncation);
+                    }
+                    raise_injected_crash(self.worker, self.wal_truncations);
+                }
+            }
+        }
     }
 
     #[cfg(feature = "faults")]
@@ -710,9 +896,13 @@ mod tests {
         assert!(!h.lock_acquisition_fails());
         assert!(!h.validation_fails());
         assert!(!h.livelock_restart());
+        assert!(!h.wal_torn_append());
+        assert!(!h.wal_lost_fsync());
         h.preempt();
         h.crash_point();
         h.stall_point();
+        h.wal_commit_crash_point();
+        h.wal_truncation_crash_point();
     }
 
     #[cfg(feature = "faults")]
@@ -836,6 +1026,106 @@ mod tests {
         );
         assert!(plan.crash_armed());
         assert_eq!(plan.injected(FaultKind::Crash), 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_append_fires_once_and_arms_the_plan() {
+        let plan = FaultPlan::new(FaultSpec {
+            torn_wal_at_append: 3,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        assert!(!h.wal_torn_append()); // append 1
+        assert!(!h.wal_torn_append()); // append 2
+        assert!(!plan.crash_armed());
+        assert!(h.wal_torn_append()); // append 3: torn
+        assert!(plan.crash_armed());
+        assert_eq!(plan.injected(FaultKind::TornWalWrite), 1);
+        // The process is now dying: any other worker's crash probe joins.
+        let mut other = FaultHandle::attached(Some(Arc::clone(&plan)), 5);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            other.crash_point();
+        }));
+        assert!(is_injected_crash(died.expect_err("armed").as_ref()));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn lost_fsync_fires_at_full_rate_and_counts() {
+        let plan = FaultPlan::new(FaultSpec {
+            lost_fsync_permille: 1000,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        for _ in 0..7 {
+            assert!(h.wal_lost_fsync());
+        }
+        assert_eq!(plan.injected(FaultKind::LostFsync), 7);
+        assert!(!plan.crash_armed(), "a lying fsync is not a crash");
+        let quiet = FaultPlan::new(FaultSpec::default());
+        let mut h = FaultHandle::attached(Some(Arc::clone(&quiet)), 0);
+        assert!(!h.wal_lost_fsync());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn commit_crash_fires_at_seeded_count() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash_at_wal_commit: 2,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        h.wal_commit_crash_point(); // commit 1 survives
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.wal_commit_crash_point(); // commit 2 dies
+        }));
+        let payload = died.expect_err("second durable commit must crash");
+        assert!(is_injected_crash(payload.as_ref()));
+        assert_eq!(
+            payload.downcast_ref::<InjectedCrash>(),
+            Some(&InjectedCrash {
+                worker: 0,
+                probe: 2
+            })
+        );
+        assert_eq!(plan.injected(FaultKind::CrashDuringCommit), 1);
+        assert!(plan.crash_armed());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn truncation_crash_fires_at_seeded_probe() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash_at_truncation: 2,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        h.wal_truncation_crash_point(); // before set_len: survives
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.wal_truncation_crash_point(); // after set_len: dies
+        }));
+        assert!(is_injected_crash(died.expect_err("must crash").as_ref()));
+        assert_eq!(plan.injected(FaultKind::CrashDuringTruncation), 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn exempt_handles_skip_wal_faults() {
+        let plan = FaultPlan::new(FaultSpec {
+            torn_wal_at_append: 1,
+            lost_fsync_permille: 1000,
+            crash_at_wal_commit: 1,
+            crash_at_truncation: 1,
+            ..FaultSpec::default()
+        });
+        let mut h = FaultHandle::attached(Some(Arc::clone(&plan)), 0);
+        h.set_exempt(true);
+        assert!(!h.wal_torn_append());
+        assert!(!h.wal_lost_fsync());
+        h.wal_commit_crash_point();
+        h.wal_truncation_crash_point();
+        assert_eq!(plan.total_injected(), 0);
     }
 
     #[cfg(feature = "faults")]

@@ -40,8 +40,8 @@ mod traits;
 
 pub use deadlock::WaitConfig;
 pub use faults::{
-    is_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec, InjectedCrash,
-    CRASH_ANY_WORKER,
+    is_injected_crash, raise_injected_crash, FaultHandle, FaultKind, FaultPlan, FaultSpec,
+    InjectedCrash, CRASH_ANY_WORKER,
 };
 pub use health::{
     AbortReason, CancelToken, HealthBoard, HealthConfig, HealthCounters, HealthHandle,

@@ -140,6 +140,72 @@ pub fn parallel<S: GraphScheduler>(
     read_f64_region(mem, rank)
 }
 
+/// One *pull-only* PageRank round: computes `rank'(v)` for every vertex
+/// from the current in-place ranks into a private vector, writing nothing
+/// to shared memory. With `declared_pure` each per-vertex transaction
+/// carries [`TxnHint::read_only`](tufast_txn::TxnHint) and rides the
+/// R-mode snapshot path (no locks, no read-set logging, no hardware
+/// transaction); without it the same body runs on the scheduler's
+/// ordinary read path — the two arms of the Figure 20 read-throughput
+/// comparison. Returns the next-rank vector plus the workers for stats
+/// harvesting; on a quiesced rank region both arms are bitwise identical.
+pub fn pull_round<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    space: &PageRankSpace,
+    threads: usize,
+    damping: f64,
+    declared_pure: bool,
+) -> (Vec<f64>, Vec<S::Worker>) {
+    use tufast_txn::TxnHint;
+
+    let n = g.num_vertices();
+    assert!(
+        g.reverse().is_some(),
+        "PageRank pulls over in-edges; build with_in_edges()"
+    );
+    let base = (1.0 - damping) / n.max(1) as f64;
+    let rank = &space.rank;
+    let mut next = vec![0.0f64; n];
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let workers = std::thread::scope(|s| {
+        let handles: Vec<_> = next
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let mut worker = sched.worker();
+                s.spawn(move || {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        let v = (ci * chunk + i) as VertexId;
+                        let degree = g.in_degree(v) + 1;
+                        let size = TxnSystem::neighborhood_hint(degree);
+                        let hint = if declared_pure {
+                            TxnHint::read_only(size)
+                        } else {
+                            TxnHint::sized(size)
+                        };
+                        worker.execute_hinted(hint, &mut |ops| {
+                            let mut sum = 0.0;
+                            for &u in g.in_neighbors(v) {
+                                let ru = word_to_f64(ops.read(u, rank.addr(u64::from(u)))?);
+                                sum += ru / g.degree(u) as f64;
+                            }
+                            *slot = base + damping * sum;
+                            Ok(())
+                        });
+                    }
+                    worker
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pull-round worker panicked"))
+            .collect()
+    });
+    (next, workers)
+}
+
 /// Fixed-sweep parallel PageRank (`sweeps` rounds over all vertices) used
 /// by the benchmark harness where the paper measures per-iteration
 /// throughput (Figure 17). Returns the worker list for stats harvesting.
@@ -240,6 +306,45 @@ mod tests {
                 expected[v]
             );
         }
+    }
+
+    #[test]
+    fn pull_round_matches_one_synchronous_iteration_bitwise() {
+        use tufast_txn::TxnWorker;
+
+        let g = with_in_edges(&gen::rmat(8, 8, 11));
+        let built = crate::setup(&g, PageRankSpace::alloc);
+        let n = g.num_vertices();
+        // Non-uniform quiesced ranks so the pull actually mixes values.
+        for v in 0..n as u64 {
+            built
+                .sys
+                .mem()
+                .store_direct(built.space.rank.addr(v), f64_to_word(1.0 / (v + 2) as f64));
+        }
+        let tufast = TuFast::new(Arc::clone(&built.sys));
+        let (pure, workers) = pull_round(&g, &tufast, &built.space, 4, 0.85, true);
+        let (ordinary, _) = pull_round(&g, &tufast, &built.space, 4, 0.85, false);
+        assert_eq!(pure.len(), n);
+        for (v, (p, o)) in pure.iter().zip(&ordinary).enumerate() {
+            assert_eq!(p.to_bits(), o.to_bits(), "arms diverge at vertex {v}");
+        }
+        // Reference: one sequential pull over the same in-place ranks.
+        let rank: Vec<f64> = (0..n).map(|v| 1.0 / (v as f64 + 2.0)).collect();
+        let base = (1.0 - 0.85) / n as f64;
+        for (v, p) in pure.iter().enumerate() {
+            let sum: f64 = g
+                .in_neighbors(v as VertexId)
+                .iter()
+                .map(|&u| rank[u as usize] / g.degree(u) as f64)
+                .sum();
+            assert_eq!(p.to_bits(), (base + 0.85 * sum).to_bits());
+        }
+        let r_commits: u64 = workers.iter().map(|w| w.stats().r_commits).sum();
+        assert_eq!(
+            r_commits, n as u64,
+            "every pure pull transaction rides the R fast path"
+        );
     }
 
     #[test]

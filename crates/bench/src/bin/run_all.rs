@@ -24,6 +24,7 @@ fn main() {
         "fig17_adaptive_period",
         "fig18_drivers",
         "fig19_mutations",
+        "fig20_reads",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current_exe")

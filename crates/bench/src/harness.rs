@@ -160,6 +160,10 @@ pub fn print_robustness(stats: &tufast::TuFastStats) {
         stats.sched.anon_wait_victims,
     );
     println!(
+        "  r-mode: pure-read commits={} snapshot retries={}",
+        stats.sched.r_commits, stats.sched.r_retries,
+    );
+    println!(
         "  checkpointing: checkpoints written={} recoveries={} snapshot fallbacks={}",
         stats.checkpoints_written, stats.recoveries, stats.snapshot_fallbacks,
     );

@@ -145,6 +145,158 @@ pub fn uniform_picker(pool: usize) -> impl Fn(u64) -> VertexId + Sync {
     }
 }
 
+/// Deterministic Zipfian vertex picker over the first `pool` vertices,
+/// Gray et al.'s rejection-free inversion (the YCSB generator): rank 0 is
+/// the hottest key and popularity decays as `1/rank^theta`. The mapping
+/// from global transaction index to vertex is a pure seeded function
+/// (splitmix64 of the index), so two arms of a comparison replay the
+/// *identical* query stream — which is what lets Figure 20 cross-check
+/// its R-mode and H-mode checksums bitwise.
+pub fn zipfian_picker(pool: usize, theta: f64, seed: u64) -> impl Fn(u64) -> VertexId + Sync {
+    assert!(
+        theta > 0.0 && theta < 1.0,
+        "zipfian theta must lie in (0, 1), got {theta}"
+    );
+    let n = pool.max(1) as u64;
+    // One-time O(n) zeta precompute; per-draw work is then constant.
+    let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+    let zeta2 = 1.0 + 0.5f64.powf(theta);
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+    move |i: u64| {
+        let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < zeta2 {
+            1
+        } else {
+            (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64
+        };
+        rank.min(n - 1) as VertexId
+    }
+}
+
+/// Result of a read-only point-query run (Figure 20).
+#[derive(Clone, Debug)]
+pub struct ReadRunResult {
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Committed queries per second (raw wall time).
+    pub throughput: f64,
+    /// Merged per-worker statistics.
+    pub stats: SchedStats,
+    /// Emulated hardware-transaction operations performed.
+    pub htm_ops: u64,
+    /// Order-independent sum of every query's value checksum — bitwise
+    /// comparable between two arms that replay the same query stream
+    /// against quiesced values.
+    pub checksum: u64,
+}
+
+impl ReadRunResult {
+    /// Hardware-calibrated throughput (see
+    /// [`MicroResult::calibrated_throughput`]).
+    pub fn calibrated_throughput(&self, tax_s: f64) -> f64 {
+        let discounted = (self.secs - self.htm_ops as f64 * tax_s).max(self.secs * 0.02);
+        self.stats.commits as f64 / discounted
+    }
+}
+
+/// Run `txns` k-hop point queries through `sched` on `threads` threads.
+///
+/// Query `i` starts at `picker(i)`, folds the value word of each visited
+/// vertex into a running checksum, and hops to the neighbour the checksum
+/// selects — the walk is a deterministic function of the values read, as
+/// re-executed transaction bodies must be. `declared_pure` picks the
+/// dispatch: [`TxnHint::read_only`](tufast_txn::TxnHint) rides the R-mode
+/// snapshot path, a plain sized hint takes the scheduler's ordinary
+/// (H-mode, for TuFast) read path. Both arms of a Figure 20 comparison
+/// run this exact function, differing only in that flag.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_queries<S: GraphScheduler>(
+    g: &Graph,
+    sched: &S,
+    values: &MemRegion,
+    threads: usize,
+    txns: usize,
+    hops: usize,
+    picker: impl Fn(u64) -> VertexId + Sync,
+    declared_pure: bool,
+) -> ReadRunResult {
+    use tufast_txn::TxnHint;
+
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let checksum = std::sync::atomic::AtomicU64::new(0);
+    let t0 = std::time::Instant::now();
+    let workers: Vec<S::Worker> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let checksum = &checksum;
+                let picker = &picker;
+                let mut worker = sched.worker();
+                s.spawn(move || {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= txns {
+                            break;
+                        }
+                        let start = picker(i as u64);
+                        let size = 2 * (hops + 1);
+                        let hint = if declared_pure {
+                            TxnHint::read_only(size)
+                        } else {
+                            TxnHint::sized(size)
+                        };
+                        let mut acc = 0u64;
+                        let out = worker.execute_hinted(hint, &mut |ops| {
+                            acc = 0;
+                            let mut v = start;
+                            for _ in 0..=hops {
+                                let x = ops.read(v, values.addr(u64::from(v)))?;
+                                acc = acc.wrapping_add(x).rotate_left(7);
+                                let nbrs = g.neighbors(v);
+                                if nbrs.is_empty() {
+                                    break;
+                                }
+                                v = nbrs[(acc % nbrs.len() as u64) as usize];
+                            }
+                            Ok(())
+                        });
+                        debug_assert!(out.committed, "point queries never user-abort");
+                        checksum.fetch_add(acc, Ordering::Relaxed);
+                    }
+                    worker
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("point-query worker panicked"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let mut stats = SchedStats::default();
+    let mut htm_ops = 0;
+    for w in &workers {
+        stats.merge(w.stats());
+        htm_ops += w.htm_ops();
+    }
+    ReadRunResult {
+        secs,
+        throughput: txns as f64 / secs.max(1e-12),
+        stats,
+        htm_ops,
+        checksum: checksum.load(Ordering::Relaxed),
+    }
+}
+
 /// Run `txns` transactions of `workload` through `sched` on `threads`
 /// threads. Returns the result plus the workers (for scheduler-specific
 /// statistics such as TuFast's mode breakdown).
@@ -325,6 +477,68 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert!(uniq.len() > 10);
+    }
+
+    #[test]
+    fn zipfian_picker_is_deterministic_and_skewed() {
+        let pick = zipfian_picker(1000, 0.8, 42);
+        let a: Vec<VertexId> = (0..2000).map(&pick).collect();
+        let b: Vec<VertexId> = (0..2000).map(&pick).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v < 1000));
+        // Zipf(0.8) over 1000 keys puts ≈ 21% of draws on the top 10.
+        let hot = a.iter().filter(|&&v| v < 10).count();
+        assert!(
+            hot * 6 > a.len(),
+            "top-1% of keys drew only {hot} of {} queries",
+            a.len()
+        );
+        // A different seed permutes the stream.
+        let other = zipfian_picker(1000, 0.8, 43);
+        let c: Vec<VertexId> = (0..2000).map(&other).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn point_query_arms_agree_bitwise_on_a_quiesced_graph() {
+        let g = gen::rmat(8, 8, 5);
+        let (sys, values) = setup_micro(&g);
+        for v in 0..g.num_vertices() as u64 {
+            sys.mem()
+                .store_direct(values.addr(v), v.wrapping_mul(0x9E37) + 1);
+        }
+        let sched = TuFast::new(Arc::clone(&sys));
+        let n = g.num_vertices();
+        let pure = run_point_queries(
+            &g,
+            &sched,
+            &values,
+            4,
+            2_000,
+            3,
+            zipfian_picker(n, 0.8, 7),
+            true,
+        );
+        let ordinary = run_point_queries(
+            &g,
+            &sched,
+            &values,
+            4,
+            2_000,
+            3,
+            zipfian_picker(n, 0.8, 7),
+            false,
+        );
+        assert_eq!(
+            pure.checksum, ordinary.checksum,
+            "R and H arms must read identical values on a quiesced graph"
+        );
+        assert_eq!(pure.stats.commits, 2_000);
+        assert_eq!(
+            pure.stats.r_commits, 2_000,
+            "declared-pure queries all ride the R fast path"
+        );
+        assert_eq!(ordinary.stats.r_commits, 0);
     }
 
     #[test]

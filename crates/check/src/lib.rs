@@ -31,6 +31,12 @@
 //!    truncation) against `DurableGraph`, asserting recovery yields
 //!    precisely the committed-prefix graph, bitwise against an
 //!    independent model and behaviourally through BFS/WCC re-runs.
+//! 6. [`readers`] (feature `faults`): the R-mode reader matrix —
+//!    declared-pure snapshot readers racing pair-invariant writers under
+//!    every scheduler (including seeded fault chaos and a writer crashing
+//!    mid-pair), asserting zero fractured reads, a serializable history,
+//!    and that quiesced pure reads take no locks and issue no hardware
+//!    transactions.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +49,8 @@ pub mod durability;
 pub mod explore;
 pub mod history;
 #[cfg(feature = "faults")]
+pub mod readers;
+#[cfg(feature = "faults")]
 pub mod recovery;
 
 #[cfg(feature = "faults")]
@@ -54,5 +62,7 @@ pub use durability::{
 };
 pub use explore::{ExploreOutcome, Explorer, Schedule, SchedulerKind, WorkloadSpec};
 pub use history::{History, Recorder, TxnKind, TxnRecord};
+#[cfg(feature = "faults")]
+pub use readers::{quiesced_read_probe, ReadersOutcome, ReadersPlan, ReadersRunner, ReadersSpec};
 #[cfg(feature = "faults")]
 pub use recovery::{crash_and_recover, RecoveryAlgo, RecoveryOutcome};

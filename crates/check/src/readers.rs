@@ -1,0 +1,455 @@
+//! R-mode reader matrix: declared-pure snapshot readers racing writers
+//! under every scheduler, checked for fractured reads and DSG cycles.
+//!
+//! The workload keeps a *pair invariant*: cells come in pairs
+//! `(a, b) = (cells[2p], cells[2p+1])` and every committed state satisfies
+//! `b == a + 1`. Writers overwrite whole pairs with globally unique
+//! stamps; readers run declared-pure transactions
+//! ([`TxnHint::read_only`]) that read both halves of a pair and report a
+//! *fracture* whenever a committed read observed `b != a + 1` — i.e. the
+//! snapshot mixed two different writers' pairs. R-mode's per-read
+//! validation brackets must make fractures impossible against every
+//! writer commit path (2PL in-place undo, OCC install, TO, STM, the
+//! HSync fallback, and all of TuFast's modes including the serial token).
+//!
+//! Each run also records the full history through the `observe` hooks and
+//! feeds it to the [`dsg`](crate::dsg) checker: R commits ticket their
+//! pinned snapshot, so a fractured read that somehow slipped past the
+//! brackets would also surface as a WR/RW cycle.
+//!
+//! [`ReadersPlan::standard`] adds the fault cells: seeded lock/validation
+//! chaos on the writer side, and a *crashing writer* — a deliberate body
+//! panic after half a pair is written — while readers stay live. The
+//! panicked half-write must roll back without ever becoming visible to a
+//! snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tufast_htm::{HtmConfig, MemRegion, MemoryLayout};
+use tufast_txn::{
+    FaultPlan, FaultSpec, GraphScheduler, HSyncLike, HTimestampOrdering, Occ, SoftwareTm,
+    SystemConfig, TimestampOrdering, TwoPhaseLocking, TxnHint, TxnObserver, TxnSystem, TxnWorker,
+    VertexId,
+};
+
+use crate::dsg::{check, CheckReport};
+use crate::explore::SchedulerKind;
+use crate::history::Recorder;
+
+/// One cell of the reader matrix: a writer-side environment for a run.
+#[derive(Clone, Debug)]
+pub struct ReadersPlan {
+    /// Stable name (used in reports and assertions).
+    pub name: &'static str,
+    /// Seeded fault rates injected into the writers (`None` = fault-free).
+    pub faults: Option<FaultSpec>,
+    /// Whether one writer transaction panics deliberately after writing
+    /// half a pair, while readers are live.
+    pub crash_writer: bool,
+}
+
+impl ReadersPlan {
+    /// The standard reader matrix: a fault-free cell plus a seeded
+    /// lock/validation-chaos cell with a mid-commit writer crash.
+    pub fn standard() -> Vec<ReadersPlan> {
+        vec![
+            ReadersPlan {
+                name: "quiet",
+                faults: None,
+                crash_writer: false,
+            },
+            ReadersPlan {
+                name: "writer-crash-chaos",
+                faults: Some(FaultSpec {
+                    seed: 0xC4A0_6001,
+                    lock_fail_permille: 300,
+                    validation_fail_permille: 300,
+                    ..FaultSpec::default()
+                }),
+                crash_writer: true,
+            },
+        ]
+    }
+}
+
+/// Shape of one reader-matrix run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadersSpec {
+    /// Invariant pairs (the run uses `2 * pairs` cells).
+    pub pairs: u64,
+    /// Writer threads.
+    pub writers: usize,
+    /// Pair overwrites per writer thread.
+    pub writer_txns: usize,
+    /// Reader threads.
+    pub readers: usize,
+    /// Declared-pure transactions per reader thread.
+    pub reader_txns: usize,
+}
+
+impl Default for ReadersSpec {
+    fn default() -> Self {
+        ReadersSpec {
+            pairs: 4,
+            writers: 2,
+            writer_txns: 120,
+            readers: 2,
+            reader_txns: 240,
+        }
+    }
+}
+
+/// The verdict of one (scheduler, plan) reader run.
+#[derive(Debug)]
+pub struct ReadersOutcome {
+    /// Scheduler name (`GraphScheduler::name`).
+    pub scheduler: String,
+    /// The plan's name.
+    pub plan: &'static str,
+    /// Committed reads that observed a torn pair (`b != a + 1`).
+    pub fractures: u64,
+    /// Transactions the run expected to commit (seed + writers + readers,
+    /// minus the deliberately crashed one).
+    pub expected: usize,
+    /// Reader commits that stayed on the R-mode fast path.
+    pub r_commits: u64,
+    /// R-mode snapshot-validation retries across all readers.
+    pub r_retries: u64,
+    /// Reader transactions demoted off the fast path (committed on the
+    /// host scheduler's ordinary path instead).
+    pub demoted: u64,
+    /// The DSG checker's report over the recorded history.
+    pub report: CheckReport,
+}
+
+impl ReadersOutcome {
+    /// Panic unless every read was unfractured, everything expected
+    /// committed, the history is serializable, and the R fast path
+    /// actually carried reads.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.fractures, 0,
+            "[tufast-readers] {} under {}: {} fractured snapshot reads",
+            self.scheduler, self.plan, self.fractures,
+        );
+        assert_eq!(
+            self.report.committed, self.expected,
+            "[tufast-readers] {} under {}: {} of {} transactions committed",
+            self.scheduler, self.plan, self.report.committed, self.expected,
+        );
+        assert!(
+            self.r_commits > 0,
+            "[tufast-readers] {} under {}: no reads committed on the R fast path",
+            self.scheduler,
+            self.plan,
+        );
+        if !self.report.ok() {
+            eprintln!(
+                "[tufast-readers] {} under {} is not serializable:",
+                self.scheduler, self.plan
+            );
+            self.report.assert_ok();
+        }
+    }
+}
+
+/// Drives the pair-invariant workload: writers through a scheduler's
+/// ordinary path, readers through declared-pure [`TxnHint::read_only`]
+/// transactions on the same scheduler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadersRunner {
+    /// The workload each run executes.
+    pub spec: ReadersSpec,
+}
+
+impl ReadersRunner {
+    /// A runner over `spec`.
+    pub fn new(spec: ReadersSpec) -> Self {
+        ReadersRunner { spec }
+    }
+
+    /// Run one (scheduler, plan) pair and check the outcome.
+    pub fn run(&self, kind: SchedulerKind, plan: &ReadersPlan) -> ReadersOutcome {
+        let fault_plan = plan.faults.clone().map(FaultPlan::new);
+        let cells = self.spec.pairs * 2;
+        let mut layout = MemoryLayout::new();
+        let data = layout.alloc("pairs", cells);
+        let htm = HtmConfig {
+            abort_source: fault_plan.as_ref().map(|p| p.abort_source()),
+            ..HtmConfig::default()
+        };
+        let sys = TxnSystem::build(
+            cells as usize,
+            layout,
+            SystemConfig {
+                htm,
+                ..SystemConfig::default()
+            },
+        );
+        sys.set_fault_plan(fault_plan);
+        match kind {
+            SchedulerKind::TuFast => {
+                let sched = tufast::TuFast::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::TwoPhaseLocking => {
+                let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::Occ => {
+                let sched = Occ::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::TimestampOrdering => {
+                let sched = TimestampOrdering::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::SoftwareTm => {
+                let sched = SoftwareTm::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::HSync => {
+                let sched = HSyncLike::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+            SchedulerKind::HTimestampOrdering => {
+                let sched = HTimestampOrdering::new(Arc::clone(&sys));
+                self.drive(&sys, &sched, &data, plan)
+            }
+        }
+    }
+
+    /// Run every scheduler under every plan; returns one outcome per pair.
+    pub fn run_matrix(&self, plans: &[ReadersPlan]) -> Vec<ReadersOutcome> {
+        let mut out = Vec::with_capacity(plans.len() * SchedulerKind::all().len());
+        for plan in plans {
+            for kind in SchedulerKind::all() {
+                out.push(self.run(kind, plan));
+            }
+        }
+        out
+    }
+
+    fn drive<S>(
+        &self,
+        sys: &Arc<TxnSystem>,
+        sched: &S,
+        data: &MemRegion,
+        plan: &ReadersPlan,
+    ) -> ReadersOutcome
+    where
+        S: GraphScheduler,
+        S::Worker: Send,
+    {
+        let observer = Arc::new(Recorder::new());
+        sys.set_observer(Some(Arc::clone(&observer) as Arc<dyn TxnObserver>));
+
+        let spec = self.spec;
+        // Globally unique pair stamps: pair p holds (2n, 2n + 1) for some
+        // nonzero n, so `b == a + 1` never holds across two different
+        // writes and read attribution in the checker is exact.
+        let stamp = AtomicU64::new(1);
+        // Seed every pair inside recorded transactions so reader
+        // attribution never falls back to unticketed initial state.
+        let mut seeder = sched.worker();
+        for p in 0..spec.pairs {
+            let s = stamp.fetch_add(1, Ordering::Relaxed) << 1;
+            let out = seeder.execute(4, &mut |ops| {
+                ops.write(2 * p as VertexId, data.addr(2 * p), s)?;
+                ops.write(2 * p as VertexId + 1, data.addr(2 * p + 1), s + 1)
+            });
+            assert!(out.committed, "seed transaction must commit");
+        }
+        drop(seeder);
+
+        let fractures = AtomicU64::new(0);
+        let crashed = AtomicU64::new(0);
+        let mut reader_stats = tufast_txn::SchedStats::default();
+        let mut demoted = 0u64;
+        std::thread::scope(|s| {
+            let mut readers = Vec::with_capacity(spec.readers);
+            for ti in 0..spec.readers {
+                let mut w = sched.worker();
+                let fractures = &fractures;
+                readers.push(s.spawn(move || {
+                    for k in 0..spec.reader_txns {
+                        let p = ((ti + k) % spec.pairs as usize) as u64;
+                        let (mut a, mut b) = (0, 0);
+                        let out = w.execute_hinted(TxnHint::read_only(4), &mut |ops| {
+                            a = ops.read(2 * p as VertexId, data.addr(2 * p))?;
+                            b = ops.read(2 * p as VertexId + 1, data.addr(2 * p + 1))?;
+                            Ok(())
+                        });
+                        assert!(out.committed, "pure reads never user-abort");
+                        // Only the committed attempt's values are checked:
+                        // a demoted reader re-runs on the host scheduler's
+                        // ordinary path, whose doomed attempts may
+                        // legitimately observe torn state before retrying.
+                        if b != a + 1 {
+                            fractures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    w.take_stats()
+                }));
+            }
+            for ti in 0..spec.writers {
+                let mut w = sched.worker();
+                let stamp = &stamp;
+                let crashed = &crashed;
+                s.spawn(move || {
+                    for k in 0..spec.writer_txns {
+                        let p = ((ti + k) % spec.pairs as usize) as u64;
+                        let crash_here = plan.crash_writer && ti == 0 && k == spec.writer_txns / 2;
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            w.execute(6, &mut |ops| {
+                                let s = stamp.fetch_add(1, Ordering::Relaxed) << 1;
+                                ops.read(2 * p as VertexId, data.addr(2 * p))?;
+                                ops.write(2 * p as VertexId, data.addr(2 * p), s)?;
+                                if crash_here {
+                                    panic!("readers probe: writer crash mid-pair");
+                                }
+                                ops.write(2 * p as VertexId + 1, data.addr(2 * p + 1), s + 1)
+                            });
+                        }));
+                        assert_eq!(
+                            run.is_err(),
+                            crash_here,
+                            "writer panic must surface exactly at the crash cell"
+                        );
+                        if crash_here {
+                            crashed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            for handle in readers {
+                let stats = handle.join().expect("reader threads never panic");
+                reader_stats.merge(&stats);
+            }
+        });
+        demoted += (spec.readers * spec.reader_txns) as u64 - reader_stats.r_commits;
+
+        sys.set_observer(None);
+        // The invariant must also hold in final memory: the crashed
+        // writer's half-pair rolled back, every surviving pair is whole.
+        for p in 0..spec.pairs {
+            let a = sys.mem().load_direct(data.addr(2 * p));
+            let b = sys.mem().load_direct(data.addr(2 * p + 1));
+            assert_eq!(b, a + 1, "final memory holds a torn pair at {p}");
+        }
+        let expected =
+            spec.pairs as usize + spec.writers * spec.writer_txns + spec.readers * spec.reader_txns
+                - crashed.load(Ordering::Relaxed) as usize;
+        ReadersOutcome {
+            scheduler: sched.name().to_string(),
+            plan: plan.name,
+            fractures: fractures.load(Ordering::Relaxed),
+            expected,
+            r_commits: reader_stats.r_commits,
+            r_retries: reader_stats.r_retries,
+            demoted,
+            report: check(&observer.take_history()),
+        }
+    }
+}
+
+/// On a quiesced system, declared-pure transactions must be *free*: no
+/// lock acquisitions and no hardware-transaction operations, under every
+/// scheduler.
+///
+/// Both halves are observable without instrumenting the lock table: every
+/// lock acquisition, direct store, and HTM commit ticks the global
+/// version clock, so a still clock across the reads proves no lock was
+/// taken anywhere in the system, and [`TxnWorker::htm_ops`] staying at
+/// zero proves no hardware transaction ran.
+pub fn quiesced_read_probe(kind: SchedulerKind) {
+    let cells = 8u64;
+    let mut layout = MemoryLayout::new();
+    let data = layout.alloc("pairs", cells);
+    let sys = TxnSystem::build(cells as usize, layout, SystemConfig::default());
+    for p in 0..cells / 2 {
+        let s = (p + 1) << 1;
+        sys.mem().store_direct(data.addr(2 * p), s);
+        sys.mem().store_direct(data.addr(2 * p + 1), s + 1);
+    }
+
+    let clock_before = sys.mem().clock_now_pub();
+    let txns = 50u64;
+    let outcome = match kind {
+        SchedulerKind::TuFast => {
+            let sched = tufast::TuFast::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::TwoPhaseLocking => {
+            let sched = TwoPhaseLocking::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::Occ => {
+            let sched = Occ::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::TimestampOrdering => {
+            let sched = TimestampOrdering::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::SoftwareTm => {
+            let sched = SoftwareTm::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::HSync => {
+            let sched = HSyncLike::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+        SchedulerKind::HTimestampOrdering => {
+            let sched = HTimestampOrdering::new(Arc::clone(&sys));
+            drive_quiesced(&sched, &data, cells, txns)
+        }
+    };
+    let (stats, htm_ops) = outcome;
+    assert_eq!(
+        stats.r_commits, txns,
+        "{kind:?}: quiesced pure reads must all commit on the R fast path"
+    );
+    assert_eq!(stats.commits, txns, "{kind:?}: R commits count as commits");
+    assert_eq!(
+        htm_ops, 0,
+        "{kind:?}: pure reads issued hardware-transaction operations"
+    );
+    assert_eq!(
+        sys.mem().clock_now_pub(),
+        clock_before,
+        "{kind:?}: pure reads moved the version clock (a lock was taken)"
+    );
+    for v in 0..cells as u32 {
+        assert!(
+            sys.locks().peek(sys.mem(), v).is_free(),
+            "{kind:?}: pure reads left lock {v} held"
+        );
+    }
+}
+
+fn drive_quiesced<S>(
+    sched: &S,
+    data: &MemRegion,
+    cells: u64,
+    txns: u64,
+) -> (tufast_txn::SchedStats, u64)
+where
+    S: GraphScheduler,
+{
+    let mut w = sched.worker();
+    for k in 0..txns {
+        let p = k % (cells / 2);
+        let out = w.execute_hinted(TxnHint::read_only(4), &mut |ops| {
+            let a = ops.read(2 * p as VertexId, data.addr(2 * p))?;
+            let b = ops.read(2 * p as VertexId + 1, data.addr(2 * p + 1))?;
+            assert_eq!(b, a + 1, "quiesced pair {p} is torn");
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1, "quiesced reads never retry");
+    }
+    let htm = w.htm_ops();
+    (w.take_stats(), htm)
+}

@@ -1,0 +1,134 @@
+//! The R-mode reader matrix: declared-pure snapshot readers must observe
+//! consistent snapshots (zero fractured reads, DSG-clean histories)
+//! against every writer scheduler, in the fault-free cell and in the
+//! seeded fault cell where a writer crashes mid-pair while readers are
+//! live — and quiesced pure reads must take no locks and issue no
+//! hardware transactions anywhere.
+
+#![cfg(feature = "faults")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tufast_check::{quiesced_read_probe, ReadersPlan, ReadersRunner, ReadersSpec, SchedulerKind};
+use tufast_graph::mutable::{MutationOutcome, MUTATION_HINT};
+use tufast_graph::{GraphBuilder, MutableGraph, OverlayConfig};
+use tufast_htm::MemoryLayout;
+use tufast_txn::{GraphScheduler, SystemConfig, TxnHint, TxnSystem, TxnWorker, VertexId};
+
+#[test]
+fn readers_stay_consistent_under_every_scheduler_and_plan() {
+    let runner = ReadersRunner::default();
+    let outcomes = runner.run_matrix(&ReadersPlan::standard());
+    assert_eq!(outcomes.len(), 2 * 7);
+    for out in &outcomes {
+        out.assert_consistent();
+    }
+}
+
+#[test]
+fn quiesced_pure_reads_are_free_under_every_scheduler() {
+    for kind in SchedulerKind::all() {
+        quiesced_read_probe(kind);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random small geometries on the two ladder-critical schedulers:
+    /// whatever the thread/pair mix, snapshot reads never fracture.
+    #[test]
+    fn random_geometries_never_fracture(
+        pairs in 1u64..5,
+        writers in 1usize..3,
+        readers in 1usize..4,
+        txns in 20usize..80,
+    ) {
+        let runner = ReadersRunner::new(ReadersSpec {
+            pairs,
+            writers,
+            writer_txns: txns,
+            readers,
+            reader_txns: txns * 2,
+        });
+        let plans = ReadersPlan::standard();
+        let quiet = plans.iter().find(|p| p.name == "quiet").expect("quiet plan");
+        for kind in [SchedulerKind::TuFast, SchedulerKind::TwoPhaseLocking] {
+            runner.run(kind, quiet).assert_consistent();
+        }
+    }
+}
+
+/// R-mode readers compose with `MutableGraph`'s delta overlay: a writer
+/// appends edges `0 → t` for `t = 1, 2, …` in order, so every consistent
+/// snapshot of vertex 0's adjacency is exactly the prefix
+/// `{1, …, k}` — a gap or an out-of-order tail is a fractured chain read.
+#[test]
+fn snapshot_readers_see_prefix_consistent_overlay_chains() {
+    let targets = 24u32;
+    let base = GraphBuilder::new(targets as usize + 1).build();
+    let capacity = base.num_vertices();
+    let mut layout = MemoryLayout::new();
+    let mg = Arc::new(MutableGraph::carve(
+        base,
+        capacity,
+        OverlayConfig::default(),
+        &mut layout,
+    ));
+    let sys = TxnSystem::build(capacity, layout, SystemConfig::default());
+    mg.init(sys.mem());
+
+    let sched = tufast::TuFast::new(Arc::clone(&sys));
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer_mg = Arc::clone(&mg);
+        let writer_sched = &sched;
+        let done_ref = &done;
+        s.spawn(move || {
+            let mut w = writer_sched.worker();
+            for t in 1..=targets {
+                let out = writer_mg.add_edge(&mut w, 0, t as VertexId, t);
+                assert_eq!(out, MutationOutcome::Applied);
+            }
+            done_ref.store(true, Ordering::Release);
+        });
+        for _ in 0..2 {
+            let reader_mg = Arc::clone(&mg);
+            let reader_sched = &sched;
+            let done_ref = &done;
+            s.spawn(move || {
+                let mut w = reader_sched.worker();
+                let mut out = Vec::new();
+                loop {
+                    let res = w.execute_hinted(TxnHint::read_only(MUTATION_HINT), &mut |ops| {
+                        reader_mg.txn_neighbors(ops, 0, &mut out)
+                    });
+                    assert!(res.committed);
+                    for (i, &(dst, weight)) in out.iter().enumerate() {
+                        assert_eq!(
+                            dst,
+                            i as VertexId + 1,
+                            "snapshot adjacency is not a prefix: {out:?}"
+                        );
+                        assert_eq!(weight, dst, "edge weight fractured: {out:?}");
+                    }
+                    if done_ref.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                assert!(
+                    w.stats().r_commits > 0,
+                    "no overlay reads landed on the R fast path"
+                );
+                // The writer has finished: a final snapshot sees it all.
+                let res = w.execute_hinted(TxnHint::read_only(MUTATION_HINT), &mut |ops| {
+                    reader_mg.txn_neighbors(ops, 0, &mut out)
+                });
+                assert!(res.committed);
+                assert_eq!(out.len(), targets as usize);
+            });
+        }
+    });
+}

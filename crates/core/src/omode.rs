@@ -370,6 +370,11 @@ pub(crate) fn attempt(
         obs.commit_ticketed(me, || mem.clock_now_pub());
     } else {
         obs.commit_ticketed(me, || mem.clock_tick_pub());
+        // Republish written lines at post-ticket versions while the write
+        // locks are still held: the publication stores above left line
+        // versions predating the ticket, which an R-mode snapshot reader
+        // pinned mid-commit could wrongly accept (see `tufast_txn::rmode`).
+        mem.republish_lines(writes.iter().map(|(a, _)| a));
     }
     for &v in write_vertices {
         locks.unlock_exclusive(mem, v, me, true);

@@ -1,6 +1,8 @@
 //! Mode-breakdown accounting (paper Figure 15).
 
-/// The five commit classes of the paper's Figure 15.
+/// The five commit classes of the paper's Figure 15, plus the R-mode
+/// snapshot-read fast path this reproduction adds for declared-pure
+/// transactions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModeClass {
     /// Committed in H mode.
@@ -13,16 +15,21 @@ pub enum ModeClass {
     O2L,
     /// Committed in L mode directly (size hint too large for H/O).
     L,
+    /// Declared-pure transaction committed on the R-mode snapshot-read
+    /// path (no locks, no read-set logging, no hardware transaction).
+    R,
 }
 
 impl ModeClass {
-    /// All classes in the paper's plotting order.
-    pub const ALL: [ModeClass; 5] = [
+    /// All classes in the paper's plotting order (R, an addition over the
+    /// paper, plots last).
+    pub const ALL: [ModeClass; 6] = [
         ModeClass::H,
         ModeClass::O,
         ModeClass::OPlus,
         ModeClass::O2L,
         ModeClass::L,
+        ModeClass::R,
     ];
 
     /// The paper's legend label.
@@ -33,6 +40,7 @@ impl ModeClass {
             ModeClass::OPlus => "O+",
             ModeClass::O2L => "O2L",
             ModeClass::L => "L",
+            ModeClass::R => "R",
         }
     }
 
@@ -44,6 +52,7 @@ impl ModeClass {
             ModeClass::OPlus => 2,
             ModeClass::O2L => 3,
             ModeClass::L => 4,
+            ModeClass::R => 5,
         }
     }
 }
@@ -52,8 +61,8 @@ impl ModeClass {
 /// the two panels of the paper's Figure 15.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ModeBreakdown {
-    txns: [u64; 5],
-    ops: [u64; 5],
+    txns: [u64; 6],
+    ops: [u64; 6],
 }
 
 impl ModeBreakdown {
@@ -86,7 +95,7 @@ impl ModeBreakdown {
 
     /// Fold another worker's breakdown into this one.
     pub fn merge(&mut self, other: &ModeBreakdown) {
-        for i in 0..5 {
+        for i in 0..6 {
             self.txns[i] += other.txns[i];
             self.ops[i] += other.ops[i];
         }
@@ -192,7 +201,7 @@ mod tests {
     #[test]
     fn labels_match_paper_legend() {
         let labels: Vec<&str> = ModeClass::ALL.iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["H", "O", "O+", "O2L", "L"]);
+        assert_eq!(labels, vec!["H", "O", "O+", "O2L", "L", "R"]);
     }
 
     #[test]

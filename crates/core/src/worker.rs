@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use tufast_htm::AbortCode;
 use tufast_txn::{
-    FaultHandle, GraphScheduler, HealthHandle, SchedStats, TwoPhaseLocking, TxnBody, TxnOutcome,
-    TxnSystem, TxnWorker,
+    FaultHandle, GraphScheduler, HealthHandle, RRun, SchedStats, TwoPhaseLocking, TxnBody, TxnHint,
+    TxnOutcome, TxnSystem, TxnWorker,
 };
 
 use crate::config::TuFastConfig;
@@ -255,10 +255,48 @@ impl TuFastWorker {
 }
 
 impl TxnWorker for TuFastWorker {
-    fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, txn_hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
         let obs = self.sys.observer_handle();
-        let hint = size_hint.max(1);
+        let hint = txn_hint.size.max(1);
         let mut attempts = 0u32;
+
+        // ---- R mode (before everything, including the serial gate):
+        // declared-pure bodies pin a snapshot and read with no locks, no
+        // read-set logging, and no hardware transaction. R readers hold
+        // nothing and the serial-fallback writer publishes through the
+        // embedded 2PL worker's vertex locks — which the snapshot bracket
+        // already rejects — so they need not wait out the drain.
+        if txn_hint.read_only {
+            let reads_before = self.stats.sched.reads;
+            match tufast_txn::run_read_only(
+                &self.sys,
+                self.me,
+                &mut self.stats.sched,
+                &self.health,
+                tufast_txn::R_DEMOTE_ATTEMPTS,
+                body,
+            ) {
+                RRun::Committed { attempts } => {
+                    let ops = self.stats.sched.reads - reads_before;
+                    self.stats.modes.record(ModeClass::R, ops);
+                    return TxnOutcome {
+                        committed: true,
+                        attempts,
+                    };
+                }
+                RRun::UserAborted { attempts } | RRun::HealthStopped { attempts } => {
+                    return TxnOutcome {
+                        committed: false,
+                        attempts,
+                    };
+                }
+                // Purity violation or writer-storm starvation: carry the
+                // spent attempts into the ordinary H→O→L ladder below.
+                RRun::Demoted {
+                    attempts: spent, ..
+                } => attempts = spent,
+            }
+        }
 
         // Stop-the-world gate: while a serial-fallback holder is
         // committing, newly arriving transactions pause here (holding
@@ -577,6 +615,56 @@ mod tests {
         assert_eq!(out.attempts, 1);
         let stats = w.take_tufast_stats();
         assert_eq!(stats.modes.txns(ModeClass::H), 1);
+        assert_eq!(stats.modes.total_txns(), 1);
+    }
+
+    #[test]
+    fn declared_pure_reads_land_in_r_mode() {
+        let (sys, data) = setup(4, 32);
+        for i in 0..4u64 {
+            sys.mem().store_direct(data.addr(i), i + 1);
+        }
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let clock_before = sys.mem().clock_now_pub();
+        let mut sum = 0;
+        let out = w.execute_hinted(TxnHint::read_only(8), &mut |ops| {
+            sum = 0;
+            for v in 0..4u32 {
+                sum += ops.read(v, data.addr(v.into()))?;
+            }
+            Ok(())
+        });
+        assert!(out.committed);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(sum, 1 + 2 + 3 + 4);
+        // The acceptance probes: no hardware transactions, and an
+        // unchanged global clock (every lock acquisition and direct store
+        // ticks it, so stillness proves zero lock traffic).
+        assert_eq!(w.htm_ops(), 0, "R mode must not issue HTM operations");
+        assert_eq!(sys.mem().clock_now_pub(), clock_before);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.modes.txns(ModeClass::R), 1);
+        assert_eq!(stats.modes.ops(ModeClass::R), 4);
+        assert_eq!(stats.sched.r_commits, 1);
+        assert_eq!(stats.sched.commits, 1);
+    }
+
+    #[test]
+    fn writing_body_under_read_only_hint_demotes_and_still_commits() {
+        let (sys, data) = setup(4, 32);
+        let tufast = TuFast::new(Arc::clone(&sys));
+        let mut w = tufast.worker();
+        let out = w.execute_hinted(TxnHint::read_only(4), &mut |ops| {
+            let x = ops.read(0, data.addr(0))?;
+            ops.write(0, data.addr(0), x + 7)
+        });
+        assert!(out.committed);
+        assert!(out.attempts >= 2, "one demoted R attempt plus the H run");
+        assert_eq!(sys.mem().load_direct(data.addr(0)), 7);
+        let stats = w.take_tufast_stats();
+        assert_eq!(stats.sched.r_commits, 0);
+        assert_eq!(stats.modes.txns(ModeClass::R), 0);
         assert_eq!(stats.modes.total_txns(), 1);
     }
 

@@ -368,6 +368,29 @@ impl TxMemory {
         self.unlock_line(line, self.clock_tick());
     }
 
+    /// Republish `line` at a fresh clock version without changing any data
+    /// word. Commit paths that published their writes *before* minting
+    /// their serialization ticket (in-place 2PL writes, OCC/TO/O-mode
+    /// publication stores) call this after the ticket so the line versions
+    /// a snapshot reader validates against are minted at-or-after the
+    /// writer's commit point — a reader pinned mid-commit then rejects the
+    /// line instead of accepting a half-published transaction.
+    pub fn republish_line(&self, line: u64) {
+        self.lock_line_spin(line, DIRECT_OWNER);
+        self.unlock_line(line, self.clock_tick());
+    }
+
+    /// [`republish_line`](Self::republish_line) for every distinct line of
+    /// `addrs` (ascending line order, duplicates coalesced).
+    pub fn republish_lines(&self, addrs: impl Iterator<Item = Addr>) {
+        let mut lines: Vec<u64> = addrs.map(|a| a.line()).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            self.republish_line(line);
+        }
+    }
+
     /// Non-transactional compare-and-swap with strong isolation. On success
     /// returns `Ok(previous)` and publishes a new line version; on failure
     /// returns `Err(observed)` and leaves the version untouched (a failed
@@ -469,6 +492,23 @@ mod tests {
         mem.store_direct(Addr(0), 7);
         assert_eq!(mem.load_direct(Addr(0)), 7);
         assert!(mem.clock_now() > before);
+    }
+
+    #[test]
+    fn republish_bumps_versions_without_touching_data() {
+        let mem = TxMemory::with_words(64);
+        mem.store_direct(Addr(0), 7);
+        mem.store_direct(Addr(9), 8); // second line
+        let clock = mem.clock_now();
+        // Addr(0) and Addr(1) share line 0: one republish, not two.
+        mem.republish_lines([Addr(0), Addr(1), Addr(9)].into_iter());
+        assert_eq!(mem.load_direct(Addr(0)), 7);
+        assert_eq!(mem.load_direct(Addr(9)), 8);
+        assert_eq!(mem.clock_now(), clock + 2);
+        match mem.line_state(0) {
+            LineState::Unlocked { version } => assert!(version > clock),
+            LineState::Locked { .. } => panic!("republish must unlock"),
+        }
     }
 
     #[test]

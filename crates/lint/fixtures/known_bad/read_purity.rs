@@ -1,0 +1,37 @@
+//! Known-bad: transactional writes reachable from bodies dispatched with
+//! a declared-pure (`read_only = true`) hint. The R attempt always trips
+//! the write probe and demotes — the declaration is a lie.
+
+fn debit_total(ops: &mut TxnOps<'_>, addr: u64, amount: u64) {
+    let cur = ops.read(addr)?;
+    ops.write(addr, cur - amount);
+}
+
+fn audit_and_debit(ops: &mut TxnOps<'_>, addr: u64) {
+    // No write of its own — reaches one through the helper below.
+    debit_total(ops, addr, 1);
+}
+
+pub fn refresh_cache(&mut self, w: &mut Worker) {
+    // Direct `.write(` inside a body dispatched as declared-pure.
+    w.execute_hinted(TxnHint::read_only(2), &mut |ops| {
+        let stale = ops.read(self.addr)?;
+        ops.write(self.addr, stale);
+        Ok(())
+    });
+}
+
+pub fn sum_with_side_effect(&mut self, w: &mut Worker) {
+    // Transitive write through a chain of TxnOps-taking helpers, with a
+    // struct-literal hint instead of the constructor.
+    w.execute_hinted(
+        TxnHint {
+            size: 4,
+            read_only: true,
+        },
+        &mut |ops| {
+            audit_and_debit(ops, self.addr);
+            Ok(())
+        },
+    );
+}

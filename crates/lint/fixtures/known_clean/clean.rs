@@ -49,6 +49,24 @@ pub fn execute(&mut self, hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
     self.unpack(out)
 }
 
+pub fn warm_count(&mut self, w: &mut Worker) -> u64 {
+    // A declared-pure body that only reads is the intended use.
+    let mut total = 0;
+    w.execute_hinted(TxnHint::read_only(2), &mut |ops| {
+        total = ops.read(self.addr)?;
+        Ok(())
+    });
+    total
+}
+
+pub fn bump(&mut self, w: &mut Worker) {
+    // Writing is fine under a sized (non-pure) hint.
+    w.execute_hinted(TxnHint::sized(2), &mut |ops| {
+        ops.write(self.addr, 1);
+        Ok(())
+    });
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -123,6 +123,7 @@ pub fn analyze(cfg: &Config, files: &[FileModel]) -> Report {
     findings.extend(rules::htm::run(files));
     findings.extend(rules::ordering::run(files, &cfg.ordering_scope));
     findings.extend(rules::unwind::run(files, &cfg.unwind_scope));
+    findings.extend(rules::readpurity::run(files));
     let (lock_findings, lock_order) = rules::lockorder::run(files);
     findings.extend(lock_findings);
 

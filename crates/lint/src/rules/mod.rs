@@ -1,8 +1,9 @@
-//! The four rule families plus shared token-walking helpers.
+//! The five rule families plus shared token-walking helpers.
 
 pub mod htm;
 pub mod lockorder;
 pub mod ordering;
+pub mod readpurity;
 pub mod unwind;
 
 use crate::lexer::{Tok, Token};

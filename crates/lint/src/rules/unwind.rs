@@ -4,8 +4,9 @@
 //! guarantee that a panicking body cannot strand locks, tokens, or pool
 //! bookkeeping.
 //!
-//! Entry points are `execute`/`execute_bounded` functions taking a
-//! `TxnBody`, anything named `parallel_*`, and fns carrying a
+//! Entry points are `execute`/`execute_bounded`/`execute_hinted`
+//! functions taking a `TxnBody`, anything named `parallel_*`, and fns
+//! carrying a
 //! `// tufast-lint: unwind-entry` marker. Containment is checked over a
 //! name-based transitive call graph: an entry is contained when its body
 //! — or any function it (transitively) may call — mentions
@@ -84,8 +85,9 @@ pub fn run(files: &[FileModel], scope: &[String]) -> Vec<Finding> {
             if f.in_test || f.body.is_none() {
                 continue;
             }
-            let scheduler_entry = (f.name == "execute" || f.name == "execute_bounded")
-                && params_contain(m, f, "TxnBody");
+            let scheduler_entry =
+                (f.name == "execute" || f.name == "execute_bounded" || f.name == "execute_hinted")
+                    && params_contain(m, f, "TxnBody");
             let drain_entry = f.name.starts_with("parallel_");
             if !(scheduler_entry || drain_entry || f.unwind_entry) {
                 continue;

@@ -56,6 +56,7 @@ fn known_bad_covers_every_rule_family() {
         "lock-order",
         "memory-ordering",
         "unwind-containment",
+        "read-purity",
         "lint-directive",
     ] {
         assert!(

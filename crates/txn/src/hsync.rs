@@ -22,7 +22,8 @@ use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -243,6 +244,11 @@ impl HSyncWorker {
                 // Ticket before releasing the global lock: no other writer
                 // can publish while we still hold it.
                 obs.commit_ticketed(id, || mem.clock_tick_pub());
+                // Republish the in-place written lines at post-ticket
+                // versions while the fallback word is still set, so a
+                // snapshot reader pinned mid-commit cannot accept the
+                // pre-ticket stores (see `rmode` module docs).
+                mem.republish_lines(self.undo.iter().map(|&(a, _)| a));
                 mem.store_direct(fallback, 0);
                 true
             }
@@ -266,10 +272,20 @@ impl HSyncWorker {
 }
 
 impl TxnWorker for HSyncWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.ctx.id(),
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
         let obs = self.sys.observer_handle();
         let id = self.ctx.id();
-        let mut attempts = 0u32;
         let mut htm_tries = 0u32;
         loop {
             // Attempt boundary: neither the fallback lock nor an HTM

@@ -24,7 +24,8 @@ use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::to::{pack, to_commit_locked, to_read_fallback, unpack};
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -256,10 +257,20 @@ impl TxnOps for HtoWorker {
 }
 
 impl TxnWorker for HtoWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.id,
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
         let obs = self.sys.observer_handle();
         let id = self.id;
-        let mut attempts = 0u32;
         loop {
             // Attempt boundary: every HTM piece begins and ends inside a
             // single op and no locks are held here, so a stopped job

@@ -16,6 +16,10 @@
 //!   every scheduler (including TuFast itself, in the `tufast` crate) runs
 //!   the *same* transaction bodies, so throughput comparisons are
 //!   apples-to-apples.
+//! * [`rmode`] — the R-mode snapshot-read fast path: declared-pure bodies
+//!   ([`TxnHint::read_only`]) read a pinned epoch of the version clock with
+//!   no locks, no read-set logging and no hardware transaction, on every
+//!   scheduler.
 //! * Baselines: [`TwoPhaseLocking`], [`Occ`] (Silo-like),
 //!   [`TimestampOrdering`], [`SoftwareTm`] (TinySTM-like),
 //!   [`HSyncLike`] (HTM + global-fallback hybrid), and
@@ -32,6 +36,7 @@ mod hto;
 mod locks;
 pub mod obs;
 mod occ;
+pub mod rmode;
 mod stm;
 mod system;
 mod to;
@@ -52,12 +57,14 @@ pub use hto::HTimestampOrdering;
 pub use locks::{LockWord, VertexLocks};
 pub use obs::{ObsHandle, TxnObserver};
 pub use occ::Occ;
+pub use rmode::{read_only_prologue, run_read_only, RRun, RWorker, ReadMode, R_DEMOTE_ATTEMPTS};
 pub use stm::SoftwareTm;
 pub use system::{SystemConfig, TxnSystem};
 pub use to::TimestampOrdering;
 pub use tpl::TwoPhaseLocking;
 pub use traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 
 /// Vertex identifier, re-exported for convenience (same as `tufast-graph`).

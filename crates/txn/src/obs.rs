@@ -20,6 +20,18 @@
 //! which is what lets the checker derive WW edges from tickets alone.
 //! Read-only transactions report the clock value observed at their
 //! commit point instead; it upper-bounds their source writers' tickets.
+//!
+//! Writers that publish *before* minting the ticket (in-place 2PL, OCC,
+//! lock-based TO, the HSync fallback, O-mode optimistic commits) also
+//! *republish* every written line at fresh post-ticket clock versions
+//! before releasing their critical section
+//! ([`TxMemory::republish_line`](tufast_htm::TxMemory)). This keeps a
+//! second invariant the R-mode snapshot path depends on: a line version
+//! `≤ t` proves the line's content was published by a transaction
+//! ticketed `≤ t`. R-mode readers ([`crate::rmode`]) ticket the pinned
+//! clock value their whole read set validated against — every observed
+//! writer is ticketed at or below it, so the checker's WR attribution
+//! works unchanged.
 
 use std::any::Any;
 use std::cell::RefCell;

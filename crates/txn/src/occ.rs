@@ -16,7 +16,8 @@ use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -185,6 +186,11 @@ impl OccWorker {
             mem.store_direct(addr, val);
         }
         obs.commit_ticketed(self.id, || mem.clock_tick_pub());
+        // Republish written lines at post-ticket versions while the write
+        // locks are still held: the publication stores above left line
+        // versions predating the ticket, which a snapshot reader pinned
+        // mid-commit could wrongly accept (see `rmode` module docs).
+        mem.republish_lines(self.writes.iter().map(|(a, _)| a));
         for &u in &order {
             locks.unlock_exclusive(mem, u, self.id, true);
         }
@@ -216,10 +222,20 @@ impl TxnOps for OccWorker {
 }
 
 impl TxnWorker for OccWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.id,
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
         let obs = self.sys.observer_handle();
         let id = self.id;
-        let mut attempts = 0u32;
         loop {
             // Attempt boundary: no locks held, nothing buffered that the
             // next `reset` wouldn't drop — the clean place to stop a

@@ -22,7 +22,8 @@ use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -253,10 +254,20 @@ impl TxnOps for StmWorker {
 }
 
 impl TxnWorker for StmWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.owner,
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
         let obs = self.sys.observer_handle();
         let id = self.owner;
-        let mut attempts = 0u32;
         loop {
             // Attempt boundary: no line is locked between attempts, so a
             // stopped job unwinds with nothing to release.

@@ -290,6 +290,17 @@ impl TxnSystem {
         self.serial_token
     }
 
+    /// Pin an R-mode read snapshot: the current global version-clock
+    /// value. Every write-publishing path ticks this clock inside its
+    /// commit critical section (and republishes its written lines at the
+    /// post-ticket version), so a reader that validates each read's line
+    /// version against this pin observes exactly the committed state as of
+    /// the pin — see [`crate::rmode`] for the full protocol.
+    #[inline]
+    pub fn read_snapshot(&self) -> u64 {
+        self.mem().clock_now_pub()
+    }
+
     /// Words a transaction over a degree-`d` neighbourhood touches —
     /// the size-hint helper exported to algorithm code.
     #[inline]

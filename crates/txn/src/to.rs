@@ -18,7 +18,8 @@ use crate::health::HealthHandle;
 use crate::obs::ObsHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -130,6 +131,10 @@ pub(crate) fn to_commit_locked(
     }
     // Ticket after publication, before any lock release (see obs module).
     obs.commit_ticketed(me, || mem.clock_tick_pub());
+    // Republish written lines at post-ticket versions while the write
+    // locks are still held, so a snapshot reader pinned mid-commit cannot
+    // accept the pre-ticket publication stores (see `rmode` module docs).
+    mem.republish_lines(writes.iter().map(|(a, _)| a));
     for &v in &order {
         mem.rmw_direct(sys.to_ts_addr(v), |w| {
             let (wts, rts) = unpack(w);
@@ -244,10 +249,20 @@ impl TxnOps for ToWorker {
 }
 
 impl TxnWorker for ToWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let mut attempts = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.id,
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
         let obs = self.sys.observer_handle();
         let id = self.id;
-        let mut attempts = 0u32;
         loop {
             // Attempt boundary: no locks held, writes still buffered —
             // the clean stop point for a cancelled/past-deadline job.

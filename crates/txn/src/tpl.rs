@@ -23,7 +23,8 @@ use crate::faults::FaultHandle;
 use crate::health::HealthHandle;
 use crate::system::TxnSystem;
 use crate::traits::{
-    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnOps, TxnOutcome, TxnWorker,
+    backoff, GraphScheduler, SchedStats, TxInterrupt, TxnBody, TxnHint, TxnOps, TxnOutcome,
+    TxnWorker,
 };
 use crate::VertexId;
 
@@ -321,11 +322,18 @@ impl TplWorker {
                     // Strict 2PL commit: writes are already in place; drop
                     // the undo log and release everything.
                     obs.pre_commit(id);
-                    self.undo.clear();
+                    let mem = self.sys.mem();
                     // Ticket while every touched lock is still held: no
                     // conflicting writer can publish between the tick and
                     // our (already in-place) writes becoming permanent.
-                    obs.commit_ticketed(id, || self.sys.mem().clock_tick_pub());
+                    obs.commit_ticketed(id, || mem.clock_tick_pub());
+                    // In-place stores left line versions predating the
+                    // ticket; republish them at post-ticket versions while
+                    // the locks are still held, or a snapshot reader pinned
+                    // mid-commit could accept a fractured mix of old and
+                    // new values (see `rmode` module docs).
+                    mem.republish_lines(self.undo.iter().map(|&(a, _)| a));
+                    self.undo.clear();
                     self.release_all(false);
                     self.stats.commits += 1;
                     self.health.note_commit();
@@ -372,8 +380,23 @@ impl TplWorker {
 }
 
 impl TxnWorker for TplWorker {
-    fn execute(&mut self, _size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
-        self.execute_bounded(u32::MAX, body)
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome {
+        let prior = match crate::rmode::read_only_prologue(
+            &self.sys,
+            self.id,
+            &mut self.stats,
+            &self.health,
+            hint,
+            body,
+        ) {
+            Ok(out) => return out,
+            Err(prior) => prior,
+        };
+        let out = self.execute_bounded(u32::MAX, body);
+        TxnOutcome {
+            committed: out.committed,
+            attempts: out.attempts + prior,
+        }
     }
 
     fn stats(&self) -> &SchedStats {

@@ -54,6 +54,45 @@ pub trait TxnOps {
 /// of what they `read` (plus captured immutable state such as adjacency).
 pub type TxnBody<'a> = dyn FnMut(&mut dyn TxnOps) -> Result<(), TxInterrupt> + 'a;
 
+/// The `BEGIN` hint: the paper's optional `SIZE` argument plus a declared
+/// purity bit.
+///
+/// `size` is the expected number of shared words touched (≈ 2·(degree+1)
+/// for neighbourhood transactions); non-binding, and ignored by every
+/// scheduler except TuFast's router. `read_only` declares the body *pure*:
+/// it performs no [`TxnOps::write`]. Declared-pure bodies are dispatched to
+/// the R-mode snapshot-read fast path ([`crate::rmode`]) — no locks, no
+/// read-set logging, no hardware transaction. The declaration is checked:
+/// a body that writes anyway is demoted to the scheduler's ordinary path
+/// (and flagged statically by `tufast-lint`'s `read-purity` rule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnHint {
+    /// Expected number of shared words touched.
+    pub size: usize,
+    /// The body is declared pure (reads only).
+    pub read_only: bool,
+}
+
+impl TxnHint {
+    /// An ordinary (read/write) transaction hint.
+    #[inline]
+    pub fn sized(size: usize) -> TxnHint {
+        TxnHint {
+            size,
+            read_only: false,
+        }
+    }
+
+    /// A declared-pure transaction hint: the body only reads.
+    #[inline]
+    pub fn read_only(size: usize) -> TxnHint {
+        TxnHint {
+            size,
+            read_only: true,
+        }
+    }
+}
+
 /// What happened to one logical transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TxnOutcome {
@@ -102,6 +141,15 @@ pub struct SchedStats {
     /// deadline, or shed). Each is a clean rollback: no locks held, no
     /// hardware transaction open.
     pub health_stops: u64,
+    /// Declared-pure transactions committed on the R-mode snapshot-read
+    /// fast path (no locks, no read-set logging, no hardware transaction).
+    /// A subset of `commits`.
+    pub r_commits: u64,
+    /// R-mode snapshot-validation retries: attempts that re-pinned their
+    /// snapshot because a read raced a concurrent writer (line republished
+    /// past the pinned clock, writer mid-commit, or snapshot too old).
+    /// A subset of `restarts`.
+    pub r_retries: u64,
 }
 
 impl SchedStats {
@@ -121,6 +169,8 @@ impl SchedStats {
         self.bucket_advances += other.bucket_advances;
         self.parked_wakeups += other.parked_wakeups;
         self.health_stops += other.health_stops;
+        self.r_commits += other.r_commits;
+        self.r_retries += other.r_retries;
     }
 
     /// Committed transactions per attempt — 1.0 means no wasted work.
@@ -148,13 +198,25 @@ pub trait GraphScheduler: Sync {
 
 /// Per-thread transaction execution.
 pub trait TxnWorker {
+    /// Run `body` as one transaction until it commits or user-aborts,
+    /// with a full [`TxnHint`].
+    ///
+    /// Every scheduler honours `hint.read_only` by first attempting the
+    /// body on the R-mode snapshot-read fast path; `hint.size` is
+    /// non-binding and ignored by schedulers other than TuFast.
+    fn execute_hinted(&mut self, hint: TxnHint, body: &mut TxnBody<'_>) -> TxnOutcome;
+
     /// Run `body` as one transaction until it commits or user-aborts.
     ///
     /// `size_hint` is the paper's optional `BEGIN(SIZE)` argument — the
     /// expected number of shared words touched (≈ 2·(degree+1) for
     /// neighbourhood transactions). Non-binding; schedulers other than
-    /// TuFast ignore it.
-    fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome;
+    /// TuFast ignore it. Equivalent to
+    /// [`execute_hinted`](Self::execute_hinted) with
+    /// [`TxnHint::sized`].
+    fn execute(&mut self, size_hint: usize, body: &mut TxnBody<'_>) -> TxnOutcome {
+        self.execute_hinted(TxnHint::sized(size_hint), body)
+    }
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &SchedStats;
@@ -233,6 +295,8 @@ mod tests {
             bucket_advances: 7,
             parked_wakeups: 8,
             health_stops: 9,
+            r_commits: 10,
+            r_retries: 11,
             ..Default::default()
         };
         a.merge(&b);
@@ -248,6 +312,8 @@ mod tests {
         assert_eq!(a.bucket_advances, 7);
         assert_eq!(a.parked_wakeups, 8);
         assert_eq!(a.health_stops, 9);
+        assert_eq!(a.r_commits, 10);
+        assert_eq!(a.r_retries, 11);
     }
 
     #[test]
